@@ -1,0 +1,351 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (regenerating the underlying measurement), plus
+// micro-benchmarks of the pipeline stages. Run with
+//
+//	go test -bench=. -benchmem
+//
+// cmd/experiments produces the full formatted tables and figures;
+// EXPERIMENTS.md records paper-vs-measured values.
+package himap_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"himap"
+	"himap/internal/arch"
+	"himap/internal/baseline"
+	"himap/internal/exp"
+	core "himap/internal/himap"
+	"himap/internal/ir"
+	"himap/internal/kernel"
+	"himap/internal/power"
+	"himap/internal/sim"
+)
+
+// ----------------------------------------------------------------- Table I
+
+// BenchmarkTable1Categorize regenerates Table I's categorization.
+func BenchmarkTable1Categorize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cat := kernel.Categorize(kernel.Catalog())
+		if len(cat) != 5 {
+			b.Fatal("bad categorization")
+		}
+	}
+}
+
+// ---------------------------------------------------------------- Table II
+
+// BenchmarkTable2UniqueIters regenerates Table II's unique-iteration
+// identification for every kernel.
+func BenchmarkTable2UniqueIters(b *testing.B) {
+	for _, k := range kernel.Evaluation() {
+		b.Run(k.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Compile(k, arch.Default(4, 4), core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.UniqueIters == 0 {
+					b.Fatal("no unique iterations")
+				}
+			}
+		})
+	}
+}
+
+// ------------------------------------------------------------------ Fig 7
+
+// BenchmarkFig7HiMap regenerates Figure 7's HiMap series: utilization,
+// MOPS, and MOPS/mW per (kernel, CGRA size). The metrics are reported as
+// custom benchmark units.
+func BenchmarkFig7HiMap(b *testing.B) {
+	model := power.Default40nm()
+	for _, k := range kernel.Evaluation() {
+		for _, size := range []int{4, 8, 16} {
+			b.Run(fmt.Sprintf("%s/%dx%d", k.Name, size, size), func(b *testing.B) {
+				var res *core.Result
+				var err error
+				for i := 0; i < b.N; i++ {
+					res, err = core.Compile(k, arch.Default(size, size), core.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(res.Utilization*100, "util%")
+				b.ReportMetric(model.PerformanceMOPS(res.Config), "MOPS")
+				b.ReportMetric(model.EfficiencyMOPSPerMW(res.Config), "MOPS/mW")
+			})
+		}
+	}
+}
+
+// BenchmarkFig7Baseline regenerates Figure 7's BHC series on the sizes
+// where the conventional mapper completes within a bench-friendly budget.
+func BenchmarkFig7Baseline(b *testing.B) {
+	model := power.Default40nm()
+	cases := []struct {
+		k     *kernel.Kernel
+		size  int
+		block int
+	}{
+		{kernel.BICG(), 4, 4},
+		{kernel.MVT(), 4, 4},
+		{kernel.GEMM(), 4, 3},
+		{kernel.ADI(), 8, 4},
+	}
+	for _, c := range cases {
+		b.Run(fmt.Sprintf("%s/%dx%d", c.k.Name, c.size, c.size), func(b *testing.B) {
+			var res *baseline.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = baseline.Compile(c.k, arch.Default(c.size, c.size),
+					c.k.UniformBlock(c.block), baseline.Options{Seed: 1, TimeBudget: 30 * time.Second})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Utilization*100, "util%")
+			b.ReportMetric(model.PerformanceMOPS(res.Config), "MOPS")
+			b.ReportMetric(model.EfficiencyMOPSPerMW(res.Config), "MOPS/mW")
+		})
+	}
+}
+
+// ------------------------------------------------------------------ Fig 8
+
+// BenchmarkFig8HiMapCompileTime regenerates Figure 8's HiMap compilation
+// time series: per-iteration time IS the figure's measurement. The paper's
+// observation — compile time roughly flat in block size because the
+// number of unique iterations is constant — shows up directly in the
+// ns/op column.
+func BenchmarkFig8HiMapCompileTime(b *testing.B) {
+	for _, k := range []*kernel.Kernel{kernel.MVT(), kernel.GEMM(), kernel.TTM()} {
+		for _, size := range []int{4, 8, 16, 32} {
+			b.Run(fmt.Sprintf("%s/b%d", k.Name, size), func(b *testing.B) {
+				inner := size
+				if k.Dim >= 4 && inner > 8 {
+					inner = 8
+				}
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Compile(k, arch.Default(size, size), core.Options{InnerBlock: inner}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig8BaselineCompileTime regenerates the BHC series up to its
+// wall (block sizes the conventional mapper still closes).
+func BenchmarkFig8BaselineCompileTime(b *testing.B) {
+	for _, c := range []struct {
+		k *kernel.Kernel
+		b int
+	}{
+		{kernel.MVT(), 2}, {kernel.MVT(), 4},
+		{kernel.GEMM(), 2}, {kernel.GEMM(), 3},
+		{kernel.TTM(), 2},
+	} {
+		b.Run(fmt.Sprintf("%s/b%d", c.k.Name, c.b), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := baseline.Compile(c.k, arch.Default(c.b, c.b),
+					c.k.UniformBlock(c.b), baseline.Options{Seed: 1, TimeBudget: 60 * time.Second}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8Wall demonstrates the baseline's hard failure beyond the
+// node wall (near-instant rejection, matching "BHC fails to find a valid
+// mapping beyond the block size of 8, 5, and 4").
+func BenchmarkFig8Wall(b *testing.B) {
+	k := kernel.GEMM()
+	for i := 0; i < b.N; i++ {
+		_, err := baseline.Compile(k, arch.Default(8, 8), k.UniformBlock(8), baseline.Options{})
+		if err == nil {
+			b.Fatal("expected the node wall")
+		}
+	}
+}
+
+// ----------------------------------------------------- pipeline micro-benches
+
+// BenchmarkCompileEndToEnd times the full HiMap flow per kernel on 8x8.
+func BenchmarkCompileEndToEnd(b *testing.B) {
+	for _, k := range kernel.Evaluation() {
+		b.Run(k.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Compile(k, arch.Default(8, 8), core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDFGUnroll times block unrolling (front-end substrate).
+func BenchmarkDFGUnroll(b *testing.B) {
+	k := kernel.GEMM()
+	block := []int{16, 16, 16}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d, err := k.BuildDFG(block)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d.NumCompute() != 2*16*16*16 {
+			b.Fatal("bad unroll")
+		}
+	}
+}
+
+// BenchmarkGolden times the reference executor.
+func BenchmarkGolden(b *testing.B) {
+	k := kernel.GEMM()
+	block := []int{16, 16, 16}
+	inputs := k.DefaultInputs(block, 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Golden(block, inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulate times cycle-accurate execution (cycles/op reported).
+func BenchmarkSimulate(b *testing.B) {
+	res, err := core.Compile(kernel.GEMM(), arch.Default(8, 8), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := sim.New(res.Config)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkValidatePipelined times full multi-block validation.
+func BenchmarkValidatePipelined(b *testing.B) {
+	k := kernel.BICG()
+	res, err := core.Compile(k, arch.Default(4, 4), core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sim.Validate(res.Config, k, res.Block, 3, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPublicAPI exercises the facade end to end.
+func BenchmarkPublicAPI(b *testing.B) {
+	k := himap.KernelMVT()
+	cg := himap.DefaultCGRA(4, 4)
+	for i := 0; i < b.N; i++ {
+		res, err := himap.Compile(k, cg, himap.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+// BenchmarkUniqueIdentificationScaling shows the unique-iteration pass is
+// linear in block volume while yielding a constant class count.
+func BenchmarkUniqueIdentificationScaling(b *testing.B) {
+	for _, inner := range []int{4, 16} {
+		b.Run(fmt.Sprintf("inner%d", inner), func(b *testing.B) {
+			var res *core.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = core.Compile(kernel.GEMM(), arch.Default(4, 4), core.Options{InnerBlock: inner})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.UniqueIters), "unique")
+			b.ReportMetric(float64(ir.BoxSize(res.Block)), "iterations")
+		})
+	}
+}
+
+// BenchmarkExpTableII regenerates the full Table II measurement.
+func BenchmarkExpTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.TableII(4, exp.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 8 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// ---------------------------------------------------------------- ablations
+
+// BenchmarkAblationNegotiation quantifies the SPR-style cost escalation
+// (DESIGN.md design choice): utilization with and without negotiation
+// rounds, reported as a custom metric.
+func BenchmarkAblationNegotiation(b *testing.B) {
+	for _, rounds := range []int{1, 8} {
+		b.Run(fmt.Sprintf("rounds%d", rounds), func(b *testing.B) {
+			var res *core.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = core.Compile(kernel.FW(), arch.Default(4, 4), core.Options{MaxRouteRounds: rounds})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Utilization*100, "util%")
+		})
+	}
+}
+
+// BenchmarkAblationRelayPolicy compares crossbar/memory relay pins
+// against register-only relays.
+func BenchmarkAblationRelayPolicy(b *testing.B) {
+	for _, pol := range []core.RelayPolicy{core.RelayAuto, core.RelayRegistersOnly} {
+		name := "auto"
+		if pol == core.RelayRegistersOnly {
+			name = "registers-only"
+		}
+		b.Run(name, func(b *testing.B) {
+			var res *core.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = core.Compile(kernel.GEMM(), arch.Default(4, 4), core.Options{RelayPolicy: pol})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Utilization*100, "util%")
+			b.ReportMetric(power.MeasureActivity(res.Config).RF, "RFactivity")
+		})
+	}
+}
+
+// BenchmarkAblationDepthSlack measures the value of MAP's fallback depth
+// exploration.
+func BenchmarkAblationDepthSlack(b *testing.B) {
+	for _, slack := range []int{1, 3} {
+		b.Run(fmt.Sprintf("slack%d", slack), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Compile(kernel.FW(), arch.Default(4, 4), core.Options{DepthSlack: slack}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

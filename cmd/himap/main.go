@@ -1,0 +1,122 @@
+// Command himap maps a benchmark kernel onto a CGRA with the HiMap
+// hierarchical algorithm, optionally validates the mapping on the
+// cycle-accurate simulator, and renders the resulting schedule.
+//
+// Usage:
+//
+//	himap -kernel GEMM -rows 8 -cols 8 -validate -render
+//	himap -kernel BICG -rows 8 -cols 1            # §II's linear array
+//	himap -kernel MVT -baseline -block 4          # conventional mapper
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"himap"
+)
+
+func main() {
+	var (
+		name     = flag.String("kernel", "GEMM", "kernel name (ADI, ATAX, BICG, MVT, GEMM, SYRK, FW, TTM, CONV2D, CONV3D, NW, DOITGEN, DOTPROD, RELU)")
+		rows     = flag.Int("rows", 8, "CGRA rows")
+		cols     = flag.Int("cols", 8, "CGRA columns")
+		inner    = flag.Int("inner", 0, "inner block size b3.. for time-sequenced dimensions (0 = default)")
+		validate = flag.Bool("validate", false, "run cycle-accurate functional validation (3 pipelined blocks)")
+		render   = flag.Bool("render", false, "render the space-time schedule")
+		program  = flag.Bool("program", false, "print PE(0,0)'s instruction stream")
+		itermap  = flag.Bool("itermap", false, "print the unique-iteration schedule map (Fig. 2 style)")
+		bits     = flag.Bool("bitstream", false, "encode the configuration and report its size")
+		useBase  = flag.Bool("baseline", false, "use the conventional (BHC stand-in) mapper instead of HiMap")
+		block    = flag.Int("block", 0, "baseline block size (default: largest under the 400-node wall)")
+		seed     = flag.Int64("seed", 42, "validation input seed")
+		save     = flag.String("save", "", "write the mapping as JSON to this file")
+	)
+	flag.Parse()
+
+	k, err := himap.KernelByName(*name)
+	if err != nil {
+		fatal(err)
+	}
+	cg := himap.DefaultCGRA(*rows, *cols)
+	model := himap.DefaultPowerModel()
+
+	if *useBase {
+		b := *block
+		if b == 0 {
+			b = 4
+		}
+		res, err := himap.CompileBaseline(k, cg, k.UniformBlock(b), himap.BaselineOptions{Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Summary())
+		fmt.Printf("performance: %.0f MOPS, power: %.1f mW, efficiency: %.1f MOPS/mW\n",
+			model.PerformanceMOPS(res.Config), model.PowerMW(res.Config), model.EfficiencyMOPSPerMW(res.Config))
+		if *validate {
+			if err := himap.ValidateConfig(res.Config, k, res.Block, 3, *seed); err != nil {
+				fatal(err)
+			}
+			fmt.Println("functional validation: PASS (3 pipelined blocks, cycle-accurate)")
+		}
+		if *render {
+			fmt.Print(himap.RenderSchedule(res.Config))
+		}
+		return
+	}
+
+	res, err := himap.Compile(k, cg, himap.Options{InnerBlock: *inner})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(res.Summary())
+	fmt.Printf("systolic mapping: %s\n", res.Mapping)
+	fmt.Printf("compile time: %v (map %v, place %v, route %v; %d canonical nets, %d rounds)\n",
+		res.Stats.Total, res.Stats.MapTime, res.Stats.PlaceTime, res.Stats.RouteTime,
+		res.Stats.CanonicalNets, res.Stats.RouteRounds)
+	fmt.Printf("performance: %.0f MOPS, power: %.1f mW, efficiency: %.1f MOPS/mW\n",
+		model.PerformanceMOPS(res.Config), model.PowerMW(res.Config), model.EfficiencyMOPSPerMW(res.Config))
+	fmt.Printf("configuration memory: max %d unique words per PE (depth %d)\n",
+		res.Config.MaxUniqueInstrs(), cg.ConfigDepth)
+
+	if *validate {
+		if err := himap.Validate(res, 3, *seed); err != nil {
+			fatal(err)
+		}
+		fmt.Println("functional validation: PASS (3 pipelined blocks, cycle-accurate)")
+	}
+	if *render {
+		fmt.Print(himap.RenderSchedule(res.Config))
+	}
+	if *program {
+		fmt.Print(himap.RenderPEProgram(res.Config, 0, 0))
+	}
+	if *itermap {
+		fmt.Print(res.IterationMap())
+	}
+	if *bits {
+		bs, err := himap.EncodeBitstream(res.Config)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("bitstream: %d bytes total, max %d configuration words per PE\n",
+			bs.TotalBytes(), bs.MaxWordsPerPE())
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := himap.SaveConfig(res.Config, f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("mapping written to %s\n", *save)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "himap:", err)
+	os.Exit(1)
+}

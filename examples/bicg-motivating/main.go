@@ -1,0 +1,56 @@
+// The §II motivating example: BiCG mapped onto an 8x1 (linear) CGRA.
+//
+// The paper contrasts a conventional mapper's irregular schedule with
+// HiMap's regular systolic schedule on this configuration (Figure 2) and
+// counts 9 unique iterations. This example reproduces both mappings and
+// prints the block initiation intervals, utilizations, and schedules.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"himap"
+)
+
+func main() {
+	k := himap.KernelBICG()
+	cgra := himap.DefaultCGRA(8, 1)
+
+	fmt.Println("== BiCG on an 8x1 linear CGRA (the paper's §II example) ==")
+
+	res, err := himap.Compile(k, cgra, himap.Options{})
+	if err != nil {
+		log.Fatalf("himap: %v", err)
+	}
+	fmt.Println("\nHiMap:", res.Summary())
+	fmt.Printf("  block initiation interval II_B = %d cycles\n", res.IIB)
+	fmt.Printf("  unique iterations identified: %d (paper: 9)\n", res.UniqueIters)
+	if err := himap.Validate(res, 3, 7); err != nil {
+		log.Fatalf("himap validation: %v", err)
+	}
+	fmt.Println("  cycle-accurate validation: PASS")
+
+	// The conventional mapper sees the same unrolled block DFG but must
+	// solve the flat placement-and-routing problem.
+	bres, err := himap.CompileBaseline(k, cgra, []int{4, 4}, himap.BaselineOptions{Seed: 3})
+	if err != nil {
+		log.Fatalf("baseline: %v", err)
+	}
+	fmt.Println("\nConventional:", bres.Summary())
+	fmt.Printf("  block initiation interval II_B = %d cycles\n", bres.II)
+	if err := himap.ValidateConfig(bres.Config, k, bres.Block, 3, 7); err != nil {
+		log.Fatalf("baseline validation: %v", err)
+	}
+	fmt.Println("  cycle-accurate validation: PASS")
+
+	fmt.Printf("\nHiMap achieves %.2fx the conventional mapper's throughput on this array\n",
+		(res.Utilization)/(bres.Utilization))
+
+	fmt.Println("\nUnique-iteration map (the numbered iterations of Figure 2d —")
+	fmt.Println("equal numbers are exact replicas; only those were mapped in detail):")
+	fmt.Print(res.IterationMap())
+
+	fmt.Println("\nHiMap schedule (space-time grid, PEs left to right):")
+	fmt.Print(himap.RenderSchedule(res.Config))
+}

@@ -1,0 +1,41 @@
+// Scaling study through the public API: maps three kernels across CGRA
+// sizes and prints utilization, throughput, power, and efficiency — a
+// miniature of Figure 7's HiMap series, demonstrating that mappings stay
+// on the performance envelope as the array grows while compilation time
+// stays flat.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"himap"
+)
+
+func main() {
+	model := himap.DefaultPowerModel()
+	kernels := []*himap.Kernel{himap.KernelMVT(), himap.KernelGEMM(), himap.KernelFW()}
+	sizes := []int{4, 8, 16}
+
+	fmt.Println("== HiMap scaling across CGRA sizes ==")
+	fmt.Printf("%-6s %-7s %-12s %6s %12s %10s %12s %12s\n",
+		"kernel", "CGRA", "block", "U", "MOPS", "power mW", "MOPS/mW", "compile")
+	for _, k := range kernels {
+		for _, size := range sizes {
+			res, err := himap.Compile(k, himap.DefaultCGRA(size, size), himap.Options{})
+			if err != nil {
+				log.Fatalf("%s %dx%d: %v", k.Name, size, size, err)
+			}
+			fmt.Printf("%-6s %-7s %-12s %5.0f%% %12.0f %10.1f %12.1f %12v\n",
+				k.Name, fmt.Sprintf("%dx%d", size, size), fmt.Sprint(res.Block),
+				res.Utilization*100,
+				model.PerformanceMOPS(res.Config),
+				model.PowerMW(res.Config),
+				model.EfficiencyMOPSPerMW(res.Config),
+				res.Stats.Total.Round(1000000))
+		}
+	}
+	fmt.Println("\nNote how utilization (and thus MOPS/PE) holds as the array grows:")
+	fmt.Println("the number of unique iterations — and so the mapping work — does not")
+	fmt.Println("grow with the block size, the core scalability argument of the paper.")
+}

@@ -1,0 +1,64 @@
+// §III of the paper claims that "the dataflow of the systolic array in
+// Google TPU is the same as the dataflow of CGRA configured with the GEMM
+// kernel using HiMap". This example maps GEMM and verifies the claim
+// structurally: matrix A operands enter each interior PE from the west
+// and leave east, B operands enter from the north and leave south, and
+// partial sums stay resident in the PE's register file — the classic
+// weight/activation-streaming systolic pattern.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"himap"
+	"himap/internal/arch"
+)
+
+func main() {
+	k := himap.KernelGEMM()
+	res, err := himap.Compile(k, himap.DefaultCGRA(4, 4), himap.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== GEMM dataflow vs the TPU systolic array ==")
+	fmt.Println(res.Summary())
+
+	// Inspect an interior PE's schedule.
+	cfg := res.Config
+	r, c := 1, 1
+	var eastward, southward, regResident bool
+	for t := 0; t < cfg.II; t++ {
+		in := cfg.Slots[r][c][t]
+		if in.OutSel[arch.East].Kind != arch.OpdNone && in.OutSel[arch.East].Kind != arch.OpdHold {
+			eastward = true
+		}
+		if in.OutSel[arch.South].Kind != arch.OpdNone && in.OutSel[arch.South].Kind != arch.OpdHold {
+			southward = true
+		}
+		for _, w := range in.RegWr {
+			if w.Src.Kind == arch.OpdALU {
+				regResident = true
+			}
+		}
+	}
+	check := func(name string, ok bool) {
+		status := "NO"
+		if ok {
+			status = "yes"
+		}
+		fmt.Printf("  %-58s %s\n", name, status)
+	}
+	fmt.Println("\nInterior PE (1,1) dataflow checks:")
+	check("streams a value eastward (A operands flow along j)", eastward)
+	check("streams a value southward (B operands flow along i)", southward)
+	check("keeps ALU results in the register file (partial sums)", regResident)
+	if !(eastward && southward && regResident) {
+		log.Fatal("dataflow does not match the TPU systolic pattern")
+	}
+	fmt.Println("\nThe mapping realizes the TPU's weight-stationary systolic dataflow")
+	fmt.Println("on a general-purpose CGRA — §III's best-of-both-worlds argument.")
+
+	fmt.Println("\nPE(1,1) program:")
+	fmt.Print(himap.RenderPEProgram(cfg, 1, 1))
+}

@@ -1,0 +1,3 @@
+module himap
+
+go 1.22

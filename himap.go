@@ -1,0 +1,252 @@
+// Package himap is a from-scratch Go implementation of HiMap — the fast,
+// scalable, high-quality CGRA mapping approach of Wijerathne et al.
+// (DATE 2021) — together with everything it is evaluated against: the CGRA
+// architecture model, a modulo-routing-resource-graph place-and-route
+// engine, the systolic space-time transformation machinery, a
+// conventional (simulated-annealing) baseline mapper, a cycle-accurate
+// CGRA simulator for functional validation, and a performance/power
+// model.
+//
+// Quick start:
+//
+//	k := himap.KernelGEMM()
+//	res, err := himap.Compile(k, himap.DefaultCGRA(8, 8), himap.Options{})
+//	if err != nil { ... }
+//	fmt.Println(res.Summary())                      // mapping statistics
+//	err = himap.Validate(res, 3, 42)                // cycle-accurate check
+//	fmt.Println(himap.RenderSchedule(res.Config))   // space-time view
+//
+// The deeper layers live in internal/ packages and are re-exported here
+// where a downstream user needs them; DESIGN.md documents the system
+// inventory and EXPERIMENTS.md the reproduction of every table and figure
+// of the paper.
+package himap
+
+import (
+	"io"
+
+	"himap/internal/arch"
+	"himap/internal/baseline"
+	core "himap/internal/himap"
+	"himap/internal/ir"
+	"himap/internal/kernel"
+	"himap/internal/power"
+	"himap/internal/sim"
+	"himap/internal/systolic"
+	"himap/internal/viz"
+)
+
+// Re-exported core types. The aliases keep one canonical definition while
+// letting applications import only this package.
+type (
+	// CGRA describes a target array (size, register file, ports, memories).
+	CGRA = arch.CGRA
+	// Config is a complete CGRA mapping: per-PE repeating instruction
+	// streams plus memory-access correlation metadata.
+	Config = arch.Config
+	// Kernel is a loop-kernel specification (see internal/kernel for the
+	// DSL used to define new kernels).
+	Kernel = kernel.Kernel
+	// Options tunes the HiMap compilation flow.
+	Options = core.Options
+	// Result is a completed HiMap mapping with statistics.
+	Result = core.Result
+	// BaselineOptions tunes the conventional mapper.
+	BaselineOptions = baseline.Options
+	// BaselineResult is a completed conventional mapping.
+	BaselineResult = baseline.Result
+	// PowerModel converts configurations to MOPS and mW.
+	PowerModel = power.Model
+	// Scheme is a block-size-independent systolic space-time template.
+	Scheme = systolic.Scheme
+)
+
+// DefaultCGRA returns the paper's evaluation architecture at the given
+// array size: per PE an ALU, a 4-register file (2R/2W), a crossbar, a
+// 32-entry configuration memory, and a 64-word data memory, at 510 MHz.
+func DefaultCGRA(rows, cols int) CGRA { return arch.Default(rows, cols) }
+
+// Compile maps the kernel onto the CGRA with the HiMap hierarchical
+// algorithm (Algorithm 1 of the paper).
+func Compile(k *Kernel, cg CGRA, opts Options) (*Result, error) {
+	return core.Compile(k, cg, opts)
+}
+
+// CompileBaseline maps one unrolled block with the conventional flat
+// DFG → MRRG mapper (the paper's "BHC" stand-in).
+func CompileBaseline(k *Kernel, cg CGRA, block []int, opts BaselineOptions) (*BaselineResult, error) {
+	return baseline.Compile(k, cg, block, opts)
+}
+
+// Validate executes nblocks pipelined block instances of the mapping on
+// the cycle-accurate simulator and compares every block's outputs against
+// the kernel's golden executor.
+func Validate(res *Result, nblocks int, seed int64) error {
+	return sim.Validate(res.Config, res.Kernel, res.Block, nblocks, seed)
+}
+
+// ValidateConfig is Validate for any configuration (e.g. a baseline
+// mapping).
+func ValidateConfig(cfg *Config, k *Kernel, block []int, nblocks int, seed int64) error {
+	return sim.Validate(cfg, k, block, nblocks, seed)
+}
+
+// DefaultPowerModel returns the 40 nm / 510 MHz power coefficients used
+// by the evaluation.
+func DefaultPowerModel() PowerModel { return power.Default40nm() }
+
+// RenderSchedule renders the space-time schedule grid of a configuration.
+func RenderSchedule(cfg *Config) string { return viz.ScheduleGrid(cfg) }
+
+// RenderPEProgram lists one PE's instruction stream.
+func RenderPEProgram(cfg *Config, r, c int) string { return viz.PEProgram(cfg, r, c) }
+
+// RenderUtilization renders the per-PE FU utilization grid.
+func RenderUtilization(cfg *Config) string { return viz.UtilizationMap(cfg) }
+
+// Evaluation kernels of the paper (Table II).
+func KernelADI() *Kernel  { return kernel.ADI() }
+func KernelATAX() *Kernel { return kernel.ATAX() }
+func KernelBICG() *Kernel { return kernel.BICG() }
+func KernelMVT() *Kernel  { return kernel.MVT() }
+func KernelGEMM() *Kernel { return kernel.GEMM() }
+func KernelSYRK() *Kernel { return kernel.SYRK() }
+func KernelFW() *Kernel   { return kernel.FW() }
+func KernelTTM() *Kernel  { return kernel.TTM() }
+
+// KernelConv2D returns the 3×3-window convolution extension kernel.
+func KernelConv2D() *Kernel { return kernel.Conv2D() }
+
+// EvaluationKernels returns the eight Table-II kernels in paper order.
+func EvaluationKernels() []*Kernel { return kernel.Evaluation() }
+
+// KernelByName looks a kernel up by its Table-II name (plus CONV2D).
+func KernelByName(name string) (*Kernel, error) { return kernel.ByName(name) }
+
+// Kernel-specification DSL re-exports, so downstream users can define new
+// kernels against the public API alone (see examples/custom-kernel).
+type (
+	// BodyOp is one loop-body operation of a kernel specification.
+	BodyOp = kernel.BodyOp
+	// Input is a guarded operand-source selection list.
+	Input = kernel.Input
+	// Case pairs a guard predicate with an operand source.
+	Case = kernel.Case
+	// Source describes an operand origin (dependence, memory, constant).
+	Source = kernel.Source
+	// StoreRule writes an op's result to a tensor under a guard.
+	StoreRule = kernel.StoreRule
+	// TensorSpec declares a kernel tensor.
+	TensorSpec = kernel.TensorSpec
+	// AffineMap maps iteration vectors to tensor indices.
+	AffineMap = kernel.AffineMap
+	// Pred is a conjunction of iteration-vector conditions.
+	Pred = kernel.Pred
+	// Tensor is a dense multi-dimensional integer array.
+	Tensor = kernel.Tensor
+)
+
+// DSL constructors (see internal/kernel for full documentation).
+var (
+	AM       = kernel.AM
+	In       = kernel.In
+	Fixed    = kernel.Fixed
+	Dep      = kernel.Dep
+	Same     = kernel.Same
+	Mem      = kernel.Mem
+	ConstSrc = kernel.Const
+	First    = kernel.First
+	Last     = kernel.Last
+	NotFirst = kernel.NotFirst
+	EqDims   = kernel.EqDims
+	And      = kernel.And
+	Always   = kernel.Always
+)
+
+// NewTensor allocates a zeroed tensor.
+func NewTensor(dims ...int) *Tensor { return kernel.NewTensor(dims...) }
+
+// Bitstream is a binary configuration-memory image (deduplicated words
+// plus the per-PE schedule ROM).
+type Bitstream = arch.Bitstream
+
+// EncodeBitstream packs a configuration into its configuration-memory
+// image, enforcing the per-PE depth bound.
+func EncodeBitstream(cfg *Config) (*Bitstream, error) { return arch.Encode(cfg) }
+
+// SaveConfig serializes a mapping (architecture, schedule, memory
+// correlation metadata) as JSON.
+func SaveConfig(cfg *Config, w io.Writer) error { return cfg.WriteJSON(w) }
+
+// LoadConfig deserializes and validates a mapping saved by SaveConfig.
+func LoadConfig(r io.Reader) (*Config, error) { return arch.ReadJSON(r) }
+
+// Extension kernels beyond the Table-II evaluation set.
+func KernelNW() *Kernel      { return kernel.NW() }
+func KernelDOITGEN() *Kernel { return kernel.DOITGEN() }
+func KernelDOTPROD() *Kernel { return kernel.DOTPROD() }
+func KernelRELU() *Kernel    { return kernel.RELU() }
+
+// AutoResult is CompileAuto's unified outcome.
+type AutoResult struct {
+	// Mapper is "himap" or "conventional".
+	Mapper      string
+	HiMap       *Result         // set when Mapper == "himap"
+	Baseline    *BaselineResult // set when Mapper == "conventional"
+	Config      *Config
+	Block       []int
+	Utilization float64
+}
+
+// CompileAuto applies the paper's Table-I triage (§VI, benchmark
+// selection): multi-dimensional kernels with inter-iteration dependencies
+// go through HiMap's virtual systolic mapping; one-dimensional or
+// dependence-free kernels gain nothing from it and are modulo-scheduled
+// by the conventional mapper instead ("we can apply existing software
+// pipelining techniques").
+func CompileAuto(k *Kernel, cg CGRA, opts Options) (*AutoResult, error) {
+	if k.Dim > 1 && k.HasInterIterationDeps() {
+		res, err := Compile(k, cg, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &AutoResult{
+			Mapper: "himap", HiMap: res,
+			Config: res.Config, Block: res.Block, Utilization: res.Utilization,
+		}, nil
+	}
+	// Pick the largest block the conventional mapper handles comfortably
+	// (small: simulated annealing degrades well before the 400-node wall).
+	b := baseline.LargestFeasibleBlock(k, 60, 16)
+	block := k.UniformBlock(b)
+	res, err := baseline.Compile(k, cg, block, baseline.Options{Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	return &AutoResult{
+		Mapper: "conventional", Baseline: res,
+		Config: res.Config, Block: res.Block, Utilization: res.Utilization,
+	}, nil
+}
+
+// OpKind identifies a loop-body operation kind.
+type OpKind = ir.OpKind
+
+// Operation kinds usable in kernel specifications. Compute kinds occupy
+// an FU; OpRoute is pure systolic data movement realized on routing
+// resources.
+const (
+	OpAdd   = ir.OpAdd
+	OpSub   = ir.OpSub
+	OpMul   = ir.OpMul
+	OpDiv   = ir.OpDiv
+	OpMin   = ir.OpMin
+	OpMax   = ir.OpMax
+	OpAnd   = ir.OpAnd
+	OpOr    = ir.OpOr
+	OpXor   = ir.OpXor
+	OpShl   = ir.OpShl
+	OpShr   = ir.OpShr
+	OpSel   = ir.OpSel
+	OpRoute = ir.OpRoute
+)

@@ -1,0 +1,277 @@
+package arch
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"himap/internal/ir"
+)
+
+// Bitstream encoding of configurations: the binary image a PE's
+// configuration memory would hold. Each instruction packs into a
+// fixed-width 12-byte word:
+//
+//	byte 0      opcode
+//	byte 1      source A selector
+//	byte 2      source B selector
+//	bytes 3-6   output register selectors (N, S, E, W)
+//	bytes 7-8   register write ports 0 and 1 (selector + register index)
+//	byte 9      memory-port flags (bit0 read, bit1 write) + store selector
+//	bytes 10-11 16-bit signed immediate
+//
+// Operand selectors: bits 7..5 = kind, bits 4..0 = payload (direction or
+// register index). Memory-access correlation tags (IOSpec) are simulation
+// metadata — in hardware the address generation walks the block iteration
+// space — and are carried alongside the words, not inside them.
+const (
+	// WordBytes is the configuration word size.
+	WordBytes = 12
+
+	selNone  = 0
+	selIn    = 1
+	selALU   = 2
+	selReg   = 3
+	selConst = 4
+	selMem   = 5
+	selHold  = 6
+)
+
+// ErrImmediate reports an immediate that does not fit the 16-bit field.
+type ErrImmediate struct{ V int64 }
+
+func (e ErrImmediate) Error() string {
+	return fmt.Sprintf("arch: immediate %d exceeds the 16-bit configuration field", e.V)
+}
+
+func encodeSel(o Operand) (byte, *int64, error) {
+	switch o.Kind {
+	case OpdNone:
+		return selNone << 5, nil, nil
+	case OpdIn:
+		return selIn<<5 | byte(o.Dir), nil, nil
+	case OpdALU:
+		return selALU << 5, nil, nil
+	case OpdReg:
+		return selReg<<5 | byte(o.Reg), nil, nil
+	case OpdConst:
+		if o.Const < -(1<<15) || o.Const >= 1<<15 {
+			return 0, nil, ErrImmediate{o.Const}
+		}
+		v := o.Const
+		return selConst << 5, &v, nil
+	case OpdMem:
+		return selMem << 5, nil, nil
+	case OpdHold:
+		return selHold << 5, nil, nil
+	}
+	return 0, nil, fmt.Errorf("arch: unencodable operand %v", o)
+}
+
+func decodeSel(b byte, imm int64) Operand {
+	switch b >> 5 {
+	case selIn:
+		return FromIn(Dir(b & 3))
+	case selALU:
+		return FromALU()
+	case selReg:
+		return FromReg(int(b & 31))
+	case selConst:
+		return FromConst(imm)
+	case selMem:
+		return FromMem()
+	case selHold:
+		return Hold()
+	}
+	return Operand{}
+}
+
+// EncodeInstr packs one instruction into a WordBytes-long slice.
+func EncodeInstr(in *Instr) ([]byte, error) {
+	w := make([]byte, WordBytes)
+	w[0] = byte(in.Op)
+	var imm *int64
+	note := func(b byte, v *int64, err error) (byte, error) {
+		if err != nil {
+			return 0, err
+		}
+		if v != nil {
+			if imm != nil && *imm != *v {
+				return 0, fmt.Errorf("arch: instruction needs two immediates (%d, %d); one field available", *imm, *v)
+			}
+			imm = v
+		}
+		return b, nil
+	}
+	var err error
+	if w[1], err = note(encodeSel(in.SrcA)); err != nil {
+		return nil, err
+	}
+	if w[2], err = note(encodeSel(in.SrcB)); err != nil {
+		return nil, err
+	}
+	for d := 0; d < int(NumDirs); d++ {
+		if w[3+d], err = note(encodeSel(in.OutSel[d])); err != nil {
+			return nil, err
+		}
+	}
+	if len(in.RegWr) > 2 {
+		return nil, fmt.Errorf("arch: %d register writes exceed the 2 encodable ports", len(in.RegWr))
+	}
+	for i, rw := range in.RegWr {
+		sel, err2 := note(encodeSel(rw.Src))
+		if err2 != nil {
+			return nil, err2
+		}
+		// selector kind in bits 7..5, payload bits 4..3 unused for dirs>4;
+		// pack the destination register into bits 2..0 of the next nibble:
+		// byte = kindsel | reg<<0 is ambiguous for OpdReg sources (payload
+		// collision), so register-write sources use a dedicated layout:
+		// bits 7..5 kind, bits 4..2 payload, bits 1..0 destination.
+		payload := sel & 31
+		w[7+i] = (sel & 0xE0) | ((payload & 7) << 2) | byte(rw.Reg&3)
+	}
+	if in.MemRead.Active {
+		w[9] |= 1
+	}
+	if in.MemWrite.Active {
+		w[9] |= 2
+		sel, err2 := note(encodeSel(in.MemWrite.Src))
+		if err2 != nil {
+			return nil, err2
+		}
+		w[9] |= sel & 0xE0
+		w[9] |= (sel & 3) << 2 // payload (dir/reg low bits)
+	}
+	if imm != nil {
+		binary.LittleEndian.PutUint16(w[10:], uint16(int16(*imm)))
+	}
+	return w, nil
+}
+
+// DecodeInstr unpacks a configuration word. Memory tags are not part of
+// the bitstream and come back empty.
+func DecodeInstr(w []byte) (*Instr, error) {
+	if len(w) != WordBytes {
+		return nil, fmt.Errorf("arch: word length %d, want %d", len(w), WordBytes)
+	}
+	imm := int64(int16(binary.LittleEndian.Uint16(w[10:])))
+	in := &Instr{Op: ir.OpKind(w[0])}
+	in.SrcA = decodeSel(w[1], imm)
+	in.SrcB = decodeSel(w[2], imm)
+	for d := 0; d < int(NumDirs); d++ {
+		in.OutSel[d] = decodeSel(w[3+d], imm)
+	}
+	for i := 0; i < 2; i++ {
+		b := w[7+i]
+		if b>>5 == selNone {
+			continue
+		}
+		sel := (b & 0xE0) | ((b >> 2) & 7)
+		in.RegWr = append(in.RegWr, RegWrite{Reg: int(b & 3), Src: decodeSel(sel, imm)})
+	}
+	if w[9]&1 != 0 {
+		in.MemRead = MemOp{Active: true}
+	}
+	if w[9]&2 != 0 {
+		sel := (w[9] & 0xE0) | ((w[9] >> 2) & 3)
+		in.MemWrite = MemOp{Active: true, Src: decodeSel(sel, imm)}
+	}
+	return in, nil
+}
+
+// Bitstream is the full binary configuration image plus size accounting.
+type Bitstream struct {
+	// Words[r][c] holds PE (r,c)'s deduplicated configuration words.
+	Words [][][][]byte
+	// Schedule[r][c][t] indexes into Words[r][c] — the program-counter ROM
+	// that regenerates the II-cycle stream from unique words (§V).
+	Schedule [][][]int
+	II       int
+}
+
+// Encode produces the configuration-memory image: per PE the deduplicated
+// instruction words plus the schedule ROM, exactly the storage scheme the
+// paper describes ("HiMap keeps unique instructions in the configuration
+// memory of each CGRA PE ... PE program counters generate the instruction
+// stream").
+func Encode(cfg *Config) (*Bitstream, error) {
+	a := cfg.CGRA
+	bs := &Bitstream{II: cfg.II}
+	bs.Words = make([][][][]byte, a.Rows)
+	bs.Schedule = make([][][]int, a.Rows)
+	for r := 0; r < a.Rows; r++ {
+		bs.Words[r] = make([][][]byte, a.Cols)
+		bs.Schedule[r] = make([][]int, a.Cols)
+		for c := 0; c < a.Cols; c++ {
+			index := map[string]int{}
+			bs.Schedule[r][c] = make([]int, cfg.II)
+			for t := 0; t < cfg.II; t++ {
+				w, err := EncodeInstr(&cfg.Slots[r][c][t])
+				if err != nil {
+					return nil, fmt.Errorf("PE(%d,%d) slot %d: %v", r, c, t, err)
+				}
+				key := string(w)
+				idx, ok := index[key]
+				if !ok {
+					idx = len(bs.Words[r][c])
+					index[key] = idx
+					bs.Words[r][c] = append(bs.Words[r][c], w)
+				}
+				bs.Schedule[r][c][t] = idx
+			}
+			if len(bs.Words[r][c]) > a.ConfigDepth {
+				return nil, fmt.Errorf("PE(%d,%d): %d words exceed configuration depth %d",
+					r, c, len(bs.Words[r][c]), a.ConfigDepth)
+			}
+		}
+	}
+	return bs, nil
+}
+
+// Decode reconstructs a configuration from the image (without the
+// simulation-only memory tags and provenance comments).
+func (bs *Bitstream) Decode(a CGRA) (*Config, error) {
+	cfg := NewConfig(a, bs.II)
+	for r := 0; r < a.Rows; r++ {
+		for c := 0; c < a.Cols; c++ {
+			for t := 0; t < bs.II; t++ {
+				in, err := DecodeInstr(bs.Words[r][c][bs.Schedule[r][c][t]])
+				if err != nil {
+					return nil, err
+				}
+				cfg.Slots[r][c][t] = *in
+			}
+		}
+	}
+	return cfg, nil
+}
+
+// TotalBytes returns the image size: words plus the schedule ROM
+// (ceil(log2(words)) bits per slot, byte-rounded per PE).
+func (bs *Bitstream) TotalBytes() int {
+	total := 0
+	for r := range bs.Words {
+		for c := range bs.Words[r] {
+			total += len(bs.Words[r][c]) * WordBytes
+			bits := 1
+			for 1<<bits < len(bs.Words[r][c]) {
+				bits++
+			}
+			total += (bs.II*bits + 7) / 8
+		}
+	}
+	return total
+}
+
+// MaxWordsPerPE returns the deepest per-PE configuration memory use.
+func (bs *Bitstream) MaxWordsPerPE() int {
+	max := 0
+	for r := range bs.Words {
+		for c := range bs.Words[r] {
+			if n := len(bs.Words[r][c]); n > max {
+				max = n
+			}
+		}
+	}
+	return max
+}

@@ -1,0 +1,77 @@
+package arch
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// configJSON is the serialized form of a mapping: the architecture, the
+// schedule, and the memory correlation metadata, with a format version
+// for forward compatibility.
+type configJSON struct {
+	Version int        `json:"version"`
+	CGRA    CGRA       `json:"cgra"`
+	II      int        `json:"ii"`
+	Slots   [][][]Instr `json:"slots"`
+	Loads   []IOSpec   `json:"loads,omitempty"`
+	Stores  []IOSpec   `json:"stores,omitempty"`
+}
+
+// configFormatVersion is bumped on breaking schema changes.
+const configFormatVersion = 1
+
+// WriteJSON serializes the configuration.
+func (cfg *Config) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(configJSON{
+		Version: configFormatVersion,
+		CGRA:    cfg.CGRA,
+		II:      cfg.II,
+		Slots:   cfg.Slots,
+		Loads:   cfg.Loads,
+		Stores:  cfg.Stores,
+	})
+}
+
+// ReadJSON deserializes a configuration and validates it.
+func ReadJSON(r io.Reader) (*Config, error) {
+	var cj configJSON
+	if err := json.NewDecoder(r).Decode(&cj); err != nil {
+		return nil, fmt.Errorf("arch: decoding configuration: %v", err)
+	}
+	if cj.Version != configFormatVersion {
+		return nil, fmt.Errorf("arch: configuration format version %d, want %d", cj.Version, configFormatVersion)
+	}
+	if err := cj.CGRA.Validate(); err != nil {
+		return nil, err
+	}
+	if cj.II < 1 {
+		return nil, fmt.Errorf("arch: II = %d", cj.II)
+	}
+	if len(cj.Slots) != cj.CGRA.Rows {
+		return nil, fmt.Errorf("arch: %d slot rows for a %d-row array", len(cj.Slots), cj.CGRA.Rows)
+	}
+	for r, row := range cj.Slots {
+		if len(row) != cj.CGRA.Cols {
+			return nil, fmt.Errorf("arch: row %d has %d columns, want %d", r, len(row), cj.CGRA.Cols)
+		}
+		for c, stream := range row {
+			if len(stream) != cj.II {
+				return nil, fmt.Errorf("arch: PE(%d,%d) stream length %d, want II %d", r, c, len(stream), cj.II)
+			}
+		}
+	}
+	cfg := &Config{
+		CGRA:   cj.CGRA,
+		II:     cj.II,
+		Slots:  cj.Slots,
+		Loads:  cj.Loads,
+		Stores: cj.Stores,
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}

@@ -1,0 +1,56 @@
+package arch
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"himap/internal/ir"
+)
+
+func jsonSample() *Config {
+	cfg := NewConfig(Default(2, 2), 2)
+	in := cfg.At(0, 0, 0)
+	in.Op = ir.OpMul
+	in.SrcA = FromIn(West)
+	in.SrcB = FromConst(3)
+	in.OutSel[East] = FromALU()
+	in.RegWr = []RegWrite{{Reg: 1, Src: FromALU()}}
+	in.MemRead = MemOp{Active: true, Tag: "A@0,0"}
+	cfg.Loads = []IOSpec{{R: 0, C: 0, Slot: 0, Phase: -1, Tensor: "A", Index: []int{0, 0}}}
+	cfg.Stores = []IOSpec{{R: 1, C: 1, Slot: 1, Tensor: "O", Index: []int{1}}}
+	return cfg
+}
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg := jsonSample()
+	var buf bytes.Buffer
+	if err := cfg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.II != cfg.II || got.CGRA != cfg.CGRA {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if got.At(0, 0, 0).String() != cfg.At(0, 0, 0).String() {
+		t.Errorf("slot mismatch: %q vs %q", got.At(0, 0, 0).String(), cfg.At(0, 0, 0).String())
+	}
+	if len(got.Loads) != 1 || got.Loads[0].Phase != -1 || len(got.Stores) != 1 {
+		t.Errorf("metadata mismatch: %+v / %+v", got.Loads, got.Stores)
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Error("wrong version should fail")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"version":1,"cgra":{"Rows":2,"Cols":2,"NumRegs":4,"RFReadPorts":2,"RFWritePorts":2,"ConfigDepth":32,"DataMemWords":64,"ClockMHz":510},"ii":2,"slots":[]}`)); err == nil {
+		t.Error("shape mismatch should fail")
+	}
+}

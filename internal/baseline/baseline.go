@@ -1,0 +1,508 @@
+// Package baseline implements a conventional flat DFG → MRRG CGRA mapper,
+// standing in for the paper's "Best of HyCUBE & CGRA-ME" (BHC) baseline:
+// simulated-annealing placement over (cycle, PE) slots of the fully
+// unrolled block DFG, followed by PathFinder-style negotiated routing,
+// with initiation-interval escalation on failure.
+//
+// Like the published baselines it inherits their scalability wall: the
+// joint placement space grows with |V_D| × |MRRG|, so mapping quality and
+// compile time degrade rapidly beyond a few hundred DFG nodes (§VI:
+// "BHC fails to find a solution when the number of DFG nodes is higher
+// than 400 due to scalability issues"). MaxNodes models that wall
+// explicitly; TimeBudget models the paper's 3-day timeout.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"himap/internal/arch"
+	"himap/internal/ir"
+	"himap/internal/kernel"
+	"himap/internal/mrrg"
+	"himap/internal/route"
+)
+
+// Options tunes the baseline mapper.
+type Options struct {
+	MaxNodes   int           // hard DFG size wall (default 400)
+	MaxII      int           // II escalation bound (default 32, the config depth)
+	Seed       int64         // SA seed
+	SAMoves    int           // SA moves per II attempt; 0 = auto (scales with DFG²)
+	TimeBudget time.Duration // overall wall-clock budget; 0 = unlimited
+	RouteRound int           // negotiated congestion rounds (default 6)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 400
+	}
+	if o.MaxII == 0 {
+		o.MaxII = 32
+	}
+	if o.RouteRound == 0 {
+		o.RouteRound = 6
+	}
+	return o
+}
+
+// Result is a completed baseline mapping.
+type Result struct {
+	Kernel      *kernel.Kernel
+	CGRA        arch.CGRA
+	Block       []int
+	II          int
+	Config      *arch.Config
+	Utilization float64
+	Time        time.Duration
+	SAMoves     int
+}
+
+// Summary renders a one-line description.
+func (r *Result) Summary() string {
+	return fmt.Sprintf("%s on %s (baseline): block %v, II %d, U = %.1f%%",
+		r.Kernel.Name, r.CGRA, r.Block, r.II, r.Utilization*100)
+}
+
+// ErrTooLarge is returned when the DFG exceeds the scalability wall.
+type ErrTooLarge struct{ Nodes, Max int }
+
+func (e ErrTooLarge) Error() string {
+	return fmt.Sprintf("baseline: DFG with %d nodes exceeds the mapper's %d-node scalability wall", e.Nodes, e.Max)
+}
+
+// ErrTimeout is returned when the time budget expires.
+type ErrTimeout struct{ Budget time.Duration }
+
+func (e ErrTimeout) Error() string {
+	return fmt.Sprintf("baseline: time budget %v exhausted without a valid mapping", e.Budget)
+}
+
+type place struct {
+	T, R, C int
+}
+
+// Compile maps the kernel's block DFG onto the CGRA.
+func Compile(k *kernel.Kernel, cg arch.CGRA, block []int, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	deadline := time.Time{}
+	if opts.TimeBudget > 0 {
+		deadline = start.Add(opts.TimeBudget)
+	}
+	// Reject oversized blocks before materializing the DFG: the body-op
+	// count per iteration is a lower bound on nodes, and huge blocks
+	// (e.g. TTM at b=64: 16.7M iterations) would otherwise allocate tens
+	// of gigabytes only to be refused.
+	if lower := ir.BoxSize(block) * len(k.Body); lower > opts.MaxNodes {
+		return nil, ErrTooLarge{Nodes: lower, Max: opts.MaxNodes}
+	}
+	d, err := k.BuildDFG(block)
+	if err != nil {
+		return nil, err
+	}
+	if len(d.Nodes) > opts.MaxNodes {
+		return nil, ErrTooLarge{Nodes: len(d.Nodes), Max: opts.MaxNodes}
+	}
+	ncomp := d.NumCompute()
+	nfu := ncomp // routes occupy FUs as moves in a conventional mapping
+	nload, nstore := 0, 0
+	for _, n := range d.Nodes {
+		switch n.Kind {
+		case ir.OpLoad:
+			nload++
+		case ir.OpStore:
+			nstore++
+		case ir.OpRoute:
+			nfu++
+		}
+	}
+	pes := cg.NumPEs()
+	mii := (nfu + pes - 1) / pes
+	if m2 := (nload + pes - 1) / pes; m2 > mii {
+		mii = m2
+	}
+	if m3 := (nstore + pes - 1) / pes; m3 > mii {
+		mii = m3
+	}
+	if mii < 1 {
+		mii = 1
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed + int64(len(d.Nodes))))
+	totalMoves := 0
+	var lastErr error
+	for ii := mii; ii <= opts.MaxII; ii++ {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return nil, ErrTimeout{Budget: opts.TimeBudget}
+		}
+		moves := opts.SAMoves
+		if moves == 0 {
+			// SA effort grows quadratically with problem size — the
+			// super-linear compile-time behaviour of Fig. 8.
+			moves = 1500*len(d.Nodes) + 2*len(d.Nodes)*len(d.Nodes)
+		}
+		pl, ok := anneal(d, cg, ii, moves, rng, deadline)
+		totalMoves += moves
+		if !ok {
+			lastErr = fmt.Errorf("placement infeasible at II %d", ii)
+			continue
+		}
+		cfg, err := routeAndEmit(d, cg, ii, pl, opts.RouteRound)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return &Result{
+			Kernel: k, CGRA: cg, Block: block, II: ii,
+			Config:      cfg,
+			Utilization: float64(ncomp) / float64(pes*ii),
+			Time:        time.Since(start),
+			SAMoves:     totalMoves,
+		}, nil
+	}
+	if !deadline.IsZero() && time.Now().After(deadline) {
+		return nil, ErrTimeout{Budget: opts.TimeBudget}
+	}
+	return nil, fmt.Errorf("baseline: no valid mapping up to II %d for %s on %s (last: %v)", opts.MaxII, k.Name, cg, lastErr)
+}
+
+// slotKey identifies a capacity-1 placement slot: FU / mem-read /
+// mem-write of one PE at one wrapped cycle.
+type slotKey struct {
+	kind    uint8 // 0 FU, 1 mem read, 2 mem write
+	r, c, t int
+}
+
+func slotOf(n *ir.Node, p place, ii int) slotKey {
+	k := uint8(0)
+	switch n.Kind {
+	case ir.OpLoad:
+		k = 1
+	case ir.OpStore:
+		k = 2
+	}
+	return slotKey{kind: k, r: p.R, c: p.C, t: ((p.T % ii) + ii) % ii}
+}
+
+// anneal performs simulated annealing over joint (time, PE) placements.
+// It returns a placement with zero hard violations, or ok=false.
+func anneal(d *ir.DFG, cg arch.CGRA, ii, moves int, rng *rand.Rand, deadline time.Time) ([]place, bool) {
+	order, err := d.TopoOrder()
+	if err != nil {
+		return nil, false
+	}
+	// ASAP levels give the initial schedule and the move window.
+	asap := make([]int, len(d.Nodes))
+	for _, id := range order {
+		for _, ei := range d.InEdges(id) {
+			e := d.Edges[ei]
+			if asap[e.From]+1 > asap[id] {
+				asap[id] = asap[e.From] + 1
+			}
+		}
+	}
+	span := 0
+	for _, l := range asap {
+		if l > span {
+			span = l
+		}
+	}
+	window := span + 2*ii + 2
+
+	pl := make([]place, len(d.Nodes))
+	occ := map[slotKey]int{}
+	for _, id := range order {
+		n := d.Nodes[id]
+		// Greedy: earliest feasible slot on the least-loaded PE near parents.
+		bestR, bestC := rng.Intn(cg.Rows), rng.Intn(cg.Cols)
+		if ins := d.InEdges(id); len(ins) > 0 {
+			p := pl[d.Edges[ins[0]].From]
+			bestR, bestC = p.R, p.C
+		}
+		t := asap[id]
+		p := place{T: t, R: bestR, C: bestC}
+		for tries := 0; tries < 4*ii; tries++ {
+			if occ[slotOf(n, p, ii)] == 0 {
+				break
+			}
+			p.T++
+		}
+		pl[id] = p
+		occ[slotOf(n, p, ii)]++
+	}
+
+	cost := func(id int) float64 {
+		n := d.Nodes[id]
+		c := 0.0
+		p := pl[id]
+		if k := slotOf(n, p, ii); occ[k] > 1 {
+			c += 1000 * float64(occ[k]-1)
+		}
+		for _, ei := range d.InEdges(id) {
+			e := d.Edges[ei]
+			pp := pl[e.From]
+			dist := absInt(pp.R-p.R) + absInt(pp.C-p.C)
+			need := dist
+			if need == 0 {
+				need = 1
+			}
+			dt := p.T - pp.T
+			if dt < need {
+				c += 1000 * float64(need-dt)
+			} else {
+				c += float64(dist) + 0.2*float64(dt-need)
+			}
+		}
+		for _, ei := range d.OutEdges(id) {
+			e := d.Edges[ei]
+			cp := pl[e.To]
+			dist := absInt(cp.R-p.R) + absInt(cp.C-p.C)
+			need := dist
+			if need == 0 {
+				need = 1
+			}
+			dt := cp.T - p.T
+			if dt < need {
+				c += 1000 * float64(need-dt)
+			} else {
+				c += float64(dist) + 0.2*float64(dt-need)
+			}
+		}
+		return c
+	}
+
+	// feasible reports whether the placement has zero hard violations —
+	// the SA's early-exit condition (burning the full move budget after
+	// feasibility would only polish wirelength).
+	feasible := func() bool {
+		for _, id := range order {
+			if occ[slotOf(d.Nodes[id], pl[id], ii)] > 1 {
+				return false
+			}
+			p := pl[id]
+			for _, ei := range d.InEdges(id) {
+				e := d.Edges[ei]
+				pp := pl[e.From]
+				dist := absInt(pp.R-p.R) + absInt(pp.C-p.C)
+				need := dist
+				if need == 0 {
+					need = 1
+				}
+				if p.T-pp.T < need {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	temp := 60.0
+	decay := math.Pow(0.02/temp, 1/float64(moves+1))
+	for mv := 0; mv < moves; mv++ {
+		if mv%4096 == 0 && !deadline.IsZero() && time.Now().After(deadline) {
+			return nil, false
+		}
+		id := rng.Intn(len(d.Nodes))
+		n := d.Nodes[id]
+		old := pl[id]
+		oldCost := cost(id)
+		nt := asap[id] + rng.Intn(window-asap[id])
+		np := place{T: nt, R: rng.Intn(cg.Rows), C: rng.Intn(cg.Cols)}
+		occ[slotOf(n, old, ii)]--
+		pl[id] = np
+		occ[slotOf(n, np, ii)]++
+		newCost := cost(id)
+		dc := newCost - oldCost
+		if dc > 0 && rng.Float64() >= math.Exp(-dc/temp) {
+			occ[slotOf(n, np, ii)]--
+			pl[id] = old
+			occ[slotOf(n, old, ii)]++
+		}
+		temp *= decay
+	}
+	if !feasible() {
+		return pl, false
+	}
+	return pl, true
+}
+
+// routeAndEmit performs detailed routing of every DFG edge over the MRRG
+// and emits the validated configuration.
+func routeAndEmit(d *ir.DFG, cg arch.CGRA, ii int, pl []place, rounds int) (*arch.Config, error) {
+	g := mrrg.New(cg, ii)
+	placeNode := func(id int) mrrg.Node {
+		n := d.Nodes[id]
+		p := pl[id]
+		switch n.Kind {
+		case ir.OpLoad:
+			return g.MemReadNode(p.T, p.R, p.C)
+		case ir.OpStore:
+			return g.MemWriteNode(p.T, p.R, p.C)
+		default:
+			return g.FUNode(p.T, p.R, p.C)
+		}
+	}
+	ses := route.NewSession(g)
+	order, _ := d.TopoOrder()
+
+	var nets []*route.Net
+	netOf := make([]*route.Net, len(d.Nodes))
+	routeAll := func() error {
+		for _, id := range order {
+			n := d.Nodes[id]
+			if n.Kind == ir.OpStore || len(d.OutEdges(id)) == 0 {
+				continue
+			}
+			net := ses.NewNet(placeNode(id))
+			netOf[id] = net
+			nets = append(nets, net)
+			for _, ei := range d.OutEdges(id) {
+				e := d.Edges[ei]
+				to := d.Nodes[e.To]
+				var targets []mrrg.Node
+				if to.Kind == ir.OpStore {
+					targets = []mrrg.Node{placeNode(e.To)}
+				} else {
+					cp := pl[e.To]
+					targets = g.OperandTargets(cp.T, cp.R, cp.C)
+				}
+				if _, _, err := ses.RouteSink(net, targets); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	for _, id := range order {
+		if d.Nodes[id].Kind == ir.OpStore {
+			continue // the producer's routed path claims the write port
+		}
+		ses.Reserve(placeNode(id))
+	}
+	ok := false
+	for round := 0; round < rounds; round++ {
+		for _, net := range nets {
+			ses.Release(net)
+		}
+		nets = nets[:0]
+		if err := routeAll(); err != nil {
+			return nil, err
+		}
+		if ses.BumpHistory(nets) == 0 {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return nil, fmt.Errorf("baseline: routing congestion unresolved at II %d", ii)
+	}
+
+	cfg := arch.NewConfig(cg, ii)
+	em := route.NewEmitter(cfg)
+	for _, id := range order {
+		n := d.Nodes[id]
+		tag := fmt.Sprintf("n%d", id)
+		pn := placeNode(id)
+		switch {
+		case n.Kind.IsCompute():
+			if err := em.PlaceOp(pn, n.Kind, tag); err != nil {
+				return nil, err
+			}
+			if n.HasConst {
+				if err := em.SetConstOperand(pn, n.Const, tag+":const"); err != nil {
+					return nil, err
+				}
+			}
+		case n.Kind == ir.OpRoute:
+			// A conventional mapper has no routing pseudo-ops: data
+			// propagation occupies an FU as a move (add #0).
+			if err := em.PlaceOp(pn, ir.OpAdd, tag); err != nil {
+				return nil, err
+			}
+			if err := em.SetConstOperand(pn, 0, tag+":mov"); err != nil {
+				return nil, err
+			}
+		case n.Kind == ir.OpLoad:
+			if err := em.PlaceLoad(pn, tag, n.Tensor); err != nil {
+				return nil, err
+			}
+			cfg.Loads = append(cfg.Loads, arch.IOSpec{
+				R: pn.R, C: pn.C,
+				Slot:   ((pn.T % ii) + ii) % ii,
+				Phase:  floorDiv(pn.T, ii),
+				Tensor: n.Tensor, Index: append([]int(nil), n.Index...),
+			})
+		}
+	}
+	for _, id := range order {
+		net := netOf[id]
+		if net == nil {
+			continue
+		}
+		tag := fmt.Sprintf("n%d", id)
+		outs := d.OutEdges(id)
+		for i, path := range net.Paths {
+			e := d.Edges[outs[i]]
+			to := d.Nodes[e.To]
+			storeElem := ""
+			if to.Kind == ir.OpStore {
+				storeElem = fmt.Sprintf("%s@%s", to.Tensor, to.Index.Key())
+				last := path[len(path)-1]
+				cfg.Stores = append(cfg.Stores, arch.IOSpec{
+					R: last.R, C: last.C,
+					Slot:   ((last.T % ii) + ii) % ii,
+					Phase:  floorDiv(last.T, ii),
+					Tensor: to.Tensor, Index: append([]int(nil), to.Index...),
+				})
+			}
+			if err := em.EmitPath(path, tag, storeElem); err != nil {
+				return nil, err
+			}
+			if to.Kind.IsCompute() || to.Kind == ir.OpRoute {
+				if err := em.SetOperand(placeNode(e.To), e.ToPort, path, tag); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// LargestFeasibleBlock returns the biggest uniform block size whose DFG
+// stays under the node wall — how a user would drive the baseline on a
+// large CGRA (§VI: "BHC maps the small DFG keeping the block size small").
+func LargestFeasibleBlock(k *kernel.Kernel, maxNodes, cap int) int {
+	best := 0
+	for b := k.MinBlock; b <= cap; b++ {
+		d, err := k.BuildDFG(k.UniformBlock(b))
+		if err != nil {
+			continue
+		}
+		if len(d.Nodes) > maxNodes {
+			break
+		}
+		best = b
+	}
+	if best == 0 {
+		best = k.MinBlock
+	}
+	return best
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func floorDiv(t, m int) int {
+	w := ((t % m) + m) % m
+	return (t - w) / m
+}

@@ -1,0 +1,297 @@
+package himap
+
+import (
+	"fmt"
+	"time"
+
+	"himap/internal/arch"
+	"himap/internal/ir"
+	"himap/internal/kernel"
+	"himap/internal/systolic"
+)
+
+// Options tunes the compilation flow.
+type Options struct {
+	// InnerBlock is the extent of loop dimensions sequenced purely in
+	// time (b3..bl of §V, "a user input to the HiMap algorithm").
+	// Default 4.
+	InnerBlock int
+	// DepthSlack is how many extra sub-CGRA time depths MAP explores
+	// beyond the resource minimum (fallbacks with more routing slack).
+	// Default 2.
+	DepthSlack int
+	// MaxSubMaps bounds how many sub-CGRA mappings step 2/3 iterate over.
+	// Default 8.
+	MaxSubMaps int
+	// MaxSchemes bounds how many systolic schemes are tried per sub-CGRA
+	// mapping. Default 6.
+	MaxSchemes int
+	// MaxRouteRounds bounds the negotiated-congestion rounds of step 3.
+	// Default 8.
+	MaxRouteRounds int
+	// ForceScheme pins the space-time mapping (H,S is an input in
+	// Algorithm 1; by default it is found by the heuristic search).
+	ForceScheme *systolic.Scheme
+	// RelayPolicy selects how route pseudo-ops are anchored to resources
+	// (see internal/himap/routegen.go). The default RelayAuto uses
+	// crossbar output registers for cross-PE relays and the memory read
+	// port for load-fed relays; RelayRegistersOnly forces every relay
+	// through the register file — the ablation showing why the crossbar
+	// relays matter for reaching 100% utilization.
+	RelayPolicy RelayPolicy
+}
+
+// RelayPolicy selects the relay-pin strategy (ablation knob).
+type RelayPolicy uint8
+
+const (
+	// RelayAuto: crossbar output-register pins for cross-PE relays,
+	// memory-port pins for load-fed relays, registers otherwise.
+	RelayAuto RelayPolicy = iota
+	// RelayRegistersOnly: every relay pinned to an RF register.
+	RelayRegistersOnly
+)
+
+func (o Options) withDefaults() Options {
+	if o.InnerBlock == 0 {
+		o.InnerBlock = 4
+	}
+	if o.DepthSlack == 0 {
+		o.DepthSlack = 2
+	}
+	if o.MaxSubMaps == 0 {
+		o.MaxSubMaps = 8
+	}
+	if o.MaxSchemes == 0 {
+		o.MaxSchemes = 6
+	}
+	if o.MaxRouteRounds == 0 {
+		o.MaxRouteRounds = 8
+	}
+	return o
+}
+
+// Result is a complete HiMap mapping.
+type Result struct {
+	Kernel *kernel.Kernel
+	CGRA   arch.CGRA
+
+	Sub     *SubMapping
+	Scheme  systolic.Scheme
+	Mapping *systolic.Mapping
+	Block   []int
+	IIB     int
+
+	DFG  *ir.DFG
+	ISDG *ir.ISDG
+	CP   *ClusterPlace
+
+	UniqueIters int
+	// Classes are the unique iteration classes; ByCluster maps each ISDG
+	// cluster to its class index (Figure 2's numbered unique iterations).
+	Classes   []*UniqueClass
+	ByCluster []int
+	Config    *arch.Config
+
+	// Utilization U = |V_D| / |V_H^F| (compute nodes over FU slots).
+	Utilization float64
+
+	Stats Stats
+}
+
+// Stats records compilation effort.
+type Stats struct {
+	MapTime       time.Duration // step 1 (IDFG → sub-CGRA)
+	PlaceTime     time.Duration // step 2 (ISDG → VSA)
+	RouteTime     time.Duration // step 3 canonical routing
+	ReplicateTime time.Duration // step 3 replication + validation
+	Total         time.Duration
+	Attempts      int // (sub-mapping, scheme) pairs tried
+	CanonicalNets int
+	RouteRounds   int
+}
+
+// Compile maps the kernel onto the CGRA with the HiMap algorithm and
+// returns the first valid mapping, iterating sub-CGRA mappings in
+// decreasing utilization (Algorithm 1's outer loop) and systolic schemes
+// in increasing cost until routing and replication succeed.
+func Compile(k *kernel.Kernel, cg arch.CGRA, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := cg.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	f, err := k.GenericIDFG()
+	if err != nil {
+		return nil, err
+	}
+	mapStart := time.Now()
+	subs := MapIDFG(f, cg, opts.DepthSlack)
+	mapTime := time.Since(mapStart)
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("himap: no valid IDFG → sub-CGRA mapping for %s on %s", k.Name, cg)
+	}
+	if len(subs) > opts.MaxSubMaps {
+		subs = subs[:opts.MaxSubMaps]
+	}
+
+	deps := k.DistanceVectors()
+	attempts := 0
+	var lastErr error
+	for _, sub := range subs {
+		vx, vy := cg.Rows/sub.S1, cg.Cols/sub.S2
+		schemes := candidateSchemes(k, deps, vx, vy, opts)
+		for _, sch := range schemes {
+			attempts++
+			res, err := tryScheme(k, cg, f, sub, sch, vx, vy, opts)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			res.Stats.MapTime = mapTime
+			res.Stats.Attempts = attempts
+			res.Stats.Total = time.Since(start)
+			return res, nil
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no valid systolic scheme")
+	}
+	return nil, fmt.Errorf("himap: compilation of %s on %s failed after %d attempts: %v", k.Name, cg, attempts, lastErr)
+}
+
+// candidateSchemes enumerates systolic schemes compatible with the VSA
+// shape, ranked by the systolic search.
+func candidateSchemes(k *kernel.Kernel, deps []ir.IterVec, vx, vy int, opts Options) []systolic.Scheme {
+	if opts.ForceScheme != nil {
+		return []systolic.Scheme{*opts.ForceScheme}
+	}
+	want := 2
+	if vy == 1 || k.Dim == 1 {
+		want = 1
+	}
+	probe := k.UniformBlock(3)
+	cands := systolic.Search(deps, probe, want)
+	var out []systolic.Scheme
+	for _, c := range cands {
+		if len(out) >= opts.MaxSchemes {
+			break
+		}
+		out = append(out, c.Scheme)
+	}
+	return out
+}
+
+// blockForScheme derives the block sizes: space dimensions take the VSA
+// extents (line 6: b1 = c/s1, b2 = c/s2); remaining dimensions take the
+// user's inner block, and pinned dimensions keep their pins.
+func blockForScheme(k *kernel.Kernel, sch systolic.Scheme, vx, vy int, opts Options) ([]int, error) {
+	block := make([]int, k.Dim)
+	for d := 0; d < k.Dim; d++ {
+		block[d] = opts.InnerBlock
+		if d < len(k.FixedBlock) && k.FixedBlock[d] > 0 {
+			block[d] = k.FixedBlock[d]
+		}
+	}
+	ext := []int{vx, vy}
+	for i, d := range sch.SpaceDims {
+		if d < len(k.FixedBlock) && k.FixedBlock[d] > 0 && k.FixedBlock[d] != ext[i] {
+			return nil, fmt.Errorf("himap: scheme maps pinned dim %d to a VSA axis of extent %d", d, ext[i])
+		}
+		block[d] = ext[i]
+	}
+	min := k.MinBlock
+	if min == 0 {
+		min = 1
+	}
+	for d, b := range block {
+		if d < len(k.FixedBlock) && k.FixedBlock[d] > 0 {
+			continue
+		}
+		if b < min {
+			return nil, fmt.Errorf("himap: block dim %d = %d below minimum %d", d, b, min)
+		}
+	}
+	return block, nil
+}
+
+// tryScheme executes steps 2 and 3 for one (sub-CGRA mapping, scheme)
+// pair.
+func tryScheme(k *kernel.Kernel, cg arch.CGRA, f *ir.IDFG, sub *SubMapping,
+	sch systolic.Scheme, vx, vy int, opts Options) (*Result, error) {
+	placeStart := time.Now()
+	block, err := blockForScheme(k, sch, vx, vy, opts)
+	if err != nil {
+		return nil, err
+	}
+	m := sch.Realize(block)
+	if err := m.Validate(k.DistanceVectors()); err != nil {
+		return nil, err
+	}
+	gx, gy := m.VSAShape()
+	if gx > vx || gy > vy {
+		return nil, fmt.Errorf("himap: scheme needs VSA %dx%d, have %dx%d", gx, gy, vx, vy)
+	}
+
+	dfg, isdg, err := k.BuildISDG(block)
+	if err != nil {
+		return nil, err
+	}
+	// AddForwardingPath (lines 14-17).
+	fdfg, err := ApplyForwarding(dfg, isdg, m)
+	if err != nil {
+		return nil, err
+	}
+	if fdfg != dfg {
+		dfg = fdfg
+		isdg, err = ir.BuildISDG(dfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	cp := PlaceClusters(isdg, m)
+	classes, byClust := IdentifyUnique(isdg, cp)
+	placeTime := time.Since(placeStart)
+
+	iib := sub.Depth * m.IIS
+	lay := &layout{
+		cg: cg, g: isdg, cp: cp, sub: sub, iib: iib,
+		classes: classes, byClust: byClust,
+		ix:     buildNodeIndex(isdg),
+		policy: opts.RelayPolicy,
+	}
+	routeStart := time.Now()
+	cfg, rstats, err := routeAndReplicate(lay, opts.MaxRouteRounds)
+	routeTime := time.Since(routeStart)
+	if err != nil {
+		return nil, err
+	}
+
+	util := float64(dfg.NumCompute()) / float64(cg.NumPEs()*iib)
+	return &Result{
+		Kernel: k, CGRA: cg,
+		Sub: sub, Scheme: sch, Mapping: m,
+		Block: block, IIB: iib,
+		DFG: dfg, ISDG: isdg, CP: cp,
+		UniqueIters: len(classes),
+		Classes:     classes,
+		ByCluster:   byClust,
+		Config:      cfg,
+		Utilization: util,
+		Stats: Stats{
+			PlaceTime:     placeTime,
+			RouteTime:     routeTime - rstats.ReplicateTime,
+			ReplicateTime: rstats.ReplicateTime,
+			CanonicalNets: rstats.CanonicalNets,
+			RouteRounds:   rstats.Rounds,
+		},
+	}, nil
+}
+
+// Summary renders a one-line result description.
+func (r *Result) Summary() string {
+	return fmt.Sprintf("%s on %s: block %v, sub-CGRA (%d,%d,%d), II_B %d, %d unique iters, U = %.1f%%",
+		r.Kernel.Name, r.CGRA, r.Block, r.Sub.S1, r.Sub.S2, r.Sub.Depth, r.IIB,
+		r.UniqueIters, r.Utilization*100)
+}

@@ -1,0 +1,105 @@
+package himap
+
+import (
+	"fmt"
+
+	"himap/internal/ir"
+	"himap/internal/systolic"
+)
+
+// fwdBodyOpBase is the encoding base for forwarding pseudo route nodes.
+// Each distinct (producer body op, unit step) chain role gets a stable
+// negative body-op identifier so unique-iteration signatures recognize
+// equivalent relays across clusters.
+const fwdBodyOpBase = 3000
+
+// ApplyForwarding implements AddForwardingPath (Algorithm 1 lines 14-17):
+// every DFG edge whose iteration distance maps to a multi-hop space-time
+// offset under the systolic mapping is broken into a chain of single-hop
+// steps through pseudo route nodes added to the intermediate iterations.
+// It returns the original DFG unchanged when no dependence needs
+// forwarding, or a rebuilt DFG otherwise. An error means the kernel has
+// no valid replication-friendly systolic mapping (§V's Floyd-Warshall
+// impossibility discussion).
+func ApplyForwarding(d *ir.DFG, g *ir.ISDG, m *systolic.Mapping) (*ir.DFG, error) {
+	needs := false
+	for _, dv := range g.DistanceVectors() {
+		switch m.Classify(dv) {
+		case systolic.DepForward:
+			needs = true
+		case systolic.DepInvalid:
+			return nil, fmt.Errorf("himap: dependence %v invalid under %v", dv, m)
+		}
+	}
+	if !needs {
+		return d, nil
+	}
+
+	nd := ir.NewDFG(d.Block)
+	idMap := make([]int, len(d.Nodes))
+	for _, n := range d.Nodes {
+		nn := nd.AddNode(ir.Node{
+			Kind: n.Kind, Name: n.Name, BodyOp: n.BodyOp, Iter: n.Iter,
+			Tensor: n.Tensor, Index: n.Index, Const: n.Const, HasConst: n.HasConst,
+		})
+		idMap[n.ID] = nn.ID
+	}
+
+	// Stable chain-role identifiers: (producer body op, unit step) → id.
+	roleIDs := map[string]int{}
+	roleOf := func(prodBodyOp int, e ir.IterVec) int {
+		key := fmt.Sprintf("%d|%s", prodBodyOp, e.Key())
+		id, ok := roleIDs[key]
+		if !ok {
+			id = -(fwdBodyOpBase + len(roleIDs))
+			roleIDs[key] = id
+		}
+		return id
+	}
+	// Relay nodes already created: (producer node, step) → new node ID.
+	relays := map[string]int{}
+
+	for _, edge := range d.Edges {
+		from, to := d.Nodes[edge.From], d.Nodes[edge.To]
+		cf, ct := g.ClusterOf(edge.From), g.ClusterOf(edge.To)
+		var dist ir.IterVec
+		if cf != ct {
+			dist = to.Iter.Sub(from.Iter)
+		}
+		if cf == ct || m.Classify(dist) != systolic.DepForward {
+			nd.AddEdge(idMap[edge.From], idMap[edge.To], edge.ToPort)
+			continue
+		}
+		e, steps, err := m.ForwardStep(dist)
+		if err != nil {
+			return nil, err
+		}
+		role := roleOf(from.BodyOp, e)
+		prev := idMap[edge.From]
+		for s := 1; s < steps; s++ {
+			key := fmt.Sprintf("%d|%s|%d", edge.From, e.Key(), s)
+			relay, ok := relays[key]
+			if !ok {
+				iter := from.Iter.Clone()
+				for r := 0; r < s; r++ {
+					iter = iter.Add(e)
+				}
+				rn := nd.AddNode(ir.Node{
+					Kind:   ir.OpRoute,
+					Name:   fmt.Sprintf("fwd.%s", from.Name),
+					BodyOp: role,
+					Iter:   iter,
+				})
+				relay = rn.ID
+				relays[key] = relay
+				nd.AddEdge(prev, relay, 0)
+			}
+			prev = relay
+		}
+		nd.AddEdge(prev, idMap[edge.To], edge.ToPort)
+	}
+	if err := nd.Validate(); err != nil {
+		return nil, fmt.Errorf("himap: forwarding transform produced invalid DFG: %v", err)
+	}
+	return nd, nil
+}

@@ -1,0 +1,648 @@
+package himap
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"himap/internal/arch"
+	"himap/internal/ir"
+	"himap/internal/mrrg"
+	"himap/internal/route"
+)
+
+// layout bundles everything step 3 needs: the placed ISDG, the sub-CGRA
+// mapping, and the derived geometry.
+type layout struct {
+	cg      arch.CGRA
+	g       *ir.ISDG
+	cp      *ClusterPlace
+	sub     *SubMapping
+	iib     int
+	classes []*UniqueClass
+	byClust []int
+	ix      *nodeIndex
+
+	// pinRel[classIdx][bodyOp] is the region-relative relay resource
+	// pinned for a route node (deterministic, so replication is
+	// self-consistent even for chains within one class).
+	pinRel []map[int]RelPlaceReg
+	// loadRel[classIdx][bodyOp] holds the chosen memory-read slots of
+	// boundary loads (loads absent from the generic IDFG).
+	loadRel []map[int]RelPlace
+	// policy is the relay-pin ablation knob (see Options.RelayPolicy).
+	policy RelayPolicy
+}
+
+// RelPlaceReg is a region-relative relay resource for route pins: either
+// a register of the anchor PE (Out false) or an output register of a
+// neighboring PE pointed at the anchor (Out true) — the classic systolic
+// in→out crossbar forwarding, which costs no RF ports.
+type RelPlaceReg struct {
+	T, R, C int
+	Reg     uint8
+	Out     bool
+	Dir     arch.Dir
+	// Mem marks a transparent pin: the route node's producer is a load in
+	// the same cluster, so the value is available at the load's memory
+	// read port (which can feed the ALU and the crossbar directly, with no
+	// RF traffic). T/R/C then hold only the anchor used for load slotting.
+	Mem bool
+}
+
+// regionBase returns the absolute origin of a cluster's space-time
+// region: (CP.t × depth, CP.x × s1, CP.y × s2) — the placement formula of
+// Algorithm 1 line 13 (the modulo-II_B wrap is applied at stamping).
+func (l *layout) regionBase(ci int) (t, r, c int) {
+	return l.cp.T[ci] * l.sub.Depth, l.cp.X[ci] * l.sub.S1, l.cp.Y[ci] * l.sub.S2
+}
+
+// nodeAbs returns the absolute placement of a node whose body op was
+// placed by MAP (computes and generic loads).
+func (l *layout) nodeAbs(id int) (mrrg.Node, bool) {
+	n := l.g.DFG.Nodes[id]
+	rel, ok := l.sub.Rel[n.BodyOp]
+	if !ok {
+		return mrrg.Node{}, false
+	}
+	bt, br, bc := l.regionBase(l.g.ClusterOf(id))
+	cl := mrrg.ClassFU
+	if rel.Kind == PlaceMemRead {
+		cl = mrrg.ClassMemRead
+	}
+	return mrrg.Node{T: bt + rel.T, R: br + rel.R, C: bc + rel.C, Class: cl}, true
+}
+
+// loadAbs returns the absolute memory-read slot of a boundary load.
+func (l *layout) loadAbs(id int) (mrrg.Node, bool) {
+	ci := l.g.ClusterOf(id)
+	rel, ok := l.loadRel[l.byClust[ci]][l.g.DFG.Nodes[id].BodyOp]
+	if !ok {
+		return mrrg.Node{}, false
+	}
+	bt, br, bc := l.regionBase(ci)
+	return mrrg.Node{T: bt + rel.T, R: br + rel.R, C: bc + rel.C, Class: mrrg.ClassMemRead}, true
+}
+
+// pinAbs returns the absolute pinned relay resource of a route node.
+func (l *layout) pinAbs(id int) (mrrg.Node, bool) {
+	ci := l.g.ClusterOf(id)
+	pin, ok := l.pinRel[l.byClust[ci]][l.g.DFG.Nodes[id].BodyOp]
+	if !ok {
+		return mrrg.Node{}, false
+	}
+	if pin.Mem {
+		// Resolve the producing load of this route instance.
+		ins := l.g.DFG.InEdges(id)
+		if len(ins) == 0 {
+			return mrrg.Node{}, false
+		}
+		prod := l.g.DFG.Edges[ins[0]].From
+		if abs, ok := l.nodeAbs(prod); ok {
+			return abs, true
+		}
+		return l.loadAbs(prod)
+	}
+	bt, br, bc := l.regionBase(ci)
+	if pin.Out {
+		return mrrg.Node{T: bt + pin.T, R: br + pin.R, C: bc + pin.C, Class: mrrg.ClassOut, Idx: uint8(pin.Dir)}, true
+	}
+	return mrrg.Node{T: bt + pin.T, R: br + pin.R, C: bc + pin.C, Class: mrrg.ClassReg, Idx: pin.Reg}, true
+}
+
+// computePins chooses the relay register of every route node class:
+// anchored at its first placed intra-cluster consumer (or the region
+// origin), with a register index rotating over the cluster's route ops.
+func (l *layout) computePins() {
+	l.pinRel = make([]map[int]RelPlaceReg, len(l.classes))
+	for idx, cl := range l.classes {
+		pins := map[int]RelPlaceReg{}
+		rep := l.g.Clusters[cl.Rep]
+		// Stable ordering of route body ops within the cluster.
+		var routeOps []int
+		seen := map[int]bool{}
+		for _, id := range rep.Nodes {
+			n := l.g.DFG.Nodes[id]
+			if n.Kind == ir.OpRoute && !seen[n.BodyOp] {
+				seen[n.BodyOp] = true
+				routeOps = append(routeOps, n.BodyOp)
+			}
+		}
+		sort.Ints(routeOps)
+		regOf := map[int]uint8{}
+		for i, bo := range routeOps {
+			regOf[bo] = uint8(i % l.cg.NumRegs)
+		}
+		for _, id := range rep.Nodes {
+			n := l.g.DFG.Nodes[id]
+			if n.Kind != ir.OpRoute {
+				continue
+			}
+			if _, done := pins[n.BodyOp]; done {
+				continue
+			}
+			// Anchor: earliest placed consumer within this cluster.
+			anchor := RelPlace{T: 0, R: 0, C: 0}
+			found := false
+			for _, ei := range l.g.DFG.OutEdges(id) {
+				to := l.g.DFG.Edges[ei].To
+				if l.g.ClusterOf(to) != rep.ID {
+					continue
+				}
+				if rel, ok := l.sub.Rel[l.g.DFG.Nodes[to].BodyOp]; ok {
+					if !found || rel.T < anchor.T {
+						anchor = rel
+						found = true
+					}
+				}
+			}
+			pins[n.BodyOp] = l.choosePin(rep, id, anchor, regOf[n.BodyOp])
+		}
+		l.pinRel[idx] = pins
+	}
+}
+
+// choosePin selects the relay resource of a route node: when its value
+// arrives from another PE, the producer-side output register pointed at
+// the anchor (crossbar forwarding, no RF traffic — the classic systolic
+// dataflow); otherwise a register of the anchor PE.
+func (l *layout) choosePin(rep *ir.Cluster, id int, anchor RelPlace, reg uint8) RelPlaceReg {
+	regPin := RelPlaceReg{T: anchor.T, R: anchor.R, C: anchor.C, Reg: reg}
+	if l.policy == RelayRegistersOnly {
+		return regPin
+	}
+	ins := l.g.DFG.InEdges(id)
+	if len(ins) == 0 {
+		return regPin
+	}
+	prod := l.g.DFG.Edges[ins[0]].From
+	pc := l.g.ClusterOf(prod)
+	if pc == rep.ID {
+		if l.g.DFG.Nodes[prod].Kind == ir.OpLoad {
+			// Transparent pin: relay straight off the memory read port.
+			return RelPlaceReg{T: anchor.T, R: anchor.R, C: anchor.C, Mem: true}
+		}
+		return regPin
+	}
+	dxr := l.cp.X[pc] - l.cp.X[rep.ID]
+	dyr := l.cp.Y[pc] - l.cp.Y[rep.ID]
+	nR, nC := anchor.R, anchor.C
+	var dir arch.Dir
+	switch {
+	case dxr < 0:
+		nR, dir = anchor.R-1, arch.South
+	case dxr > 0:
+		nR, dir = anchor.R+1, arch.North
+	case dyr < 0:
+		nC, dir = anchor.C-1, arch.East
+	case dyr > 0:
+		nC, dir = anchor.C+1, arch.West
+	default:
+		return regPin // same-PE time dependence: hold in the RF
+	}
+	// The neighbor must exist on the array for the representative (and by
+	// signature equality, for every member).
+	_, br, bc := l.regionBase(rep.ID)
+	if !l.cg.InBounds(br+nR, bc+nC) {
+		return regPin
+	}
+	return RelPlaceReg{T: anchor.T - 1, R: nR, C: nC, Out: true, Dir: dir}
+}
+
+// canonSink is one sink of a canonical net, with everything replication
+// needs to translate it onto a class member.
+type canonSink struct {
+	ConsumerBody  int
+	ConsumerDIter ir.IterVec // consumer.Iter - source-cluster rep.Iter
+	Port          int
+	Kind          ir.OpKind
+	Path          route.Path
+}
+
+// canonNet is one canonically-routed signal of a class representative.
+type canonNet struct {
+	SrcID    int // DFG node ID in the rep cluster
+	SrcBody  int
+	SrcDIter ir.IterVec // source.Iter - rep.Iter (zero: source in rep)
+	Src      mrrg.Node
+	Sinks    []canonSink
+	net      *route.Net
+}
+
+// RouteStats reports step-3 effort, demonstrating the block-size
+// independence of the canonical routing work.
+type RouteStats struct {
+	UniqueIters   int
+	CanonicalNets int
+	Rounds        int
+	ReplicateTime time.Duration
+}
+
+// routeAndReplicate performs Algorithm 1 lines 21-29: routes the minimal
+// DFG — one canonical net per (unique class, producer op) — under
+// negotiated congestion, then replicates placements and routes to every
+// cluster, emitting the final configuration with conflict detection.
+func routeAndReplicate(l *layout, maxRounds int) (*arch.Config, RouteStats, error) {
+	g := mrrg.New(l.cg, l.iib)
+	ses := route.NewSession(g)
+	stats := RouteStats{UniqueIters: len(l.classes)}
+	l.computePins()
+	l.loadRel = make([]map[int]RelPlace, len(l.classes))
+	for i := range l.loadRel {
+		l.loadRel[i] = map[int]RelPlace{}
+	}
+
+	var plans [][]canonNet
+	var roundErr error
+	for round := 0; round < maxRounds; round++ {
+		stats.Rounds = round + 1
+		ses.ResetKeepHistory()
+		for i := range l.loadRel {
+			l.loadRel[i] = map[int]RelPlace{}
+		}
+		plans = plans[:0]
+		roundErr = nil
+
+		// Reserve every cluster's fixed placements (FUs and generic loads).
+		for _, n := range l.g.DFG.Nodes {
+			if abs, ok := l.nodeAbs(n.ID); ok {
+				ses.Reserve(abs)
+			}
+		}
+
+		var allNets []*route.Net
+		for classIdx, cl := range l.classes {
+			nets, err := l.routeClass(ses, g, classIdx, cl)
+			if err != nil {
+				roundErr = fmt.Errorf("class %d (rep %v): %v", classIdx, l.g.Clusters[cl.Rep].Iter, err)
+				break
+			}
+			plans = append(plans, nets)
+			for i := range nets {
+				allNets = append(allNets, nets[i].net)
+			}
+			// Charge the replicas of this class (routes and boundary-load
+			// slots) so later classes see the real congestion.
+			rep := cl.Rep
+			bt, br, bc := l.regionBase(rep)
+			for _, m := range cl.Members {
+				if m == rep {
+					continue
+				}
+				mt, mr, mc := l.regionBase(m)
+				dt, dr, dc := mt-bt, mr-br, mc-bc
+				for i := range nets {
+					ses.ChargeShifted(nets[i].net, dt, dr, dc)
+				}
+				for _, lr := range l.loadRel[classIdx] {
+					ses.Reserve(mrrg.Node{T: mt + lr.T, R: mr + lr.R, C: mc + lr.C, Class: mrrg.ClassMemRead})
+				}
+			}
+		}
+		if roundErr != nil {
+			// Escalate costs where the failure occurred and retry.
+			if ses.BumpHistory(allNets) == 0 {
+				return nil, stats, roundErr
+			}
+			continue
+		}
+		if over := ses.OversubscribedIn(allNets); len(over) > 0 {
+			ses.BumpHistory(allNets)
+			show := over
+			if len(show) > 4 {
+				show = show[:4]
+			}
+			roundErr = fmt.Errorf("himap: %d resources oversubscribed (e.g. %v)", len(over), show)
+			continue
+		}
+		break
+	}
+	if roundErr != nil {
+		return nil, stats, roundErr
+	}
+	for _, nets := range plans {
+		stats.CanonicalNets += len(nets)
+	}
+
+	repStart := time.Now()
+	cfg, err := l.replicate(plans)
+	stats.ReplicateTime = time.Since(repStart)
+	if err != nil {
+		return nil, stats, err
+	}
+	return cfg, stats, nil
+}
+
+// classEnvelope returns the spatial window (in the representative's
+// coordinates) that stays on-array under every member's translation: a
+// canonical path confined to it can be replicated verbatim everywhere.
+func (l *layout) classEnvelope(cl *UniqueClass) (rMin, rMax, cMin, cMax int) {
+	bt, br, bc := l.regionBase(cl.Rep)
+	_ = bt
+	drMin, drMax, dcMin, dcMax := 0, 0, 0, 0
+	for _, m := range cl.Members {
+		_, mr, mc := l.regionBase(m)
+		dr, dc := mr-br, mc-bc
+		if dr < drMin {
+			drMin = dr
+		}
+		if dr > drMax {
+			drMax = dr
+		}
+		if dc < dcMin {
+			dcMin = dc
+		}
+		if dc > dcMax {
+			dcMax = dc
+		}
+	}
+	return -drMin, l.cg.Rows - 1 - drMax, -dcMin, l.cg.Cols - 1 - dcMax
+}
+
+// routeClass routes the canonical nets of one class representative.
+func (l *layout) routeClass(ses *route.Session, g *mrrg.Graph, classIdx int, cl *UniqueClass) ([]canonNet, error) {
+	d := l.g.DFG
+	rep := l.g.Clusters[cl.Rep]
+	rMin, rMax, cMin, cMax := l.classEnvelope(cl)
+	inEnv := func(n mrrg.Node) bool {
+		return n.R >= rMin && n.R <= rMax && n.C >= cMin && n.C <= cMax
+	}
+	ses.Filter = inEnv
+	defer func() { ses.Filter = nil }()
+	filterTargets := func(ts []mrrg.Node) []mrrg.Node {
+		out := ts[:0]
+		for _, n := range ts {
+			if inEnv(n) {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+
+	// Choose memory slots for boundary loads first (they act as sources).
+	for _, id := range rep.Nodes {
+		n := d.Nodes[id]
+		if n.Kind != ir.OpLoad {
+			continue
+		}
+		if _, generic := l.sub.Rel[n.BodyOp]; generic {
+			continue
+		}
+		if err := l.chooseBoundaryLoad(ses, classIdx, id); err != nil {
+			return nil, err
+		}
+	}
+
+	var nets []canonNet
+	for _, id := range rep.Nodes {
+		n := d.Nodes[id]
+		if len(d.OutEdges(id)) == 0 {
+			continue
+		}
+		var src mrrg.Node
+		switch {
+		case n.Kind.IsCompute():
+			src, _ = l.nodeAbs(id)
+		case n.Kind == ir.OpLoad:
+			if abs, ok := l.nodeAbs(id); ok {
+				src = abs
+			} else if abs, ok := l.loadAbs(id); ok {
+				src = abs
+			} else {
+				return nil, fmt.Errorf("himap: load %v has no placement", n)
+			}
+		case n.Kind == ir.OpRoute:
+			pin, ok := l.pinAbs(id)
+			if !ok {
+				return nil, fmt.Errorf("himap: route %v has no pin", n)
+			}
+			src = pin
+		default:
+			continue // stores have no out-edges
+		}
+		cn := canonNet{
+			SrcID: id, SrcBody: n.BodyOp,
+			SrcDIter: n.Iter.Sub(rep.Iter),
+			Src:      src,
+			net:      ses.NewNet(src),
+		}
+		for _, ei := range d.OutEdges(id) {
+			e := d.Edges[ei]
+			to := d.Nodes[e.To]
+			var targets []mrrg.Node
+			switch {
+			case to.Kind.IsCompute():
+				abs, ok := l.nodeAbs(e.To)
+				if !ok {
+					return nil, fmt.Errorf("himap: consumer %v unplaced", to)
+				}
+				targets = filterTargets(g.OperandTargets(abs.T, abs.R, abs.C))
+			case to.Kind == ir.OpRoute:
+				pin, ok := l.pinAbs(e.To)
+				if !ok {
+					return nil, fmt.Errorf("himap: route consumer %v has no pin", to)
+				}
+				targets = []mrrg.Node{pin}
+			case to.Kind == ir.OpStore:
+				targets = filterTargets(l.storeTargets(g, e.To, src.T))
+			default:
+				return nil, fmt.Errorf("himap: bad consumer kind %v", to.Kind)
+			}
+			if len(targets) == 0 {
+				return nil, fmt.Errorf("himap: no replicable delivery for %s -> %s (class envelope too tight)", n.Name, to.Name)
+			}
+			path, _, err := ses.RouteSink(cn.net, targets)
+			if err != nil {
+				return nil, fmt.Errorf("net %s -> %s: %v", n.Name, to.Name, err)
+			}
+			cn.Sinks = append(cn.Sinks, canonSink{
+				ConsumerBody:  to.BodyOp,
+				ConsumerDIter: to.Iter.Sub(rep.Iter),
+				Port:          e.ToPort,
+				Kind:          to.Kind,
+				Path:          path,
+			})
+		}
+		nets = append(nets, cn)
+	}
+	return nets, nil
+}
+
+// storeTargets returns candidate memory write ports for a store node: any
+// cycle of its cluster's region window at or after the producer.
+func (l *layout) storeTargets(g *mrrg.Graph, id int, fromT int) []mrrg.Node {
+	ci := l.g.ClusterOf(id)
+	bt, br, bc := l.regionBase(ci)
+	var out []mrrg.Node
+	lo := fromT
+	if bt > lo {
+		lo = bt
+	}
+	for t := lo; t < lo+2*l.sub.Depth; t++ {
+		for r := br; r < br+l.sub.S1; r++ {
+			for c := bc; c < bc+l.sub.S2; c++ {
+				out = append(out, g.MemWriteNode(t, r, c))
+			}
+		}
+	}
+	return out
+}
+
+// chooseBoundaryLoad picks a memory-read slot for a load that has no
+// generic relative placement: on its first consumer's PE, at the latest
+// free cycle not after the consumer.
+func (l *layout) chooseBoundaryLoad(ses *route.Session, classIdx, id int) error {
+	d := l.g.DFG
+	n := d.Nodes[id]
+	ci := l.g.ClusterOf(id)
+	bt, br, bc := l.regionBase(ci)
+	// Anchor on the first consumer.
+	consT, consR, consC := bt, br, bc
+	slack := 0
+	for _, ei := range d.OutEdges(id) {
+		to := d.Edges[ei].To
+		tn := d.Nodes[to]
+		if abs, ok := l.nodeAbs(to); ok {
+			consT, consR, consC = abs.T, abs.R, abs.C
+			break
+		}
+		if tn.Kind == ir.OpRoute {
+			pinRel, ok := l.pinRel[classIdx][tn.BodyOp]
+			if ok && pinRel.Mem {
+				// Transparent pin: the load itself is the relay; schedule it
+				// at the route's anchor so the ALU can consume FromMem.
+				bt2, br2, bc2 := l.regionBase(ci)
+				consT, consR, consC = bt2+pinRel.T, br2+pinRel.R, bc2+pinRel.C
+				break
+			}
+			if pin, ok2 := l.pinAbs(to); ok2 {
+				consT, consR, consC = pin.T, pin.R, pin.C
+				slack = 1 // reaching a register pin takes at least one cycle
+				break
+			}
+		}
+	}
+	// Negative real cycles wrap into the previous schedule period — in
+	// steady state the load simply issues during the preceding block's
+	// window (classic software pipelining).
+	for back := slack; back < 3*l.sub.Depth; back++ {
+		t := consT - back
+		mr := mrrg.Node{T: t, R: consR, C: consC, Class: mrrg.ClassMemRead}
+		if ses.Occ(mr) > 0 {
+			continue
+		}
+		ses.Reserve(mr)
+		l.loadRel[classIdx][n.BodyOp] = RelPlace{T: t - bt, R: consR - br, C: consC - bc, Kind: PlaceMemRead}
+		return nil
+	}
+	return fmt.Errorf("himap: no memory-read slot for boundary load %v", n)
+}
+
+// replicate stamps every class's canonical placements and routes onto all
+// of its member clusters (Algorithm 1 line 29), with full conflict
+// detection, and validates the resulting configuration.
+func (l *layout) replicate(plans [][]canonNet) (*arch.Config, error) {
+	cfg := arch.NewConfig(l.cg, l.iib)
+	em := route.NewEmitter(cfg)
+	d := l.g.DFG
+
+	// Stamp operation placements for every cluster.
+	for _, n := range d.Nodes {
+		tag := fmt.Sprintf("n%d", n.ID)
+		switch {
+		case n.Kind.IsCompute():
+			abs, _ := l.nodeAbs(n.ID)
+			if err := em.PlaceOp(abs, n.Kind, tag); err != nil {
+				return nil, err
+			}
+			if n.HasConst {
+				if err := em.SetConstOperand(abs, n.Const, tag+":const"); err != nil {
+					return nil, err
+				}
+			}
+		case n.Kind == ir.OpLoad:
+			abs, ok := l.nodeAbs(n.ID)
+			if !ok {
+				abs, ok = l.loadAbs(n.ID)
+				if !ok {
+					return nil, fmt.Errorf("himap: load %v unplaced at replication", n)
+				}
+			}
+			elem := fmt.Sprintf("%s@%s", n.Tensor, n.Index.Key())
+			if err := em.PlaceLoad(abs, tag, elem); err != nil {
+				return nil, err
+			}
+			cfg.Loads = append(cfg.Loads, arch.IOSpec{
+				R: abs.R, C: abs.C,
+				Slot:   wrapMod(abs.T, l.iib),
+				Phase:  floorDiv(abs.T, l.iib),
+				Tensor: n.Tensor,
+				Index:  append([]int(nil), n.Index...),
+			})
+		}
+	}
+
+	// Stamp canonical routes, translated to every member.
+	for classIdx, cl := range l.classes {
+		rep := l.g.Clusters[cl.Rep]
+		for _, m := range cl.Members {
+			mc := l.g.Clusters[m]
+			dt := (l.cp.T[m] - l.cp.T[cl.Rep]) * l.sub.Depth
+			dr := (l.cp.X[m] - l.cp.X[cl.Rep]) * l.sub.S1
+			dc := (l.cp.Y[m] - l.cp.Y[cl.Rep]) * l.sub.S2
+			dIter := mc.Iter.Sub(rep.Iter)
+			for _, cn := range plans[classIdx] {
+				srcID, ok := l.ix.Find(cn.SrcBody, rep.Iter.Add(dIter).Add(cn.SrcDIter))
+				if !ok {
+					return nil, fmt.Errorf("himap: replication cannot find source (body %d) for member %v", cn.SrcBody, mc.Iter)
+				}
+				tag := fmt.Sprintf("n%d", srcID)
+				for _, sink := range cn.Sinks {
+					shifted := make(route.Path, len(sink.Path))
+					for i, pn := range sink.Path {
+						shifted[i] = pn.Shifted(dt, dr, dc)
+					}
+					consID, ok := l.ix.Find(sink.ConsumerBody, rep.Iter.Add(dIter).Add(sink.ConsumerDIter))
+					if !ok {
+						return nil, fmt.Errorf("himap: replication cannot find consumer (body %d) for member %v", sink.ConsumerBody, mc.Iter)
+					}
+					storeElem := ""
+					if sink.Kind == ir.OpStore {
+						sn := d.Nodes[consID]
+						storeElem = fmt.Sprintf("%s@%s", sn.Tensor, sn.Index.Key())
+						last := shifted[len(shifted)-1]
+						cfg.Stores = append(cfg.Stores, arch.IOSpec{
+							R: last.R, C: last.C,
+							Slot:   wrapMod(last.T, l.iib),
+							Phase:  floorDiv(last.T, l.iib),
+							Tensor: sn.Tensor,
+							Index:  append([]int(nil), sn.Index...),
+						})
+					}
+					if err := em.EmitPath(shifted, tag, storeElem); err != nil {
+						return nil, fmt.Errorf("himap: replication conflict (class %d member %v): %v", classIdx, mc.Iter, err)
+					}
+					if sink.Kind.IsCompute() {
+						abs, _ := l.nodeAbs(consID)
+						if err := em.SetOperand(abs, sink.Port, shifted, tag); err != nil {
+							return nil, fmt.Errorf("himap: operand conflict (class %d member %v): %v", classIdx, mc.Iter, err)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("himap: replicated configuration invalid: %v", err)
+	}
+	return cfg, nil
+}
+
+// wrapMod folds t into [0, m).
+func wrapMod(t, m int) int { return ((t % m) + m) % m }
+
+// floorDiv is floor(t / m) for positive m.
+func floorDiv(t, m int) int {
+	return (t - wrapMod(t, m)) / m
+}

@@ -1,0 +1,456 @@
+// Package himap implements the paper's primary contribution: the
+// hierarchical HiMap mapping algorithm (Algorithm 1). The three steps are
+//
+//  1. IDFG → sub-CGRA mapping (MAP, this file): place one iteration's
+//     operations on candidate sub-CGRA shapes (s1 × s2, time depth t),
+//     maximizing sub-CGRA utilization;
+//  2. ISDG → VSA mapping (compile.go + internal/systolic): place the
+//     iteration clusters on the Virtual Systolic Array with the (H,S)
+//     space-time transformation, inserting forwarding paths for multi-hop
+//     dependencies;
+//  3. unique-iteration identification, minimal-DFG routing, and
+//     replication (unique.go, routegen.go).
+package himap
+
+import (
+	"fmt"
+	"sort"
+
+	"himap/internal/arch"
+	"himap/internal/ir"
+	"himap/internal/mrrg"
+	"himap/internal/route"
+)
+
+// PlaceKind distinguishes the resource class of a relative placement.
+type PlaceKind uint8
+
+const (
+	PlaceFU PlaceKind = iota
+	PlaceMemRead
+)
+
+// RelPlace is a placement relative to a sub-CGRA: a slot within
+// [0, Depth) × [0, S1) × [0, S2).
+type RelPlace struct {
+	T, R, C int
+	Kind    PlaceKind
+}
+
+// SubMapping is one valid IDFG → sub-CGRA mapping φ” returned by MAP().
+type SubMapping struct {
+	S1, S2, Depth int
+	// Rel maps a body-op identifier (including the synthesized load
+	// encodings of the kernel package) to its relative placement.
+	Rel  map[int]RelPlace
+	Util float64 // compute ops / (S1·S2·Depth)
+}
+
+func (m *SubMapping) String() string {
+	return fmt.Sprintf("sub-CGRA (%d,%d,%d) util %.0f%%", m.S1, m.S2, m.Depth, m.Util*100)
+}
+
+func divisors(n int) []int {
+	var out []int
+	for d := 1; d <= n; d++ {
+		if n%d == 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// MapIDFG implements the MAP() function of Algorithm 1 (lines 30-46): it
+// enumerates rectangular sub-CGRA shapes (s1, s2) that evenly cluster the
+// target CGRA and time depths t starting at the resource minimum, maps
+// the generic IDFG onto each time-extended sub-CGRA with the
+// negotiated-congestion heuristic, and returns every successful mapping
+// sorted by utilization (line 4).
+//
+// depthSlack is the number of extra time depths tried beyond the resource
+// minimum; the lower-utilization mappings it produces are the fallbacks
+// step 3 reaches for when routing the highest-utilization mapping
+// congests (§VI's ADI/BiCG/FW discussion).
+func MapIDFG(f *ir.IDFG, cg arch.CGRA, depthSlack int) []*SubMapping {
+	ncomp := f.NumCompute()
+	if ncomp == 0 {
+		return nil
+	}
+	var out []*SubMapping
+	for _, s1 := range divisors(cg.Rows) {
+		if s1 > ncomp {
+			continue
+		}
+		for _, s2 := range divisors(cg.Cols) {
+			if s1*s2 > ncomp {
+				continue
+			}
+			t0 := (ncomp + s1*s2 - 1) / (s1 * s2)
+			for t := t0; t <= t0+depthSlack; t++ {
+				if t > cg.ConfigDepth {
+					break
+				}
+				m, err := tryPlaceIDFG(f, cg, s1, s2, t)
+				if err != nil {
+					continue
+				}
+				out = append(out, m)
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Util != b.Util {
+			return a.Util > b.Util
+		}
+		if a.S1*a.S2 != b.S1*b.S2 {
+			return a.S1*a.S2 < b.S1*b.S2
+		}
+		if a.Depth != b.Depth {
+			return a.Depth < b.Depth
+		}
+		return a.S1 < b.S1
+	})
+	return out
+}
+
+// subArch builds the sub-CGRA architecture G” of §IV.
+func subArch(cg arch.CGRA, s1, s2 int) arch.CGRA {
+	a := cg
+	a.Rows, a.Cols = s1, s2
+	return a
+}
+
+// tryPlaceIDFG attempts the heuristic placement-and-routing of the IDFG
+// on one time-extended sub-CGRA (lines 33-45): compute ops on FU slots by
+// least accumulated routing cost from their placed parents, loads on
+// memory read ports adjacent to their consumers, with SPR-style cost
+// escalation rounds until no resource is oversubscribed.
+func tryPlaceIDFG(f *ir.IDFG, cg arch.CGRA, s1, s2, depth int) (*SubMapping, error) {
+	sub := subArch(cg, s1, s2)
+	g := mrrg.NewAcyclic(sub, depth)
+	ses := route.NewSession(g)
+	ses.MaxVisits = 20000
+
+	d := f.DFG
+	inside := map[int]bool{}
+	for _, id := range f.Comp {
+		inside[id] = true
+	}
+	// Intra-iteration parents per node, restricted to compute/load parents
+	// (route-node inputs come from outside the iteration and are handled
+	// by step 3's inter-iteration routing).
+	parents := map[int][]ir.Edge{}
+	for _, e := range f.Inner {
+		if d.Nodes[e.From].Kind.IsCompute() || d.Nodes[e.From].Kind == ir.OpLoad {
+			parents[e.To] = append(parents[e.To], e)
+		}
+	}
+	// Topological order of the compute nodes within the cluster.
+	order := topoInside(f)
+
+	place := map[int]mrrg.Node{} // DFG node -> placement
+	var nets []*route.Net
+	netOf := map[int]*route.Net{}
+
+	routeEdge := func(e ir.Edge) error {
+		pn, ok := place[e.From]
+		if !ok {
+			return fmt.Errorf("himap: parent %d unplaced", e.From)
+		}
+		cn := place[e.To]
+		net := netOf[e.From]
+		if net == nil {
+			net = ses.NewNet(pn)
+			netOf[e.From] = net
+			nets = append(nets, net)
+		}
+		path, _, err := ses.RouteSink(net, g.OperandTargets(cn.T, cn.R, cn.C))
+		_ = path
+		return err
+	}
+
+	// Place compute nodes greedily by estimated cost, verify with real
+	// routing, backtracking over candidate slots.
+	for _, id := range order {
+		n := d.Nodes[id]
+		if !n.Kind.IsCompute() {
+			continue
+		}
+		type cand struct {
+			node mrrg.Node
+			est  float64
+		}
+		// Each memory-operand load needs its own memory-read cycle at or
+		// before the consumer; a node with m loads cannot sit earlier than
+		// cycle m-1.
+		memParents := 0
+		for _, e := range parents[id] {
+			if d.Nodes[e.From].Kind == ir.OpLoad {
+				memParents++
+			}
+		}
+		minT := memParents - 1
+		if minT < 0 {
+			minT = 0
+		}
+		var cands []cand
+		for tt := minT; tt < depth; tt++ {
+			for r := 0; r < s1; r++ {
+				for c := 0; c < s2; c++ {
+					fu := g.FUNode(tt, r, c)
+					if ses.Occ(fu) > 0 {
+						continue
+					}
+					est := float64(tt) * 0.05
+					feasible := true
+					for _, e := range parents[id] {
+						p := d.Nodes[e.From]
+						if !p.Kind.IsCompute() {
+							continue // loads placed later, adjacent
+						}
+						pp, ok := place[e.From]
+						if !ok {
+							continue
+						}
+						dist := absInt(pp.R-r) + absInt(pp.C-c)
+						lat := tt - pp.T
+						need := dist
+						if need == 0 {
+							need = 1 // same PE: must pass through the RF
+						}
+						if lat < need {
+							feasible = false
+							break
+						}
+						est += float64(dist) + float64(lat-need)*0.3
+					}
+					if !feasible {
+						continue
+					}
+					cands = append(cands, cand{fu, est})
+				}
+			}
+		}
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("himap: no feasible FU slot for %v on (%d,%d,%d)", n, s1, s2, depth)
+		}
+		sort.SliceStable(cands, func(i, j int) bool {
+			if cands[i].est != cands[j].est {
+				return cands[i].est < cands[j].est
+			}
+			return g.Key(cands[i].node) < g.Key(cands[j].node)
+		})
+		placed := false
+		for _, c := range cands {
+			ses.Reserve(c.node)
+			place[id] = c.node
+			ok := true
+			var added []ir.Edge
+			for _, e := range parents[id] {
+				if !d.Nodes[e.From].Kind.IsCompute() {
+					continue
+				}
+				if _, isPlaced := place[e.From]; !isPlaced {
+					continue
+				}
+				if err := routeEdge(e); err != nil {
+					ok = false
+					break
+				}
+				added = append(added, e)
+			}
+			if ok {
+				placed = true
+				break
+			}
+			// Back out: release this node's incoming nets entirely and retry.
+			_ = added
+			for _, e := range parents[id] {
+				if net := netOf[e.From]; net != nil {
+					ses.Release(net)
+					// Re-route the net's previously committed sinks.
+					// Simplest correct approach: rebuild below.
+				}
+			}
+			ses.Unreserve(c.node)
+			delete(place, id)
+			// Rebuild all routing from scratch (graphs are tiny).
+			if err := rerouteAll(ses, g, d, place, parents, netOf, &nets, order); err != nil {
+				return nil, err
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("himap: cannot place %v on (%d,%d,%d)", n, s1, s2, depth)
+		}
+	}
+
+	// Place loads next to their consumers.
+	for _, id := range order {
+		n := d.Nodes[id]
+		if n.Kind != ir.OpLoad {
+			continue
+		}
+		// Find the first consumer inside the cluster.
+		var cons mrrg.Node
+		found := false
+		for _, ei := range d.OutEdges(id) {
+			to := d.Edges[ei].To
+			if p, ok := place[to]; ok && inside[to] {
+				cons = p
+				found = true
+				break
+			}
+		}
+		if !found {
+			// Load feeding only route nodes / outside consumers: anchor at
+			// slot (0, 0, 0)'s memory port, first free cycle.
+			cons = g.FUNode(0, 0, 0)
+		}
+		placedLoad := false
+		for back := 0; back < depth; back++ {
+			tt := cons.T - back
+			if tt < 0 {
+				break
+			}
+			mr := g.MemReadNode(tt, cons.R, cons.C)
+			if ses.Occ(mr) > 0 {
+				continue
+			}
+			ses.Reserve(mr)
+			place[id] = mr
+			placedLoad = true
+			break
+		}
+		if !placedLoad {
+			return nil, fmt.Errorf("himap: no memory read slot for %v on (%d,%d,%d)", n, s1, s2, depth)
+		}
+	}
+	// Route load → consumer edges.
+	for _, id := range order {
+		if d.Nodes[id].Kind != ir.OpLoad {
+			continue
+		}
+		for _, ei := range d.OutEdges(id) {
+			e := d.Edges[ei]
+			if !inside[e.To] || !d.Nodes[e.To].Kind.IsCompute() {
+				continue
+			}
+			if err := routeEdge(e); err != nil {
+				return nil, fmt.Errorf("himap: load routing failed on (%d,%d,%d): %v", s1, s2, depth, err)
+			}
+		}
+	}
+
+	// Negotiated congestion: re-route with escalating history costs until
+	// clean or the round budget is exhausted (lines 35-45).
+	for round := 0; round < 10; round++ {
+		if ses.BumpHistory(nets) == 0 {
+			rel := map[int]RelPlace{}
+			for id, pn := range place {
+				kind := PlaceFU
+				if pn.Class == mrrg.ClassMemRead {
+					kind = PlaceMemRead
+				}
+				rel[d.Nodes[id].BodyOp] = RelPlace{T: pn.T, R: pn.R, C: pn.C, Kind: kind}
+			}
+			ncomp := f.NumCompute()
+			return &SubMapping{
+				S1: s1, S2: s2, Depth: depth,
+				Rel:  rel,
+				Util: float64(ncomp) / float64(s1*s2*depth),
+			}, nil
+		}
+		if err := rerouteAll(ses, g, d, place, parents, netOf, &nets, order); err != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("himap: congestion unresolved on (%d,%d,%d)", s1, s2, depth)
+}
+
+// rerouteAll rips up every net and re-routes all intra-iteration edges
+// between placed nodes, in deterministic order.
+func rerouteAll(ses *route.Session, g *mrrg.Graph, d *ir.DFG,
+	place map[int]mrrg.Node, parents map[int][]ir.Edge,
+	netOf map[int]*route.Net, nets *[]*route.Net, order []int) error {
+	for _, net := range *nets {
+		ses.Release(net)
+	}
+	*nets = (*nets)[:0]
+	for k := range netOf {
+		delete(netOf, k)
+	}
+	for _, id := range order {
+		for _, e := range parents[id] {
+			if _, ok := place[e.From]; !ok {
+				continue
+			}
+			if _, ok := place[e.To]; !ok {
+				continue
+			}
+			pn := place[e.From]
+			cn := place[e.To]
+			net := netOf[e.From]
+			if net == nil {
+				net = ses.NewNet(pn)
+				netOf[e.From] = net
+				*nets = append(*nets, net)
+			}
+			if _, _, err := ses.RouteSink(net, g.OperandTargets(cn.T, cn.R, cn.C)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// topoInside returns the cluster's node IDs in topological order of the
+// inner edges.
+func topoInside(f *ir.IDFG) []int {
+	d := f.DFG
+	inside := map[int]bool{}
+	for _, id := range f.Comp {
+		inside[id] = true
+	}
+	indeg := map[int]int{}
+	for _, id := range f.Comp {
+		indeg[id] = 0
+	}
+	for _, e := range f.Inner {
+		indeg[e.To]++
+	}
+	var queue []int
+	for _, id := range f.Comp {
+		if indeg[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+	sort.Ints(queue)
+	var order []int
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		var next []int
+		for _, ei := range d.OutEdges(id) {
+			to := d.Edges[ei].To
+			if !inside[to] {
+				continue
+			}
+			indeg[to]--
+			if indeg[to] == 0 {
+				next = append(next, to)
+			}
+		}
+		sort.Ints(next)
+		queue = append(queue, next...)
+	}
+	return order
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

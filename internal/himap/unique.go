@@ -1,0 +1,159 @@
+package himap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"himap/internal/ir"
+	"himap/internal/systolic"
+)
+
+// ClusterPlace holds the space-time positions CP of every iteration
+// cluster on the VSA (Algorithm 1 line 11).
+type ClusterPlace struct {
+	Mapping *systolic.Mapping
+	T, X, Y []int // indexed by cluster ID
+}
+
+// PlaceClusters applies the systolic mapping φ' to every ISDG cluster.
+func PlaceClusters(g *ir.ISDG, m *systolic.Mapping) *ClusterPlace {
+	cp := &ClusterPlace{
+		Mapping: m,
+		T:       make([]int, len(g.Clusters)),
+		X:       make([]int, len(g.Clusters)),
+		Y:       make([]int, len(g.Clusters)),
+	}
+	for _, c := range g.Clusters {
+		t, x, y := m.Place(c.Iter)
+		cp.T[c.ID], cp.X[c.ID], cp.Y[c.ID] = t, x, y
+	}
+	return cp
+}
+
+// UniqueClass groups iteration clusters that are identical in computation
+// and routing: same body operations, same constants/tensors, and the same
+// relative space-time placements of every dependency source and sink (§V,
+// "Two IDFGs are the same if the relative placements of all input and
+// output nodes of the IDFGs are the same").
+type UniqueClass struct {
+	Sig     string
+	Rep     int   // representative cluster ID (lowest)
+	Members []int // all cluster IDs, ascending
+}
+
+// IdentifyUnique computes the unique iteration classes of the placed ISDG
+// (Algorithm 1 lines 18-20). The returned classes are ordered by
+// representative cluster ID; byCluster maps every cluster to its class
+// index.
+func IdentifyUnique(g *ir.ISDG, cp *ClusterPlace) (classes []*UniqueClass, byCluster []int) {
+	bySig := map[string]*UniqueClass{}
+	byCluster = make([]int, len(g.Clusters))
+	for _, c := range g.Clusters {
+		sig := clusterSignature(g, cp, c.ID)
+		cl, ok := bySig[sig]
+		if !ok {
+			cl = &UniqueClass{Sig: sig, Rep: c.ID}
+			bySig[sig] = cl
+			classes = append(classes, cl)
+		}
+		cl.Members = append(cl.Members, c.ID)
+	}
+	sort.SliceStable(classes, func(i, j int) bool { return classes[i].Rep < classes[j].Rep })
+	for idx, cl := range classes {
+		for _, m := range cl.Members {
+			byCluster[m] = idx
+		}
+	}
+	return classes, byCluster
+}
+
+// clusterSignature renders the canonical identity string of a cluster:
+// node structure, constants, memory tensors, and the space-time *and*
+// iteration-space offsets of all cross-cluster edges. The iteration-space
+// offsets are included so that replication can locate each member's
+// corresponding producer/consumer nodes; they refine the paper's purely
+// space-time criterion only in the degenerate case where two distinct
+// iteration distances map to the same space-time offset.
+func clusterSignature(g *ir.ISDG, cp *ClusterPlace, ci int) string {
+	c := g.Clusters[ci]
+	d := g.DFG
+	var parts []string
+	for _, id := range c.Nodes {
+		n := d.Nodes[id]
+		tag := fmt.Sprintf("N:%d:%d", n.BodyOp, n.Kind)
+		if n.Kind.IsMemory() {
+			tag += ":" + n.Tensor
+		}
+		if n.HasConst {
+			tag += fmt.Sprintf(":c%d", n.Const)
+		}
+		parts = append(parts, tag)
+		for _, ei := range d.InEdges(id) {
+			e := d.Edges[ei]
+			from := d.Nodes[e.From]
+			fc := g.ClusterOf(e.From)
+			if fc == ci {
+				parts = append(parts, fmt.Sprintf("E:%d>%d.%d", from.BodyOp, n.BodyOp, e.ToPort))
+				continue
+			}
+			dt := cp.T[fc] - cp.T[ci]
+			dx := cp.X[fc] - cp.X[ci]
+			dy := cp.Y[fc] - cp.Y[ci]
+			di := from.Iter.Sub(c.Iter)
+			parts = append(parts, fmt.Sprintf("I:%d.%d<%d@%d,%d,%d@%s", n.BodyOp, e.ToPort, from.BodyOp, dt, dx, dy, di.Key()))
+		}
+		for _, ei := range d.OutEdges(id) {
+			e := d.Edges[ei]
+			to := d.Nodes[e.To]
+			tc := g.ClusterOf(e.To)
+			if tc == ci {
+				continue
+			}
+			dt := cp.T[tc] - cp.T[ci]
+			dx := cp.X[tc] - cp.X[ci]
+			dy := cp.Y[tc] - cp.Y[ci]
+			di := to.Iter.Sub(c.Iter)
+			parts = append(parts, fmt.Sprintf("O:%d>%d.%d@%d,%d,%d@%s", n.BodyOp, to.BodyOp, e.ToPort, dt, dx, dy, di.Key()))
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ";")
+}
+
+// nodeIndex locates cluster-member nodes by (body op, iteration),
+// supporting the translation of canonical routes onto class members.
+// Keys pack the body op and the iteration's lexicographic rank into one
+// integer — replication performs millions of lookups on large blocks.
+type nodeIndex struct {
+	g     *ir.ISDG
+	block []int
+	at    map[int64]int
+}
+
+const bodyOpBias = 1 << 20 // body ops are small (possibly negative) ints
+
+func buildNodeIndex(g *ir.ISDG) *nodeIndex {
+	ix := &nodeIndex{
+		g:     g,
+		block: g.DFG.Block,
+		at:    make(map[int64]int, len(g.DFG.Nodes)),
+	}
+	for _, n := range g.DFG.Nodes {
+		ix.at[ix.key(n.BodyOp, n.Iter)] = n.ID
+	}
+	return ix
+}
+
+func (ix *nodeIndex) key(bodyOp int, iter ir.IterVec) int64 {
+	return int64(bodyOp+bodyOpBias)<<32 | int64(ir.PointIndex(iter, ix.block))
+}
+
+// Find returns the node with the given body op at the given iteration.
+func (ix *nodeIndex) Find(bodyOp int, iter ir.IterVec) (int, bool) {
+	if !iter.InBox(ix.block) {
+		return 0, false
+	}
+	id, ok := ix.at[ix.key(bodyOp, iter)]
+	return id, ok
+}

@@ -1,0 +1,190 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is a vertex of the DFG: one operation instance of the fully
+// unrolled loop block.
+type Node struct {
+	ID     int
+	Kind   OpKind
+	Name   string  // body-op name, e.g. "mul1"; empty for synthesized nodes
+	BodyOp int     // index of the originating kernel body op; -1 if synthesized
+	Iter   IterVec // block-local iteration vector of the owning cluster
+	Tensor string  // OpLoad/OpStore: tensor name
+	Index  IterVec // OpLoad/OpStore: tensor element index
+	Const  int64   // immediate operand value when HasConst is set
+	// HasConst marks nodes whose second input port (port 1) is an
+	// immediate rather than a routed value.
+	HasConst bool
+}
+
+// IsBoundaryIO reports whether the node is a memory access synthesized at
+// the block boundary (as opposed to a body-op memory access).
+func (n *Node) IsBoundaryIO() bool { return n.Kind.IsMemory() && n.BodyOp < 0 }
+
+func (n *Node) String() string {
+	return fmt.Sprintf("n%d[%s %s@%s]", n.ID, n.Kind, n.Name, n.Iter)
+}
+
+// Edge is a data dependence between two DFG nodes. ToPort identifies the
+// consumer input port (0 or 1 for binary compute ops; 0 for route/store).
+type Edge struct {
+	From   int
+	To     int
+	ToPort int
+}
+
+// DFG is the Data-Flow Graph of one fully unrolled block of the kernel:
+// a directed acyclic graph whose vertices are operations and whose edges
+// are data dependencies (paper §IV, D = (V_D, E_D)).
+type DFG struct {
+	Nodes []*Node
+	Edges []Edge
+
+	Block []int // block sizes (b1, ..., bl) the DFG was unrolled for
+
+	outs [][]int // node ID -> indices into Edges
+	ins  [][]int
+}
+
+// NewDFG returns an empty DFG for the given block sizes.
+func NewDFG(block []int) *DFG {
+	b := make([]int, len(block))
+	copy(b, block)
+	return &DFG{Block: b}
+}
+
+// AddNode appends a node, assigning its ID, and returns it.
+func (d *DFG) AddNode(n Node) *Node {
+	n.ID = len(d.Nodes)
+	p := &n
+	d.Nodes = append(d.Nodes, p)
+	d.outs = append(d.outs, nil)
+	d.ins = append(d.ins, nil)
+	return p
+}
+
+// AddEdge appends a dependence edge from -> to at the given consumer port.
+func (d *DFG) AddEdge(from, to, port int) {
+	if from < 0 || from >= len(d.Nodes) || to < 0 || to >= len(d.Nodes) {
+		panic(fmt.Sprintf("ir: AddEdge out of range (%d -> %d, %d nodes)", from, to, len(d.Nodes)))
+	}
+	idx := len(d.Edges)
+	d.Edges = append(d.Edges, Edge{From: from, To: to, ToPort: port})
+	d.outs[from] = append(d.outs[from], idx)
+	d.ins[to] = append(d.ins[to], idx)
+}
+
+// OutEdges returns the indices (into d.Edges) of edges leaving node id.
+func (d *DFG) OutEdges(id int) []int { return d.outs[id] }
+
+// InEdges returns the indices (into d.Edges) of edges entering node id.
+func (d *DFG) InEdges(id int) []int { return d.ins[id] }
+
+// NumCompute returns |V_D| counted over compute nodes only, the numerator
+// of the utilization metric.
+func (d *DFG) NumCompute() int {
+	n := 0
+	for _, v := range d.Nodes {
+		if v.Kind.IsCompute() {
+			n++
+		}
+	}
+	return n
+}
+
+// TopoOrder returns node IDs in a topological order of the dependence
+// edges. It returns an error if the graph has a cycle.
+func (d *DFG) TopoOrder() ([]int, error) {
+	indeg := make([]int, len(d.Nodes))
+	for _, e := range d.Edges {
+		indeg[e.To]++
+	}
+	queue := make([]int, 0, len(d.Nodes))
+	for id := range d.Nodes {
+		if indeg[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+	order := make([]int, 0, len(d.Nodes))
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, ei := range d.outs[id] {
+			t := d.Edges[ei].To
+			indeg[t]--
+			if indeg[t] == 0 {
+				queue = append(queue, t)
+			}
+		}
+	}
+	if len(order) != len(d.Nodes) {
+		return nil, fmt.Errorf("ir: DFG has a dependence cycle (%d of %d nodes ordered)", len(order), len(d.Nodes))
+	}
+	return order, nil
+}
+
+// Validate checks structural invariants: edge endpoints in range, every
+// consumer port within the node's arity, each input port driven at most
+// once, non-constant compute ports driven exactly once, and acyclicity.
+func (d *DFG) Validate() error {
+	seen := make(map[[2]int]bool, len(d.Edges))
+	for _, e := range d.Edges {
+		if e.From < 0 || e.From >= len(d.Nodes) || e.To < 0 || e.To >= len(d.Nodes) {
+			return fmt.Errorf("ir: edge endpoint out of range: %+v", e)
+		}
+		to := d.Nodes[e.To]
+		if e.ToPort < 0 || e.ToPort >= to.Kind.Arity() {
+			return fmt.Errorf("ir: edge %v->%v port %d out of arity %d for %v",
+				e.From, e.To, e.ToPort, to.Kind.Arity(), to.Kind)
+		}
+		key := [2]int{e.To, e.ToPort}
+		if seen[key] {
+			return fmt.Errorf("ir: input port %d of node %v driven twice", e.ToPort, to)
+		}
+		seen[key] = true
+	}
+	for _, n := range d.Nodes {
+		ar := n.Kind.Arity()
+		for p := 0; p < ar; p++ {
+			if p == 1 && n.HasConst {
+				continue
+			}
+			if !seen[[2]int{n.ID, p}] {
+				return fmt.Errorf("ir: input port %d of node %v undriven", p, n)
+			}
+		}
+	}
+	if _, err := d.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Stats summarizes node counts by kind, for logging and tests.
+func (d *DFG) Stats() string {
+	counts := map[OpKind]int{}
+	for _, n := range d.Nodes {
+		counts[n.Kind]++
+	}
+	kinds := make([]OpKind, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d nodes, %d edges (", len(d.Nodes), len(d.Edges))
+	for i, k := range kinds {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s:%d", k, counts[k])
+	}
+	b.WriteString(")")
+	return b.String()
+}

@@ -1,0 +1,146 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cluster is a vertex of the ISDG: the set of DFG nodes belonging to one
+// iteration of the block's iteration space.
+type Cluster struct {
+	ID    int
+	Iter  IterVec
+	Nodes []int // DFG node IDs, in creation order
+}
+
+// ClusterEdge is a dependence between two iteration clusters, annotated
+// with its distance vector Dist = To.Iter - From.Iter.
+type ClusterEdge struct {
+	From, To int
+	Dist     IterVec
+}
+
+// ISDG is the Iteration Space Dependency Graph D' = (C, E) of §IV: the
+// DFG clustered by iteration vector. Two clusters are connected iff a
+// node in one feeds a node in the other.
+type ISDG struct {
+	DFG      *DFG
+	Clusters []*Cluster
+	Edges    []ClusterEdge
+
+	byIter  map[string]int
+	cluster []int // DFG node ID -> cluster ID (-1 for none)
+	outs    [][]int
+	ins     [][]int
+}
+
+// BuildISDG clusters the DFG by iteration vector. Every node must carry a
+// non-nil Iter (DFG construction in the kernel package guarantees this).
+func BuildISDG(d *DFG) (*ISDG, error) {
+	g := &ISDG{
+		DFG:     d,
+		byIter:  make(map[string]int),
+		cluster: make([]int, len(d.Nodes)),
+	}
+	for _, n := range d.Nodes {
+		if n.Iter == nil {
+			return nil, fmt.Errorf("ir: node %v has no iteration vector", n)
+		}
+		key := n.Iter.Key()
+		ci, ok := g.byIter[key]
+		if !ok {
+			ci = len(g.Clusters)
+			g.byIter[key] = ci
+			g.Clusters = append(g.Clusters, &Cluster{ID: ci, Iter: n.Iter.Clone()})
+			g.outs = append(g.outs, nil)
+			g.ins = append(g.ins, nil)
+		}
+		g.Clusters[ci].Nodes = append(g.Clusters[ci].Nodes, n.ID)
+		g.cluster[n.ID] = ci
+	}
+	// Deduplicate cluster edges; record each distinct (from, to) pair once.
+	type pair struct{ f, t int }
+	seen := make(map[pair]bool)
+	for _, e := range d.Edges {
+		cf, ct := g.cluster[e.From], g.cluster[e.To]
+		if cf == ct {
+			continue
+		}
+		p := pair{cf, ct}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		dist := g.Clusters[ct].Iter.Sub(g.Clusters[cf].Iter)
+		idx := len(g.Edges)
+		g.Edges = append(g.Edges, ClusterEdge{From: cf, To: ct, Dist: dist})
+		g.outs[cf] = append(g.outs[cf], idx)
+		g.ins[ct] = append(g.ins[ct], idx)
+	}
+	return g, nil
+}
+
+// ClusterOf returns the cluster ID owning DFG node id.
+func (g *ISDG) ClusterOf(id int) int { return g.cluster[id] }
+
+// ClusterAt returns the cluster for an iteration vector, or nil.
+func (g *ISDG) ClusterAt(iter IterVec) *Cluster {
+	ci, ok := g.byIter[iter.Key()]
+	if !ok {
+		return nil
+	}
+	return g.Clusters[ci]
+}
+
+// OutEdges returns indices into g.Edges of edges leaving cluster ci.
+func (g *ISDG) OutEdges(ci int) []int { return g.outs[ci] }
+
+// InEdges returns indices into g.Edges of edges entering cluster ci.
+func (g *ISDG) InEdges(ci int) []int { return g.ins[ci] }
+
+// DistanceVectors returns the distinct inter-iteration dependence distance
+// vectors of the ISDG in a deterministic order. These drive the systolic
+// space-time mapping search.
+func (g *ISDG) DistanceVectors() []IterVec {
+	seen := make(map[string]IterVec)
+	for _, e := range g.Edges {
+		seen[e.Dist.Key()] = e.Dist
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]IterVec, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, seen[k])
+	}
+	return out
+}
+
+// Validate checks that all inter-cluster dependence distances are
+// lexicographically positive (a well-formed loop nest) and that cluster
+// membership covers every DFG node exactly once.
+func (g *ISDG) Validate() error {
+	covered := 0
+	for _, c := range g.Clusters {
+		covered += len(c.Nodes)
+		for _, id := range c.Nodes {
+			if g.cluster[id] != c.ID {
+				return fmt.Errorf("ir: node %d claimed by cluster %d but mapped to %d", id, c.ID, g.cluster[id])
+			}
+		}
+	}
+	if covered != len(g.DFG.Nodes) {
+		return fmt.Errorf("ir: clusters cover %d of %d nodes", covered, len(g.DFG.Nodes))
+	}
+	for _, e := range g.Edges {
+		if e.Dist.IsZero() {
+			return fmt.Errorf("ir: zero-distance inter-cluster edge %d->%d", e.From, e.To)
+		}
+		if !e.Dist.LexNonNegative() {
+			return fmt.Errorf("ir: lexicographically negative dependence %v on edge %d->%d", e.Dist, e.From, e.To)
+		}
+	}
+	return nil
+}

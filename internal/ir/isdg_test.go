@@ -1,0 +1,182 @@
+package ir
+
+import (
+	"testing"
+)
+
+// build2DDFG builds a bx-by-by DFG of a BiCG-like structure: per iteration
+// one load, one mul, one add; add accumulates along dimension 0, mul's
+// second operand comes from dimension 1's neighbor (route chain).
+func build2DDFG(t *testing.T, bx, by int) *DFG {
+	t.Helper()
+	d := NewDFG([]int{bx, by})
+	type key struct{ i, j int }
+	adds := map[key]int{}
+	routes := map[key]int{}
+	ForEachPoint([]int{bx, by}, func(v IterVec) {
+		i, j := v[0], v[1]
+		iter := v.Clone()
+		ld := d.AddNode(Node{Kind: OpLoad, Name: "ldA", BodyOp: 0, Iter: iter, Tensor: "A", Index: iter})
+		rt := d.AddNode(Node{Kind: OpRoute, Name: "r", BodyOp: 1, Iter: iter})
+		if j == 0 {
+			src := d.AddNode(Node{Kind: OpLoad, Name: "ldR", BodyOp: -1, Iter: iter, Tensor: "R", Index: IterVec{i}})
+			d.AddEdge(src.ID, rt.ID, 0)
+		} else {
+			d.AddEdge(routes[key{i, j - 1}], rt.ID, 0)
+		}
+		routes[key{i, j}] = rt.ID
+		mul := d.AddNode(Node{Kind: OpMul, Name: "mul", BodyOp: 2, Iter: iter})
+		d.AddEdge(ld.ID, mul.ID, 0)
+		d.AddEdge(rt.ID, mul.ID, 1)
+		add := d.AddNode(Node{Kind: OpAdd, Name: "add", BodyOp: 3, Iter: iter})
+		d.AddEdge(mul.ID, add.ID, 0)
+		if i == 0 {
+			init := d.AddNode(Node{Kind: OpLoad, Name: "init", BodyOp: -1, Iter: iter, Tensor: "S0", Index: IterVec{j}})
+			d.AddEdge(init.ID, add.ID, 1)
+		} else {
+			d.AddEdge(adds[key{i - 1, j}], add.ID, 1)
+		}
+		adds[key{i, j}] = add.ID
+	})
+	if err := d.Validate(); err != nil {
+		t.Fatalf("test DFG invalid: %v", err)
+	}
+	return d
+}
+
+func TestBuildISDGClusters(t *testing.T) {
+	d := build2DDFG(t, 4, 4)
+	g, err := BuildISDG(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Clusters) != 16 {
+		t.Fatalf("clusters = %d, want 16", len(g.Clusters))
+	}
+	c := g.ClusterAt(IterVec{1, 1})
+	if c == nil {
+		t.Fatal("no cluster at (1,1)")
+	}
+	// Interior cluster: load, route, mul, add.
+	if len(c.Nodes) != 4 {
+		t.Errorf("interior cluster has %d nodes, want 4", len(c.Nodes))
+	}
+	for _, id := range c.Nodes {
+		if g.ClusterOf(id) != c.ID {
+			t.Errorf("ClusterOf(%d) = %d, want %d", id, g.ClusterOf(id), c.ID)
+		}
+	}
+}
+
+func TestISDGDistanceVectors(t *testing.T) {
+	d := build2DDFG(t, 4, 4)
+	g, err := BuildISDG(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dists := g.DistanceVectors()
+	if len(dists) != 2 {
+		t.Fatalf("distance vectors = %v, want 2 of them", dists)
+	}
+	want := map[string]bool{"1,0": true, "0,1": true}
+	for _, dv := range dists {
+		if !want[dv.Key()] {
+			t.Errorf("unexpected distance vector %v", dv)
+		}
+	}
+}
+
+func TestISDGEdgesDeduplicated(t *testing.T) {
+	d := build2DDFG(t, 3, 3)
+	g, err := BuildISDG(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pair struct{ f, to int }
+	seen := map[pair]bool{}
+	for _, e := range g.Edges {
+		p := pair{e.From, e.To}
+		if seen[p] {
+			t.Errorf("duplicate cluster edge %d->%d", e.From, e.To)
+		}
+		seen[p] = true
+	}
+	// 3x3 grid with unit deps in both dims: 2*3*2 = 12 edges.
+	if len(g.Edges) != 12 {
+		t.Errorf("cluster edges = %d, want 12", len(g.Edges))
+	}
+}
+
+func TestExtractIDFGInterior(t *testing.T) {
+	d := build2DDFG(t, 4, 4)
+	g, err := BuildISDG(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := ExtractIDFG(g, g.ClusterAt(IterVec{1, 1}).ID)
+	if f.NumCompute() != 2 {
+		t.Errorf("interior NumCompute = %d, want 2", f.NumCompute())
+	}
+	if len(f.Inputs) != 2 {
+		t.Errorf("interior inputs = %d, want 2 (route-in, acc-in)", len(f.Inputs))
+	}
+	if len(f.Outputs) != 2 {
+		t.Errorf("interior outputs = %d, want 2 (route-out, acc-out)", len(f.Outputs))
+	}
+	for _, p := range f.Inputs {
+		if p.Dist.ManhattanNorm() != 1 {
+			t.Errorf("input dist %v not unit", p.Dist)
+		}
+		if !p.Dist.Neg().LexNonNegative() {
+			t.Errorf("input dist %v should point to an earlier iteration", p.Dist)
+		}
+	}
+}
+
+func TestStructuralClasses2D(t *testing.T) {
+	// A 2-D kernel with dependencies in both dimensions has 3x3 = 9
+	// boundary classes once the block is at least 3 wide in each dim
+	// (first / middle / last per dimension) — Table II's BiCG/ATAX/MVT value.
+	for _, b := range []int{3, 4, 6, 8} {
+		d := build2DDFG(t, b, b)
+		g, err := BuildISDG(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := CountStructuralClasses(g); got != 9 {
+			t.Errorf("b=%d: structural classes = %d, want 9", b, got)
+		}
+	}
+	// At b=2 every iteration touches a boundary: 4 distinct classes.
+	d := build2DDFG(t, 2, 2)
+	g, err := BuildISDG(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CountStructuralClasses(g); got != 4 {
+		t.Errorf("b=2: structural classes = %d, want 4", got)
+	}
+}
+
+func TestStructuralSignatureDistinguishesBoundary(t *testing.T) {
+	d := build2DDFG(t, 4, 4)
+	g, err := BuildISDG(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := func(iv IterVec) string {
+		return ExtractIDFG(g, g.ClusterAt(iv).ID).StructuralSignature()
+	}
+	if sig(IterVec{1, 1}) != sig(IterVec{2, 2}) {
+		t.Error("two interior iterations should share a signature")
+	}
+	if sig(IterVec{0, 0}) == sig(IterVec{1, 1}) {
+		t.Error("corner and interior must differ")
+	}
+	if sig(IterVec{0, 1}) == sig(IterVec{1, 0}) {
+		t.Error("top edge and left edge must differ")
+	}
+}

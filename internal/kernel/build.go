@@ -1,0 +1,196 @@
+package kernel
+
+import (
+	"fmt"
+
+	"himap/internal/ir"
+)
+
+// Body-op encodings for synthesized memory nodes. Load nodes feeding body
+// op i's port p get BodyOp = -(1 + i*2 + p); store nodes for op i's rule r
+// get BodyOp = -(1000 + i*8 + r). Negative BodyOps mark boundary/memory
+// nodes and keep unique-iteration signatures deterministic.
+func loadBodyOp(op, port int) int  { return -(1 + op*2 + port) }
+func storeBodyOp(op, rule int) int { return -(1000 + op*8 + rule) }
+
+// selectCase returns the first source whose guard holds at iter.
+func selectCase(in Input, iter ir.IterVec, block []int) (Source, error) {
+	for _, c := range in {
+		if c.When.Eval(iter, block) {
+			return c.Src, nil
+		}
+	}
+	return Source{}, fmt.Errorf("kernel: no case matches at iteration %v", iter)
+}
+
+// BuildDFG fully unrolls the kernel over the block and returns the DFG of
+// §IV. Every dependence whose producer falls outside the block must be
+// covered by a guard selecting a memory or constant source; the builder
+// returns an error otherwise (the specification is then ill-formed).
+func (k *Kernel) BuildDFG(block []int) (*ir.DFG, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	if len(block) != k.Dim {
+		return nil, fmt.Errorf("kernel %s: block %v has %d dims, want %d", k.Name, block, len(block), k.Dim)
+	}
+	for d, b := range block {
+		if d < len(k.FixedBlock) && k.FixedBlock[d] > 0 {
+			if b != k.FixedBlock[d] {
+				return nil, fmt.Errorf("kernel %s: block dim %d is %d but pinned to %d", k.Name, d, b, k.FixedBlock[d])
+			}
+			continue
+		}
+		min := k.MinBlock
+		if min == 0 {
+			min = 1
+		}
+		if b < min {
+			return nil, fmt.Errorf("kernel %s: block dim %d is %d, min %d", k.Name, d, b, min)
+		}
+	}
+	d := ir.NewDFG(block)
+	npts := ir.BoxSize(block)
+	nodeOf := make([][]int, len(k.Body)) // body op -> point index -> node ID
+	for i := range nodeOf {
+		nodeOf[i] = make([]int, npts)
+		for j := range nodeOf[i] {
+			nodeOf[i][j] = -1
+		}
+	}
+
+	var buildErr error
+	ir.ForEachPoint(block, func(pt ir.IterVec) {
+		if buildErr != nil {
+			return
+		}
+		iter := pt.Clone()
+		pi := ir.PointIndex(iter, block)
+		for opIdx, op := range k.Body {
+			n := d.AddNode(ir.Node{
+				Kind:   op.Kind,
+				Name:   op.Name,
+				BodyOp: opIdx,
+				Iter:   iter,
+			})
+			nodeOf[opIdx][pi] = n.ID
+
+			wire := func(in Input, port int) {
+				if buildErr != nil {
+					return
+				}
+				src, err := selectCase(in, iter, block)
+				if err != nil {
+					buildErr = fmt.Errorf("kernel %s op %s port %d: %v", k.Name, op.Name, port, err)
+					return
+				}
+				switch src.Kind {
+				case SrcDep:
+					prodIter := iter
+					if len(src.Dist) > 0 {
+						prodIter = iter.Sub(src.Dist)
+					}
+					if !prodIter.InBox(block) {
+						buildErr = fmt.Errorf("kernel %s op %s at %v: dependence source %v outside block %v (missing boundary guard)",
+							k.Name, op.Name, iter, prodIter, block)
+						return
+					}
+					pid := nodeOf[src.Op][ir.PointIndex(prodIter, block)]
+					if pid < 0 {
+						buildErr = fmt.Errorf("kernel %s op %s at %v: producer op %d at %v not yet created (non-causal order)",
+							k.Name, op.Name, iter, src.Op, prodIter)
+						return
+					}
+					d.AddEdge(pid, n.ID, port)
+				case SrcMem:
+					ld := d.AddNode(ir.Node{
+						Kind:   ir.OpLoad,
+						Name:   "ld." + src.Tensor,
+						BodyOp: loadBodyOp(opIdx, port),
+						Iter:   iter,
+						Tensor: src.Tensor,
+						Index:  src.Map.Apply(iter),
+					})
+					d.AddEdge(ld.ID, n.ID, port)
+				case SrcConst:
+					if port != 1 {
+						buildErr = fmt.Errorf("kernel %s op %s: constant sources are only supported on port 1", k.Name, op.Name)
+						return
+					}
+					n.HasConst = true
+					n.Const = src.Value
+				}
+			}
+			ar := op.Kind.Arity()
+			if ar >= 1 {
+				wire(op.A, 0)
+			}
+			if ar >= 2 {
+				wire(op.B, 1)
+			}
+			for ri, st := range op.Stores {
+				if !st.When.Eval(iter, block) {
+					continue
+				}
+				sn := d.AddNode(ir.Node{
+					Kind:   ir.OpStore,
+					Name:   "st." + st.Tensor,
+					BodyOp: storeBodyOp(opIdx, ri),
+					Iter:   iter,
+					Tensor: st.Tensor,
+					Index:  st.Map.Apply(iter),
+				})
+				d.AddEdge(n.ID, sn.ID, 0)
+			}
+		}
+	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("kernel %s: generated DFG invalid: %v", k.Name, err)
+	}
+	return d, nil
+}
+
+// BuildISDG unrolls the kernel and clusters the DFG by iteration.
+func (k *Kernel) BuildISDG(block []int) (*ir.DFG, *ir.ISDG, error) {
+	d, err := k.BuildDFG(block)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := ir.BuildISDG(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return d, g, nil
+}
+
+// GenericIDFG returns the IDFG of an interior iteration: the per-iteration
+// graph whose inputs all arrive from neighboring iterations. It is the
+// D” = getIDFG(K) of Algorithm 1 line 2, used for the IDFG → sub-CGRA
+// mapping step. The interior point of a small (3 per dimension, clamped to
+// MinBlock) unrolled block is used.
+func (k *Kernel) GenericIDFG() (*ir.IDFG, error) {
+	b := 3
+	if k.MinBlock > b {
+		b = k.MinBlock
+	}
+	block := k.UniformBlock(b)
+	_, g, err := k.BuildISDG(block)
+	if err != nil {
+		return nil, err
+	}
+	center := make(ir.IterVec, k.Dim)
+	for i := range center {
+		center[i] = 1
+	}
+	c := g.ClusterAt(center)
+	if c == nil {
+		return nil, fmt.Errorf("kernel %s: no interior cluster at %v", k.Name, center)
+	}
+	return ir.ExtractIDFG(g, c.ID), nil
+}

@@ -1,0 +1,141 @@
+package kernel
+
+import "himap/internal/ir"
+
+// Extension kernels beyond the paper's eight evaluation kernels: the
+// remaining multi-dimensional entries of Table I that are expressible as
+// uniform recurrences (Needleman-Wunsch, doitgen) plus Conv2D (defined in
+// kernels.go). They demonstrate the mapper on dependence shapes the
+// evaluation set lacks — most notably NW's diagonal (1,1) wavefront
+// dependence, which no 2-D space allocation makes single-hop, forcing the
+// scheme search to a linear (1-D space) allocation.
+
+// NW returns the Needleman-Wunsch sequence-alignment kernel (2 loop
+// levels): the dynamic-programming wavefront
+//
+//	d(i,j) = max(d(i-1,j-1) + S[i][j], d(i-1,j) + G, d(i,j-1) + G)
+//
+// with the block halo (row d(-1,·), column d(·,-1), corner) fed from
+// memory. Dependence distance vectors: (1,1), (1,0), (0,1).
+func NW() *Kernel {
+	const gapPenalty = -2
+	k := &Kernel{
+		Name:     "NW",
+		Desc:     "Needleman-Wunsch sequence alignment (wavefront DP)",
+		Suite:    "MachSuite",
+		Dim:      2,
+		MinBlock: 2,
+		Tensors: []TensorSpec{
+			{Name: "S", Dims: func(b []int) []int { return []int{b[0], b[1]} }},
+			{Name: "HN", Dims: func(b []int) []int { return []int{b[1] + 1} }}, // d(-1, j-1..): HN[j] = d(-1, j-1), HN[b2] unused pad
+			{Name: "HW", Dims: func(b []int) []int { return []int{b[0] + 1} }}, // HW[i] = d(i-1, -1)
+			{Name: "OUT", Out: true, Dims: func(b []int) []int { return []int{b[0], b[1]} }},
+		},
+	}
+	ij := AM(2, []int{1, 0, 0}, []int{0, 1, 0})
+	k.Body = []BodyOp{
+		// diag = d(i-1,j-1) + S[i][j]
+		{Name: "diag", Kind: ir.OpAdd,
+			A: In(
+				Case{First(0), Mem("HN", AM(2, []int{0, 1, 0}))}, // d(-1,j-1) = HN[j]
+				Case{First(1), Mem("HW", AM(2, []int{1, 0, 0}))}, // d(i-1,-1) = HW[i]
+				Case{Always(), Dep(4, 1, 1)}),
+			B: Fixed(Mem("S", ij))},
+		// up = d(i-1,j) + G
+		{Name: "up", Kind: ir.OpAdd,
+			A: In(
+				Case{First(0), Mem("HN", AM(2, []int{0, 1, 1}))}, // d(-1,j) = HN[j+1]
+				Case{Always(), Dep(4, 1, 0)}),
+			B: Fixed(Const(gapPenalty))},
+		// left = d(i,j-1) + G
+		{Name: "left", Kind: ir.OpAdd,
+			A: In(
+				Case{First(1), Mem("HW", AM(2, []int{1, 0, 1}))}, // d(i,-1) = HW[i+1]
+				Case{Always(), Dep(4, 0, 1)}),
+			B: Fixed(Const(gapPenalty))},
+		{Name: "m1", Kind: ir.OpMax, A: Fixed(Same(0)), B: Fixed(Same(1))},
+		{Name: "d", Kind: ir.OpMax, A: Fixed(Same(3)), B: Fixed(Same(2)),
+			Stores: []StoreRule{{When: Always(), Tensor: "OUT", Map: ij}}},
+	}
+	return k
+}
+
+// DOITGEN returns PolyBench's doitgen kernel (4 loop levels):
+// sum[r][q][p] = sum_s A3[r][q][s] * C4[s][p]. A3 values are reused along
+// p, C4 values along q, partial sums carried along s.
+func DOITGEN() *Kernel {
+	k := &Kernel{
+		Name:     "DOITGEN",
+		Desc:     "Multi-resolution analysis kernel (doitgen)",
+		Suite:    "PolyBench",
+		Dim:      4, // (r, q, p, s)
+		MinBlock: 2,
+		Tensors: []TensorSpec{
+			{Name: "A3", Dims: func(b []int) []int { return []int{b[0], b[1], b[3]} }},
+			{Name: "C4", Dims: func(b []int) []int { return []int{b[3], b[2]} }},
+			{Name: "SUM", Out: true, Dims: func(b []int) []int { return []int{b[0], b[1], b[2]} }},
+		},
+	}
+	a3Map := AM(4, []int{1, 0, 0, 0, 0}, []int{0, 1, 0, 0, 0}, []int{0, 0, 0, 1, 0}) // [r,q,s]
+	c4Map := AM(4, []int{0, 0, 0, 1, 0}, []int{0, 0, 1, 0, 0})                       // [s,p]
+	outMap := AM(4, []int{1, 0, 0, 0, 0}, []int{0, 1, 0, 0, 0}, []int{0, 0, 1, 0, 0})
+	k.Body = []BodyOp{
+		{Name: "a", Kind: ir.OpRoute,
+			A: In(Case{First(2), Mem("A3", a3Map)}, Case{Always(), Dep(0, 0, 0, 1, 0)})},
+		{Name: "c", Kind: ir.OpRoute,
+			A: In(Case{First(1), Mem("C4", c4Map)}, Case{Always(), Dep(1, 0, 1, 0, 0)})},
+		{Name: "mul", Kind: ir.OpMul, A: Fixed(Same(0)), B: Fixed(Same(1))},
+		{Name: "acc", Kind: ir.OpAdd, A: Fixed(Same(2)),
+			B:      In(Case{First(3), Const(0)}, Case{Always(), Dep(3, 0, 0, 0, 1)}),
+			Stores: []StoreRule{{When: Last(3), Tensor: "SUM", Map: outMap}}},
+	}
+	return k
+}
+
+// Extensions returns the executable kernels beyond the Table-II set.
+func Extensions() []*Kernel {
+	return []*Kernel{Conv2D(), Conv3D(), NW(), DOITGEN(), DOTPROD(), RELU()}
+}
+
+// Conv3D returns a 3-D convolution with a 3x3x3 window as a 6-loop-level
+// kernel (i, j, l over the output volume, r, s, u over the window), with
+// the partial sum carried along the linearized window — the deepest loop
+// nest in the library and Table I's conv3d entry.
+func Conv3D() *Kernel {
+	k := &Kernel{
+		Name:     "CONV3D",
+		Desc:     "3-D convolution, 3x3x3 window",
+		Suite:    "custom",
+		Dim:      6,
+		MinBlock: 2,
+		Tensors: []TensorSpec{
+			{Name: "VOL", Dims: func(b []int) []int { return []int{b[0] + 2, b[1] + 2, b[2] + 2} }},
+			{Name: "KRN", Dims: func(b []int) []int { return []int{3, 3, 3} }},
+			{Name: "OUT", Out: true, Dims: func(b []int) []int { return []int{b[0], b[1], b[2]} }},
+		},
+		FixedBlock: []int{0, 0, 0, 3, 3, 3},
+	}
+	volMap := AM(6,
+		[]int{1, 0, 0, 1, 0, 0, 0},
+		[]int{0, 1, 0, 0, 1, 0, 0},
+		[]int{0, 0, 1, 0, 0, 1, 0}) // [i+r, j+s, l+u]
+	krnMap := AM(6,
+		[]int{0, 0, 0, 1, 0, 0, 0},
+		[]int{0, 0, 0, 0, 1, 0, 0},
+		[]int{0, 0, 0, 0, 0, 1, 0}) // [r, s, u]
+	outMap := AM(6,
+		[]int{1, 0, 0, 0, 0, 0, 0},
+		[]int{0, 1, 0, 0, 0, 0, 0},
+		[]int{0, 0, 1, 0, 0, 0, 0}) // [i, j, l]
+	k.Body = []BodyOp{
+		{Name: "mul", Kind: ir.OpMul, A: Fixed(Mem("VOL", volMap)), B: Fixed(Mem("KRN", krnMap))},
+		{Name: "acc", Kind: ir.OpAdd, A: Fixed(Same(0)),
+			B: In(
+				Case{And(First(3), First(4), First(5)), Const(0)},
+				Case{And(First(4), First(5)), Dep(1, 0, 0, 0, 1, -2, -2)}, // previous window row-plane
+				Case{First(5), Dep(1, 0, 0, 0, 0, 1, -2)},                 // previous window row
+				Case{Always(), Dep(1, 0, 0, 0, 0, 0, 1)}),
+			Stores: []StoreRule{{When: And(Last(3), Last(4), Last(5)), Tensor: "OUT", Map: outMap}}},
+	}
+	return k
+}

@@ -1,0 +1,58 @@
+package kernel
+
+import "himap/internal/ir"
+
+// One-dimensional kernels from Table I's left columns. HiMap's virtual
+// systolic mapping brings no benefit here (§VI: "for these two types of
+// kernels ... we can apply existing software pipelining techniques");
+// they exist so the dispatcher (himap.CompileAuto) can demonstrate the
+// paper's kernel-triage guidance end to end, mapped by the conventional
+// modulo-scheduling baseline.
+
+// DOTPROD returns a 1-D reduction with a loop-carried dependence:
+// s += A[i] * B[i], the shape of Table I's "with dependency, Dim = 1"
+// kernels (spmv, gesummv, ...).
+func DOTPROD() *Kernel {
+	k := &Kernel{
+		Name:     "DOTPROD",
+		Desc:     "dot product (1-D reduction)",
+		Suite:    "custom",
+		Dim:      1,
+		MinBlock: 2,
+		Tensors: []TensorSpec{
+			{Name: "A", Dims: func(b []int) []int { return []int{b[0]} }},
+			{Name: "B", Dims: func(b []int) []int { return []int{b[0]} }},
+			{Name: "S", Out: true, Dims: func(b []int) []int { return []int{1} }},
+		},
+	}
+	i := AM(1, []int{1, 0})
+	k.Body = []BodyOp{
+		{Name: "mul", Kind: ir.OpMul, A: Fixed(Mem("A", i)), B: Fixed(Mem("B", i))},
+		{Name: "acc", Kind: ir.OpAdd, A: Fixed(Same(0)),
+			B:      In(Case{First(0), Const(0)}, Case{Always(), Dep(1, 1)}),
+			Stores: []StoreRule{{When: Last(0), Tensor: "S", Map: AM(1, []int{0, 0})}}},
+	}
+	return k
+}
+
+// RELU returns a fully parallel element-wise kernel, the shape of
+// Table I's "no inter-iteration dependency" column.
+func RELU() *Kernel {
+	k := &Kernel{
+		Name:     "RELU",
+		Desc:     "rectified linear unit (element-wise)",
+		Suite:    "MachSuite",
+		Dim:      1,
+		MinBlock: 2,
+		Tensors: []TensorSpec{
+			{Name: "X", Dims: func(b []int) []int { return []int{b[0]} }},
+			{Name: "Y", Out: true, Dims: func(b []int) []int { return []int{b[0]} }},
+		},
+	}
+	i := AM(1, []int{1, 0})
+	k.Body = []BodyOp{
+		{Name: "relu", Kind: ir.OpMax, A: Fixed(Mem("X", i)), B: Fixed(Const(0)),
+			Stores: []StoreRule{{When: Always(), Tensor: "Y", Map: i}}},
+	}
+	return k
+}

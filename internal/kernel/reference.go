@@ -1,0 +1,240 @@
+package kernel
+
+import (
+	"fmt"
+
+	"himap/internal/ir"
+)
+
+// Reference computes the kernel's mathematical definition with plain
+// nested loops, independently of the specification machinery, so tests
+// can establish that the recurrence specifications implement the intended
+// algorithms. Supported for every Evaluation() kernel and CONV2D.
+func Reference(name string, block []int, inputs map[string]*Tensor) (map[string]*Tensor, error) {
+	at := func(t string, idx ...int) int64 { return inputs[t].At(ir.IterVec(idx)) }
+	switch name {
+	case "GEMM":
+		b1, b2, b3 := block[0], block[1], block[2]
+		c := NewTensor(b1, b2)
+		for i := 0; i < b1; i++ {
+			for j := 0; j < b2; j++ {
+				var s int64
+				for k := 0; k < b3; k++ {
+					s += at("A", i, k) * at("B", k, j)
+				}
+				c.Set(ir.IterVec{i, j}, s)
+			}
+		}
+		return map[string]*Tensor{"C": c}, nil
+
+	case "SYRK":
+		b1, b2, b3 := block[0], block[1], block[2]
+		c := NewTensor(b1, b2)
+		for i := 0; i < b1; i++ {
+			for j := 0; j < b2; j++ {
+				var s int64
+				for k := 0; k < b3; k++ {
+					s += at("A", i, k) * at("A", j, k)
+				}
+				c.Set(ir.IterVec{i, j}, s)
+			}
+		}
+		return map[string]*Tensor{"C": c}, nil
+
+	case "BICG":
+		b1, b2 := block[0], block[1]
+		s := NewTensor(b2)
+		q := NewTensor(b1)
+		for i := 0; i < b1; i++ {
+			for j := 0; j < b2; j++ {
+				s.Set(ir.IterVec{j}, s.At(ir.IterVec{j})+at("R", i)*at("A", i, j))
+				q.Set(ir.IterVec{i}, q.At(ir.IterVec{i})+at("A", i, j)*at("P", j))
+			}
+		}
+		return map[string]*Tensor{"S": s, "Q": q}, nil
+
+	case "ATAX":
+		b1, b2 := block[0], block[1]
+		tt := NewTensor(b1)
+		y := NewTensor(b2)
+		for i := 0; i < b1; i++ {
+			for j := 0; j < b2; j++ {
+				tt.Set(ir.IterVec{i}, tt.At(ir.IterVec{i})+at("A", i, j)*at("X", j))
+				y.Set(ir.IterVec{j}, y.At(ir.IterVec{j})+at("A", i, j)*at("W", i))
+			}
+		}
+		return map[string]*Tensor{"T": tt, "Y": y}, nil
+
+	case "MVT":
+		b1, b2 := block[0], block[1]
+		x1 := NewTensor(b1)
+		x2 := NewTensor(b1)
+		for i := 0; i < b1; i++ {
+			for j := 0; j < b2; j++ {
+				x1.Set(ir.IterVec{i}, x1.At(ir.IterVec{i})+at("A", i, j)*at("Y1", j))
+				x2.Set(ir.IterVec{i}, x2.At(ir.IterVec{i})+at("A", j, i)*at("Y2", j))
+			}
+		}
+		return map[string]*Tensor{"X1": x1, "X2": x2}, nil
+
+	case "ADI":
+		b1, b2 := block[0], block[1]
+		w := NewTensor(b1, b2)
+		for i := 0; i < b1; i++ {
+			u := int64(0)
+			v := int64(0)
+			for j := 0; j < b2; j++ {
+				up := u
+				vp := v
+				if j == 0 {
+					up = at("U0", i)
+					vp = at("V0", i)
+				}
+				u = up*at("CA", i, j) + at("CB", i, j)
+				v = vp*at("CC", i, j) + u
+				w.Set(ir.IterVec{i, j}, u+v)
+			}
+		}
+		return map[string]*Tensor{"W": w}, nil
+
+	case "FW":
+		bk, bi, bj := block[0], block[1], block[2]
+		prev := inputs["D0"].Clone()
+		for k := 0; k < bk; k++ {
+			next := NewTensor(bi, bj)
+			for i := 0; i < bi; i++ {
+				for j := 0; j < bj; j++ {
+					via := at("PR", k, j) + at("PC", k, i)
+					cur := prev.At(ir.IterVec{i, j})
+					if via < cur {
+						cur = via
+					}
+					next.Set(ir.IterVec{i, j}, cur)
+				}
+			}
+			prev = next
+		}
+		return map[string]*Tensor{"D": prev}, nil
+
+	case "TTM":
+		b1, b2, b3, b4 := block[0], block[1], block[2], block[3]
+		y := NewTensor(b1, b2, b3)
+		for i := 0; i < b1; i++ {
+			for j := 0; j < b2; j++ {
+				for k := 0; k < b3; k++ {
+					var s int64
+					for l := 0; l < b4; l++ {
+						s += at("X", i, j, l) * at("U", k, l)
+					}
+					y.Set(ir.IterVec{i, j, k}, s)
+				}
+			}
+		}
+		return map[string]*Tensor{"Y": y}, nil
+
+	case "NW":
+		b1, b2 := block[0], block[1]
+		const gap = -2
+		d := NewTensor(b1, b2)
+		get := func(i, j int) int64 {
+			switch {
+			case i < 0 && j < 0:
+				return at("HN", 0) // corner: HN[0] = d(-1,-1)
+			case i < 0:
+				return at("HN", j+1)
+			case j < 0:
+				return at("HW", i+1)
+			}
+			return d.At(ir.IterVec{i, j})
+		}
+		for i := 0; i < b1; i++ {
+			for j := 0; j < b2; j++ {
+				diag := get(i-1, j-1) + at("S", i, j)
+				up := get(i-1, j) + gap
+				left := get(i, j-1) + gap
+				m := diag
+				if up > m {
+					m = up
+				}
+				if left > m {
+					m = left
+				}
+				d.Set(ir.IterVec{i, j}, m)
+			}
+		}
+		return map[string]*Tensor{"OUT": d}, nil
+
+	case "DOITGEN":
+		b1, b2, b3, b4 := block[0], block[1], block[2], block[3]
+		sum := NewTensor(b1, b2, b3)
+		for r := 0; r < b1; r++ {
+			for q := 0; q < b2; q++ {
+				for pp := 0; pp < b3; pp++ {
+					var acc int64
+					for ss := 0; ss < b4; ss++ {
+						acc += at("A3", r, q, ss) * at("C4", ss, pp)
+					}
+					sum.Set(ir.IterVec{r, q, pp}, acc)
+				}
+			}
+		}
+		return map[string]*Tensor{"SUM": sum}, nil
+
+	case "DOTPROD":
+		var acc int64
+		for i := 0; i < block[0]; i++ {
+			acc += at("A", i) * at("B", i)
+		}
+		s0 := NewTensor(1)
+		s0.Set(ir.IterVec{0}, acc)
+		return map[string]*Tensor{"S": s0}, nil
+
+	case "RELU":
+		y := NewTensor(block[0])
+		for i := 0; i < block[0]; i++ {
+			v := at("X", i)
+			if v < 0 {
+				v = 0
+			}
+			y.Set(ir.IterVec{i}, v)
+		}
+		return map[string]*Tensor{"Y": y}, nil
+
+	case "CONV3D":
+		b1, b2, b3 := block[0], block[1], block[2]
+		out := NewTensor(b1, b2, b3)
+		for i := 0; i < b1; i++ {
+			for j := 0; j < b2; j++ {
+				for l := 0; l < b3; l++ {
+					var s int64
+					for r := 0; r < 3; r++ {
+						for ss := 0; ss < 3; ss++ {
+							for u := 0; u < 3; u++ {
+								s += at("VOL", i+r, j+ss, l+u) * at("KRN", r, ss, u)
+							}
+						}
+					}
+					out.Set(ir.IterVec{i, j, l}, s)
+				}
+			}
+		}
+		return map[string]*Tensor{"OUT": out}, nil
+
+	case "CONV2D":
+		b1, b2 := block[0], block[1]
+		out := NewTensor(b1, b2)
+		for i := 0; i < b1; i++ {
+			for j := 0; j < b2; j++ {
+				var s int64
+				for r := 0; r < 3; r++ {
+					for c := 0; c < 3; c++ {
+						s += at("IMG", i+r, j+c) * at("KRN", r, c)
+					}
+				}
+				out.Set(ir.IterVec{i, j}, s)
+			}
+		}
+		return map[string]*Tensor{"OUT": out}, nil
+	}
+	return nil, fmt.Errorf("kernel: no reference implementation for %q", name)
+}

@@ -1,0 +1,257 @@
+// Package mrrg implements the Modulo Routing Resource Graph of the
+// mapping problem (§IV): the CGRA's resources time-extended to II cycles,
+// with cycle II-1 wrapping back to cycle 0. The graph is *implicit* —
+// adjacency is computed on demand from (cycle, row, col, resource) — so
+// 64×64 arrays with large IIs never materialize millions of nodes; the
+// router only touches what Dijkstra visits.
+//
+// Time convention: traversal (Succ, node times in paths) uses *real*
+// (unwrapped) cycle numbers, so a route's length always equals the true
+// latency between producer and consumer — a value can never be confused
+// with its counterpart from a different block initiation. The modulo wrap
+// appears only in Key(), which folds real time into [0, II) for resource
+// occupancy accounting, and when configurations are stamped (the schedule
+// repeats every II cycles).
+//
+// Resources per PE per cycle:
+//   - one FU (the ALU slot operations are placed on),
+//   - four directional output registers (a value written at t is visible
+//     to the neighbor at t+1; output registers may also hold),
+//   - NumRegs register-file entries with per-cycle hold chains, guarded by
+//     RF read/write port capacity nodes (2r/2w),
+//   - one data-memory read and one write port (loads/stores).
+package mrrg
+
+import (
+	"fmt"
+
+	"himap/internal/arch"
+)
+
+// Class enumerates resource node classes.
+type Class uint8
+
+const (
+	ClassFU Class = iota
+	ClassOut
+	ClassReg
+	ClassRFRead
+	ClassRFWrite
+	ClassMemRead
+	ClassMemWrite
+	numClasses
+)
+
+var classNames = [...]string{"FU", "OUT", "REG", "RFR", "RFW", "MRD", "MWR"}
+
+// String returns the class mnemonic.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Node identifies one resource at one (real) cycle.
+type Node struct {
+	T     int
+	R, C  int
+	Class Class
+	Idx   uint8 // direction for ClassOut, register index for ClassReg
+}
+
+// String renders the node, e.g. "OUT.E@(1,2)t3".
+func (n Node) String() string {
+	switch n.Class {
+	case ClassOut:
+		return fmt.Sprintf("OUT.%s@(%d,%d)t%d", arch.Dir(n.Idx), n.R, n.C, n.T)
+	case ClassReg:
+		return fmt.Sprintf("REG%d@(%d,%d)t%d", n.Idx, n.R, n.C, n.T)
+	default:
+		return fmt.Sprintf("%s@(%d,%d)t%d", n.Class, n.R, n.C, n.T)
+	}
+}
+
+// Shifted returns the node displaced by (dt, dr, dc) — used when
+// replicating canonical routes across iteration clusters.
+func (n Node) Shifted(dt, dr, dc int) Node {
+	return Node{T: n.T + dt, R: n.R + dr, C: n.C + dc, Class: n.Class, Idx: n.Idx}
+}
+
+// Graph is an implicit time-extended routing resource graph.
+type Graph struct {
+	Arch arch.CGRA
+	// II is the wrap period when Wrap is set; otherwise the time depth of
+	// a non-modular time extension (used for sub-CGRA feasibility checks).
+	II   int
+	Wrap bool
+}
+
+// New returns the MRRG of the array, time-extended to ii cycles with
+// modulo wrap-around for resource accounting (H_II of §IV).
+func New(a arch.CGRA, ii int) *Graph { return &Graph{Arch: a, II: ii, Wrap: true} }
+
+// NewAcyclic returns a non-wrapping time extension of depth cycles (used
+// for IDFG → sub-CGRA mapping, H” of §IV).
+func NewAcyclic(a arch.CGRA, depth int) *Graph { return &Graph{Arch: a, II: depth, Wrap: false} }
+
+// WrapTime folds a real cycle into the occupancy period [0, II).
+func (g *Graph) WrapTime(t int) int {
+	return ((t % g.II) + g.II) % g.II
+}
+
+// ValidTime reports whether a real cycle exists in the extension: always
+// true for modular graphs (t >= 0), bounded for acyclic graphs.
+func (g *Graph) ValidTime(t int) bool {
+	if g.Wrap {
+		return true
+	}
+	return t >= 0 && t < g.II
+}
+
+// Key packs the node into an occupancy key; real time is folded modulo II.
+func (g *Graph) Key(n Node) uint64 {
+	return ((uint64(g.WrapTime(n.T))*uint64(g.Arch.Rows)+uint64(n.R))*uint64(g.Arch.Cols)+uint64(n.C))*64 +
+		uint64(n.Class)*8 + uint64(n.Idx)
+}
+
+// RealKey packs the node with its real (unwrapped) time — unique per real
+// node, used for per-net reuse bookkeeping.
+func RealKey(n Node) uint64 {
+	return ((uint64(n.T+1024)*256+uint64(n.R))*256+uint64(n.C))*64 +
+		uint64(n.Class)*8 + uint64(n.Idx)
+}
+
+// Capacity returns the occupancy capacity of a node class.
+func (g *Graph) Capacity(c Class) int {
+	switch c {
+	case ClassRFRead:
+		return g.Arch.RFReadPorts
+	case ClassRFWrite:
+		return g.Arch.RFWritePorts
+	default:
+		return 1
+	}
+}
+
+// Succ invokes fn for every successor of n along the value-flow edges
+// described in the package comment. Times are real (monotone); space is
+// bounds-checked; acyclic graphs stop at their depth.
+func (g *Graph) Succ(n Node, fn func(Node)) {
+	emit := func(t, r, c int, cl Class, idx uint8) {
+		if !g.ValidTime(t) {
+			return
+		}
+		fn(Node{T: t, R: r, C: c, Class: cl, Idx: idx})
+	}
+	switch n.Class {
+	case ClassFU, ClassMemRead:
+		// Freshly produced (computed or loaded) value: fan out through the
+		// crossbar to output registers, the RF write port, or the store port.
+		for d := arch.Dir(0); d < arch.NumDirs; d++ {
+			if _, _, ok := g.Arch.Neighbor(n.R, n.C, d); ok {
+				emit(n.T, n.R, n.C, ClassOut, uint8(d))
+			}
+		}
+		emit(n.T, n.R, n.C, ClassRFWrite, 0)
+		emit(n.T, n.R, n.C, ClassMemWrite, 0)
+	case ClassOut:
+		d := arch.Dir(n.Idx)
+		if nr, nc, ok := g.Arch.Neighbor(n.R, n.C, d); ok {
+			// Arrives at the neighbor next cycle: may be re-routed onward,
+			// written to its RF, or stored.
+			for d2 := arch.Dir(0); d2 < arch.NumDirs; d2++ {
+				if _, _, ok2 := g.Arch.Neighbor(nr, nc, d2); ok2 {
+					emit(n.T+1, nr, nc, ClassOut, uint8(d2))
+				}
+			}
+			emit(n.T+1, nr, nc, ClassRFWrite, 0)
+			emit(n.T+1, nr, nc, ClassMemWrite, 0)
+		}
+		// The output register may hold its value another cycle.
+		emit(n.T+1, n.R, n.C, ClassOut, n.Idx)
+	case ClassRFWrite:
+		for k := 0; k < g.Arch.NumRegs; k++ {
+			emit(n.T+1, n.R, n.C, ClassReg, uint8(k))
+		}
+	case ClassReg:
+		emit(n.T+1, n.R, n.C, ClassReg, n.Idx) // hold
+		emit(n.T, n.R, n.C, ClassRFRead, 0)    // read this cycle
+	case ClassRFRead:
+		for d := arch.Dir(0); d < arch.NumDirs; d++ {
+			if _, _, ok := g.Arch.Neighbor(n.R, n.C, d); ok {
+				emit(n.T, n.R, n.C, ClassOut, uint8(d))
+			}
+		}
+		emit(n.T, n.R, n.C, ClassMemWrite, 0)
+	case ClassMemWrite:
+		// Pure sink.
+	}
+}
+
+// FUNode returns the FU node at real cycle t.
+func (g *Graph) FUNode(t, r, c int) Node { return Node{T: t, R: r, C: c, Class: ClassFU} }
+
+// MemReadNode returns the data-memory read-port node at real cycle t.
+func (g *Graph) MemReadNode(t, r, c int) Node {
+	return Node{T: t, R: r, C: c, Class: ClassMemRead}
+}
+
+// MemWriteNode returns the data-memory write-port node at real cycle t.
+func (g *Graph) MemWriteNode(t, r, c int) Node {
+	return Node{T: t, R: r, C: c, Class: ClassMemWrite}
+}
+
+// OperandTargets returns the set of acceptable final routing nodes for
+// delivering a value to the FU at real cycle t of PE (r, c) as an ALU
+// operand: an output register of a neighbor at t-1 (arriving on an input
+// latch), this PE's RF read port at t (register operand), or this PE's
+// memory read port at t (the producer is a load scheduled right here).
+func (g *Graph) OperandTargets(t, r, c int) []Node {
+	var out []Node
+	for d := arch.Dir(0); d < arch.NumDirs; d++ {
+		nr, nc, ok := g.Arch.Neighbor(r, c, d)
+		if !ok {
+			continue
+		}
+		if g.ValidTime(t - 1) {
+			out = append(out, Node{T: t - 1, R: nr, C: nc, Class: ClassOut, Idx: uint8(d.Opposite())})
+		}
+	}
+	if g.ValidTime(t) {
+		out = append(out,
+			Node{T: t, R: r, C: c, Class: ClassRFRead},
+			Node{T: t, R: r, C: c, Class: ClassMemRead})
+	}
+	return out
+}
+
+// RelayTargets returns acceptable nodes for a value that must be present
+// and relayable at PE (r, c) around real cycle t — the anchors of route
+// pseudo-nodes: a neighbor output register pointing here at t-1, or a
+// register of this PE at t.
+func (g *Graph) RelayTargets(t, r, c int) []Node {
+	var out []Node
+	for d := arch.Dir(0); d < arch.NumDirs; d++ {
+		nr, nc, ok := g.Arch.Neighbor(r, c, d)
+		if !ok {
+			continue
+		}
+		if g.ValidTime(t - 1) {
+			out = append(out, Node{T: t - 1, R: nr, C: nc, Class: ClassOut, Idx: uint8(d.Opposite())})
+		}
+	}
+	if g.ValidTime(t) {
+		for k := 0; k < g.Arch.NumRegs; k++ {
+			out = append(out, Node{T: t, R: r, C: c, Class: ClassReg, Idx: uint8(k)})
+		}
+	}
+	return out
+}
+
+// NumVirtualNodes returns the total node count of the time extension —
+// reported for scalability statistics, never allocated.
+func (g *Graph) NumVirtualNodes() int64 {
+	perPE := int64(1 /*FU*/ + 4 /*Out*/ + g.Arch.NumRegs + 2 /*RF ports*/ + 2 /*mem ports*/)
+	return int64(g.II) * int64(g.Arch.NumPEs()) * perPE
+}

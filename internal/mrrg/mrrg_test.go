@@ -1,0 +1,266 @@
+package mrrg
+
+import (
+	"testing"
+
+	"himap/internal/arch"
+)
+
+func collectSucc(g *Graph, n Node) []Node {
+	var out []Node
+	g.Succ(n, func(m Node) { out = append(out, m) })
+	return out
+}
+
+func TestWrapAndValidTime(t *testing.T) {
+	g := New(arch.Default(4, 4), 5)
+	if got := g.WrapTime(7); got != 2 {
+		t.Errorf("WrapTime(7) = %d", got)
+	}
+	if got := g.WrapTime(-1); got != 4 {
+		t.Errorf("WrapTime(-1) = %d", got)
+	}
+	if !g.ValidTime(1000) {
+		t.Error("modular graph accepts any non-negative real time")
+	}
+	ga := NewAcyclic(arch.Default(4, 4), 5)
+	if ga.ValidTime(5) {
+		t.Error("acyclic graph must reject t beyond depth")
+	}
+	if !ga.ValidTime(4) {
+		t.Error("acyclic graph must accept t = depth-1")
+	}
+}
+
+func TestKeyFoldsModulo(t *testing.T) {
+	g := New(arch.Default(2, 2), 3)
+	a := Node{T: 1, R: 0, C: 1, Class: ClassOut, Idx: 2}
+	b := Node{T: 4, R: 0, C: 1, Class: ClassOut, Idx: 2}
+	if g.Key(a) != g.Key(b) {
+		t.Error("occupancy keys of t and t+II must coincide")
+	}
+	if RealKey(a) == RealKey(b) {
+		t.Error("real keys of t and t+II must differ")
+	}
+}
+
+func TestShifted(t *testing.T) {
+	n := Node{T: 2, R: 1, C: 1, Class: ClassReg, Idx: 3}
+	s := n.Shifted(4, -1, 1)
+	if s.T != 6 || s.R != 0 || s.C != 2 || s.Class != ClassReg || s.Idx != 3 {
+		t.Errorf("Shifted = %v", s)
+	}
+}
+
+func TestKeyUniqueness(t *testing.T) {
+	g := New(arch.Default(3, 3), 4)
+	seen := map[uint64]Node{}
+	for tt := 0; tt < 4; tt++ {
+		for r := 0; r < 3; r++ {
+			for c := 0; c < 3; c++ {
+				nodes := []Node{
+					{T: tt, R: r, C: c, Class: ClassFU},
+					{T: tt, R: r, C: c, Class: ClassMemRead},
+					{T: tt, R: r, C: c, Class: ClassMemWrite},
+					{T: tt, R: r, C: c, Class: ClassRFRead},
+					{T: tt, R: r, C: c, Class: ClassRFWrite},
+				}
+				for d := uint8(0); d < 4; d++ {
+					nodes = append(nodes, Node{T: tt, R: r, C: c, Class: ClassOut, Idx: d})
+				}
+				for k := uint8(0); k < 4; k++ {
+					nodes = append(nodes, Node{T: tt, R: r, C: c, Class: ClassReg, Idx: k})
+				}
+				for _, n := range nodes {
+					k := g.Key(n)
+					if prev, dup := seen[k]; dup {
+						t.Fatalf("key collision: %v vs %v", prev, n)
+					}
+					seen[k] = n
+				}
+			}
+		}
+	}
+}
+
+func TestFUSuccessors(t *testing.T) {
+	g := New(arch.Default(3, 3), 4)
+	succ := collectSucc(g, Node{T: 1, R: 1, C: 1, Class: ClassFU})
+	// Interior PE: 4 out regs + RF write + mem write.
+	if len(succ) != 6 {
+		t.Fatalf("interior FU successors = %d (%v), want 6", len(succ), succ)
+	}
+	// Corner PE: 2 out regs + RF write + mem write.
+	succ = collectSucc(g, Node{T: 1, R: 0, C: 0, Class: ClassFU})
+	if len(succ) != 4 {
+		t.Fatalf("corner FU successors = %d (%v), want 4", len(succ), succ)
+	}
+}
+
+func TestOutSuccessorsCrossPEAndWrap(t *testing.T) {
+	g := New(arch.Default(2, 2), 3)
+	// Out East of (0,0) at the last cycle of the period: arrives at (0,1)
+	// at real cycle 3, whose occupancy key folds onto cycle 0.
+	succ := collectSucc(g, Node{T: 2, R: 0, C: 0, Class: ClassOut, Idx: uint8(arch.East)})
+	foundNext := false
+	foundHold := false
+	for _, m := range succ {
+		if m.T == 3 && m.R == 0 && m.C == 1 && m.Class == ClassRFWrite {
+			foundNext = true
+			if g.Key(m) != g.Key(Node{T: 0, R: 0, C: 1, Class: ClassRFWrite}) {
+				t.Error("real cycle 3 must share its occupancy key with cycle 0")
+			}
+		}
+		if m.T == 3 && m.R == 0 && m.C == 0 && m.Class == ClassOut && arch.Dir(m.Idx) == arch.East {
+			foundHold = true
+		}
+	}
+	if !foundNext {
+		t.Errorf("out register must deliver at the next real cycle: %v", succ)
+	}
+	if !foundHold {
+		t.Errorf("out register must be able to hold: %v", succ)
+	}
+}
+
+func TestRegisterHoldChain(t *testing.T) {
+	g := New(arch.Default(2, 2), 4)
+	succ := collectSucc(g, Node{T: 1, R: 0, C: 0, Class: ClassReg, Idx: 2})
+	var hold, read bool
+	for _, m := range succ {
+		if m.Class == ClassReg && m.Idx == 2 && m.T == 2 {
+			hold = true
+		}
+		if m.Class == ClassRFRead && m.T == 1 {
+			read = true
+		}
+	}
+	if !hold || !read {
+		t.Errorf("register successors missing hold/read: %v", succ)
+	}
+}
+
+func TestRFWriteFansOutToRegisters(t *testing.T) {
+	g := New(arch.Default(2, 2), 4)
+	succ := collectSucc(g, Node{T: 0, R: 1, C: 1, Class: ClassRFWrite})
+	if len(succ) != 4 {
+		t.Fatalf("RF write successors = %d, want 4 registers", len(succ))
+	}
+	for _, m := range succ {
+		if m.Class != ClassReg || m.T != 1 {
+			t.Errorf("unexpected RF write successor %v", m)
+		}
+	}
+}
+
+func TestMemWriteIsSink(t *testing.T) {
+	g := New(arch.Default(2, 2), 4)
+	if succ := collectSucc(g, Node{T: 0, R: 0, C: 0, Class: ClassMemWrite}); len(succ) != 0 {
+		t.Errorf("mem write must be a sink, got %v", succ)
+	}
+}
+
+func TestAcyclicGraphStopsAtDepth(t *testing.T) {
+	g := NewAcyclic(arch.Default(2, 2), 2)
+	// Out at the last cycle has nowhere to go (no wrap).
+	succ := collectSucc(g, Node{T: 1, R: 0, C: 0, Class: ClassOut, Idx: uint8(arch.East)})
+	if len(succ) != 0 {
+		t.Errorf("acyclic out at final cycle should have no successors, got %v", succ)
+	}
+}
+
+func TestRelayTargets(t *testing.T) {
+	g := New(arch.Default(3, 3), 4)
+	targets := g.RelayTargets(2, 1, 1)
+	// Interior PE: 4 neighbor out regs + 4 registers.
+	if len(targets) != 8 {
+		t.Fatalf("relay targets = %d (%v), want 8", len(targets), targets)
+	}
+	regs := 0
+	for _, m := range targets {
+		if m.Class == ClassReg {
+			regs++
+			if m.T != 2 || m.R != 1 || m.C != 1 {
+				t.Errorf("register relay target %v misplaced", m)
+			}
+		}
+	}
+	if regs != 4 {
+		t.Errorf("register relay targets = %d, want 4", regs)
+	}
+}
+
+func TestOperandTargets(t *testing.T) {
+	g := New(arch.Default(3, 3), 4)
+	targets := g.OperandTargets(2, 1, 1)
+	// Interior consumer: 4 neighbor out regs + RF read + mem read.
+	if len(targets) != 6 {
+		t.Fatalf("operand targets = %d (%v), want 6", len(targets), targets)
+	}
+	for _, m := range targets {
+		switch m.Class {
+		case ClassOut:
+			if m.T != 1 {
+				t.Errorf("out target at t=%d, want 1", m.T)
+			}
+			// The out register must point back at (1,1).
+			nr, nc, ok := g.Arch.Neighbor(m.R, m.C, arch.Dir(m.Idx))
+			if !ok || nr != 1 || nc != 1 {
+				t.Errorf("out target %v does not deliver to (1,1)", m)
+			}
+		case ClassRFRead, ClassMemRead:
+			if m.T != 2 || m.R != 1 || m.C != 1 {
+				t.Errorf("local target %v misplaced", m)
+			}
+		default:
+			t.Errorf("unexpected target class %v", m.Class)
+		}
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	g := New(arch.Default(2, 2), 2)
+	if g.Capacity(ClassFU) != 1 || g.Capacity(ClassOut) != 1 || g.Capacity(ClassReg) != 1 {
+		t.Error("unit capacities wrong")
+	}
+	if g.Capacity(ClassRFRead) != 2 || g.Capacity(ClassRFWrite) != 2 {
+		t.Error("RF port capacities wrong")
+	}
+}
+
+func TestNumVirtualNodes(t *testing.T) {
+	g := New(arch.Default(64, 64), 128)
+	// 64*64 PEs * 128 cycles * 13 resources/PE — millions of nodes, never allocated.
+	if got := g.NumVirtualNodes(); got != int64(64*64*128*13) {
+		t.Errorf("NumVirtualNodes = %d", got)
+	}
+}
+
+func TestSuccessorsStayInBoundsAndMonotone(t *testing.T) {
+	g := New(arch.Default(2, 2), 3)
+	check := func(n Node) {
+		g.Succ(n, func(m Node) {
+			if m.T < n.T || m.T > n.T+1 {
+				t.Errorf("non-monotone successor %v of %v", m, n)
+			}
+			if !g.Arch.InBounds(m.R, m.C) {
+				t.Errorf("out-of-bounds successor %v of %v", m, n)
+			}
+		})
+	}
+	for tt := 0; tt < 3; tt++ {
+		for r := 0; r < 2; r++ {
+			for c := 0; c < 2; c++ {
+				check(Node{T: tt, R: r, C: c, Class: ClassFU})
+				check(Node{T: tt, R: r, C: c, Class: ClassMemRead})
+				check(Node{T: tt, R: r, C: c, Class: ClassRFWrite})
+				for d := uint8(0); d < 4; d++ {
+					check(Node{T: tt, R: r, C: c, Class: ClassOut, Idx: d})
+				}
+				for k := uint8(0); k < 4; k++ {
+					check(Node{T: tt, R: r, C: c, Class: ClassReg, Idx: k})
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package power
+
+import (
+	"testing"
+
+	"himap/internal/arch"
+	"himap/internal/himap"
+	"himap/internal/ir"
+	"himap/internal/kernel"
+)
+
+func fullConfig(t *testing.T) *arch.Config {
+	t.Helper()
+	res, err := himap.Compile(kernel.GEMM(), arch.Default(4, 4), himap.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Config
+}
+
+func TestPerformanceMOPSFormula(t *testing.T) {
+	cfg := fullConfig(t)
+	m := Default40nm()
+	// GEMM maps at 100% utilization: 16 PEs × 510 MHz.
+	want := 16.0 * 510.0
+	if got := m.PerformanceMOPS(cfg); got != want {
+		t.Errorf("PerformanceMOPS = %v, want %v", got, want)
+	}
+}
+
+func TestActivityBounds(t *testing.T) {
+	cfg := fullConfig(t)
+	a := MeasureActivity(cfg)
+	for name, v := range map[string]float64{"fu": a.FU, "route": a.Route, "rf": a.RF, "mem": a.Mem} {
+		if v < 0 || v > 1 {
+			t.Errorf("activity %s = %v out of [0,1]", name, v)
+		}
+	}
+	if a.FU != 1.0 {
+		t.Errorf("GEMM FU activity = %v, want 1.0 (100%% utilization)", a.FU)
+	}
+	if a.Route == 0 {
+		t.Error("systolic mapping must exercise the crossbar")
+	}
+}
+
+func TestIdleArrayBurnsOnlyStatic(t *testing.T) {
+	cfg := arch.NewConfig(arch.Default(4, 4), 4)
+	m := Default40nm()
+	want := 16 * m.StaticMW
+	if got := m.PowerMW(cfg); got != want {
+		t.Errorf("idle power = %v, want %v", got, want)
+	}
+	if m.PerformanceMOPS(cfg) != 0 {
+		t.Error("idle array has zero throughput")
+	}
+}
+
+func TestEfficiencyFavorsUtilization(t *testing.T) {
+	// A half-utilized configuration on the same array must be less power
+	// efficient than a fully utilized one — the static share dominates.
+	m := Default40nm()
+	full := arch.NewConfig(arch.Default(2, 2), 2)
+	half := arch.NewConfig(arch.Default(2, 2), 2)
+	mk := func(cfg *arch.Config, every int) {
+		i := 0
+		for r := 0; r < 2; r++ {
+			for c := 0; c < 2; c++ {
+				for tt := 0; tt < 2; tt++ {
+					if i%every == 0 {
+						in := cfg.At(r, c, tt)
+						in.Op = ir.OpAdd
+						in.SrcA = arch.FromConst(1)
+						in.SrcB = arch.FromConst(2)
+					}
+					i++
+				}
+			}
+		}
+	}
+	mk(full, 1)
+	mk(half, 2)
+	ef := m.EfficiencyMOPSPerMW(full)
+	eh := m.EfficiencyMOPSPerMW(half)
+	if ef <= eh {
+		t.Errorf("efficiency full %v <= half %v; static power share broken", ef, eh)
+	}
+}
+
+func TestPowerMonotoneInActivity(t *testing.T) {
+	m := Default40nm()
+	idle := arch.NewConfig(arch.Default(2, 2), 1)
+	busy := arch.NewConfig(arch.Default(2, 2), 1)
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 2; c++ {
+			in := busy.At(r, c, 0)
+			in.Op = ir.OpMul
+			in.SrcA = arch.FromConst(1)
+			in.SrcB = arch.FromConst(2)
+			in.MemRead = arch.MemOp{Active: true, Tag: "x"}
+		}
+	}
+	if m.PowerMW(busy) <= m.PowerMW(idle) {
+		t.Error("busy array must dissipate more than idle")
+	}
+}
+
+func TestEfficiencyZeroPowerGuard(t *testing.T) {
+	m := Model{ClockMHz: 510}
+	cfg := arch.NewConfig(arch.Default(1, 1), 1)
+	if got := m.EfficiencyMOPSPerMW(cfg); got != 0 {
+		t.Errorf("zero-power efficiency = %v", got)
+	}
+}
+
+func TestHiMapBeatsBaselineEfficiencyShape(t *testing.T) {
+	// The Fig. 7 bottom-panel shape: at the same array size, a mapping at
+	// the performance envelope is more power efficient than a severely
+	// under-utilized one.
+	res, err := himap.Compile(kernel.MVT(), arch.Default(8, 8), himap.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Default40nm()
+	effHi := m.EfficiencyMOPSPerMW(res.Config)
+	// Build an artificial low-utilization config of the same size.
+	low := arch.NewConfig(arch.Default(8, 8), 8)
+	in := low.At(0, 0, 0)
+	in.Op = ir.OpAdd
+	in.SrcA = arch.FromConst(1)
+	in.SrcB = arch.FromConst(2)
+	effLow := m.EfficiencyMOPSPerMW(low)
+	if effHi <= effLow {
+		t.Errorf("efficiency shape inverted: HiMap %v <= low-util %v", effHi, effLow)
+	}
+	if effHi < 50 || effHi > 200 {
+		t.Errorf("efficiency %v MOPS/mW far from the paper's ~10^2 scale", effHi)
+	}
+}

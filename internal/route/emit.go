@@ -1,0 +1,280 @@
+package route
+
+import (
+	"fmt"
+
+	"himap/internal/arch"
+	"himap/internal/ir"
+	"himap/internal/mrrg"
+)
+
+// Emitter lowers placements and routed paths into a CGRA configuration,
+// detecting resource conflicts as it stamps fields. Every stamped field
+// carries a value tag (the absolute identity of the carried value);
+// stamping the same field twice with the same tag and contents is
+// idempotent — which is exactly what HiMap's REPLICATE step relies on —
+// while differing tags or contents are conflicts.
+type Emitter struct {
+	Cfg   *arch.Config
+	owner map[uint64]int32
+	// Interned value tags: conflict checks compare small integers; the
+	// strings are kept only for error messages.
+	tagIDs map[string]int32
+	tags   []string
+	// pred remembers, per net tag, which node fed each emitted path node.
+	// Fanout paths of a net may start anywhere in the already-routed tree;
+	// the predecessor context (e.g. which register feeds an RF read) comes
+	// from here.
+	pred map[predID]mrrg.Node
+}
+
+type predID struct {
+	tag int32
+	key uint64
+}
+
+// NewEmitter wraps a configuration for conflict-checked emission.
+func NewEmitter(cfg *arch.Config) *Emitter {
+	return &Emitter{
+		Cfg:    cfg,
+		owner:  map[uint64]int32{},
+		tagIDs: map[string]int32{},
+		pred:   map[predID]mrrg.Node{},
+	}
+}
+
+func (e *Emitter) tagID(tag string) int32 {
+	id, ok := e.tagIDs[tag]
+	if !ok {
+		id = int32(len(e.tags))
+		e.tagIDs[tag] = id
+		e.tags = append(e.tags, tag)
+	}
+	return id
+}
+
+// Claim-key resource kinds (packed with position and wrapped time).
+const (
+	resFU = iota
+	resMRD
+	resMWR
+	resSrc0
+	resSrc1
+	resOut0                // +direction (4)
+	resReg0  = resOut0 + 4 // +register index (up to 16)
+	resRegW  = resReg0 + 16
+	resKinds = resRegW + 16
+)
+
+func (e *Emitter) resKey(kind, r, c, t int) uint64 {
+	a := e.Cfg.CGRA
+	return ((uint64(kind)*uint64(a.Rows)+uint64(r))*uint64(a.Cols)+uint64(c))*uint64(e.Cfg.II) + uint64(e.wrapT(t))
+}
+
+func (e *Emitter) claimRes(kind, r, c, t int, tag string) error {
+	key := e.resKey(kind, r, c, t)
+	id := e.tagID(tag)
+	if old, ok := e.owner[key]; ok && old != id {
+		return fmt.Errorf("route: resource kind %d @(%d,%d)t%d claimed by %q and %q",
+			kind, r, c, e.wrapT(t), e.tags[old], tag)
+	}
+	e.owner[key] = id
+	return nil
+}
+
+// wrapT folds a real cycle into the configuration period, so replicas of
+// a value at t and t+II correctly collide on the same physical slot.
+func (e *Emitter) wrapT(t int) int { return ((t % e.Cfg.II) + e.Cfg.II) % e.Cfg.II }
+
+func (e *Emitter) slot(n mrrg.Node) *arch.Instr { return e.Cfg.At(n.R, n.C, n.T) }
+
+// PlaceOp stamps a compute operation on an FU slot.
+func (e *Emitter) PlaceOp(n mrrg.Node, kind ir.OpKind, tag string) error {
+	if n.Class != mrrg.ClassFU {
+		return fmt.Errorf("route: PlaceOp on %v", n)
+	}
+	if err := e.claimRes(resFU, n.R, n.C, n.T, tag); err != nil {
+		return err
+	}
+	in := e.slot(n)
+	in.Op = kind
+	if in.Comment == "" {
+		in.Comment = tag
+	}
+	return nil
+}
+
+// PlaceLoad stamps a data-memory read on a memory port slot.
+func (e *Emitter) PlaceLoad(n mrrg.Node, tag, elem string) error {
+	if n.Class != mrrg.ClassMemRead {
+		return fmt.Errorf("route: PlaceLoad on %v", n)
+	}
+	if err := e.claimRes(resMRD, n.R, n.C, n.T, tag); err != nil {
+		return err
+	}
+	in := e.slot(n)
+	in.MemRead = arch.MemOp{Active: true, Tag: elem}
+	return nil
+}
+
+// operandFrom derives the crossbar source selector exposing the value
+// carried at node cur, where prev is the node before cur on the path
+// (needed for register reads) and consumer identifies the PE/cycle that
+// consumes (to translate Out registers into input-latch directions).
+func operandFrom(cur, prev mrrg.Node, atR, atC, atT int) (arch.Operand, error) {
+	switch cur.Class {
+	case mrrg.ClassFU:
+		if cur.R != atR || cur.C != atC || cur.T != atT {
+			return arch.Operand{}, fmt.Errorf("route: ALU tap across PEs (%v consumed at (%d,%d)t%d)", cur, atR, atC, atT)
+		}
+		return arch.FromALU(), nil
+	case mrrg.ClassMemRead:
+		if cur.R != atR || cur.C != atC || cur.T != atT {
+			return arch.Operand{}, fmt.Errorf("route: mem tap across PEs (%v at (%d,%d)t%d)", cur, atR, atC, atT)
+		}
+		return arch.FromMem(), nil
+	case mrrg.ClassRFRead:
+		if prev.Class != mrrg.ClassReg {
+			return arch.Operand{}, fmt.Errorf("route: RF read not preceded by register node (%v)", prev)
+		}
+		return arch.FromReg(int(prev.Idx)), nil
+	case mrrg.ClassOut:
+		d := arch.Dir(cur.Idx)
+		if cur.R == atR && cur.C == atC {
+			// Same PE, earlier cycle: output register holding (only valid
+			// when driving the same output register).
+			return arch.Hold(), nil
+		}
+		// The value sits in the neighbor's output register pointed at us;
+		// it arrives on our input latch from the neighbor's direction.
+		return arch.FromIn(d.Opposite()), nil
+	}
+	return arch.Operand{}, fmt.Errorf("route: no operand form for %v", cur)
+}
+
+// EmitPath stamps all routing fields of one path. tag identifies the
+// carried value; storeElem is used when the path terminates at a memory
+// write port.
+func (e *Emitter) EmitPath(p Path, tag, storeElem string) error {
+	tid := e.tagID(tag)
+	nodeAt := func(i int) mrrg.Node {
+		if i >= 0 {
+			return p[i]
+		}
+		// Before the path start: the net node that fed p[0] on an earlier
+		// path of the same net.
+		if pr, ok := e.pred[predID{tid, mrrg.RealKey(p[0])}]; ok {
+			return pr
+		}
+		return mrrg.Node{Class: mrrg.ClassFU, R: -1, C: -1}
+	}
+	prevOf := func(i int) mrrg.Node { return nodeAt(i - 1) }
+	for i := 1; i < len(p); i++ {
+		e.pred[predID{tid, mrrg.RealKey(p[i])}] = p[i-1]
+	}
+	for i := 1; i < len(p); i++ {
+		cur := p[i]
+		prev := p[i-1]
+		switch cur.Class {
+		case mrrg.ClassOut:
+			src, err := operandFrom(prev, prevOf(i-1), cur.R, cur.C, cur.T)
+			if err != nil {
+				return err
+			}
+			if src.Kind == arch.OpdHold && arch.Dir(cur.Idx) != arch.Dir(prev.Idx) {
+				return fmt.Errorf("route: hold across output registers (%v <- %v)", cur, prev)
+			}
+			if err := e.claimRes(resOut0+int(cur.Idx), cur.R, cur.C, cur.T, tag); err != nil {
+				return err
+			}
+			in := e.slot(cur)
+			in.OutSel[cur.Idx] = src
+		case mrrg.ClassReg:
+			// Value occupancy of the register during cycle cur.T.
+			if err := e.claimRes(resReg0+int(cur.Idx), cur.R, cur.C, cur.T, tag); err != nil {
+				return err
+			}
+			if prev.Class == mrrg.ClassRFWrite {
+				// A write at prev.T places the value; source is the node
+				// before the write port.
+				src, err := operandFrom(nodeAt(i-2), prevOf(i-2), prev.R, prev.C, prev.T)
+				if err != nil {
+					return err
+				}
+				if err := e.claimRes(resRegW+int(cur.Idx), prev.R, prev.C, prev.T, tag); err != nil {
+					return err
+				}
+				in := e.slot(prev)
+				dup := false
+				for _, w := range in.RegWr {
+					if w.Reg == int(cur.Idx) && w.Src == src {
+						dup = true
+					}
+				}
+				if !dup {
+					in.RegWr = append(in.RegWr, arch.RegWrite{Reg: int(cur.Idx), Src: src})
+				}
+			}
+		case mrrg.ClassRFWrite, mrrg.ClassRFRead:
+			// Port passages; fields are emitted at the adjacent nodes.
+		case mrrg.ClassMemWrite:
+			src, err := operandFrom(prev, prevOf(i-1), cur.R, cur.C, cur.T)
+			if err != nil {
+				return err
+			}
+			if err := e.claimRes(resMWR, cur.R, cur.C, cur.T, tag); err != nil {
+				return err
+			}
+			in := e.slot(cur)
+			in.MemWrite = arch.MemOp{Active: true, Src: src, Tag: storeElem}
+		default:
+			return fmt.Errorf("route: unexpected path node %v", cur)
+		}
+	}
+	return nil
+}
+
+// SetOperand stamps a consumer's ALU source port with the value delivered
+// by the final nodes of a path (last = p[len-1], the delivery node).
+func (e *Emitter) SetOperand(fu mrrg.Node, port int, p Path, tag string) error {
+	if fu.Class != mrrg.ClassFU {
+		return fmt.Errorf("route: SetOperand on %v", fu)
+	}
+	last := p[len(p)-1]
+	var before mrrg.Node
+	if len(p) >= 2 {
+		before = p[len(p)-2]
+	} else if pr, ok := e.pred[predID{e.tagID(tag), mrrg.RealKey(last)}]; ok {
+		before = pr
+	}
+	src, err := operandFrom(last, before, fu.R, fu.C, fu.T)
+	if err != nil {
+		return err
+	}
+	if src.Kind == arch.OpdHold {
+		return fmt.Errorf("route: operand cannot be a hold (%v)", last)
+	}
+	kind := resSrc0
+	if port == 1 {
+		kind = resSrc1
+	}
+	if err := e.claimRes(kind, fu.R, fu.C, fu.T, tag); err != nil {
+		return err
+	}
+	in := e.slot(fu)
+	if port == 0 {
+		in.SrcA = src
+	} else {
+		in.SrcB = src
+	}
+	return nil
+}
+
+// SetConstOperand stamps an immediate on a consumer's port 1.
+func (e *Emitter) SetConstOperand(fu mrrg.Node, v int64, tag string) error {
+	if err := e.claimRes(resSrc1, fu.R, fu.C, fu.T, tag); err != nil {
+		return err
+	}
+	e.slot(fu).SrcB = arch.FromConst(v)
+	return nil
+}

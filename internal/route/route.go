@@ -1,0 +1,332 @@
+// Package route implements negotiated-congestion routing on the implicit
+// MRRG: Dijkstra least-cost path search that allows resource
+// oversubscription, plus the PathFinder/SPR-style cost escalation loop
+// HiMap's MAP() and ROUTE() functions are built on (§V: "All ports are
+// initially assigned the same cost. At the end of each iteration, the
+// costs of oversubscribed ports are increased ... inspired by SPR").
+//
+// Searches run in *real* (unwrapped) time so that a route's length equals
+// the true producer→consumer latency; occupancy is charged modulo II via
+// mrrg.Graph.Key. Search is pruned at the latest target cycle — the
+// resource edges are time-monotone, so no useful path extends past it.
+package route
+
+import (
+	"container/heap"
+	"fmt"
+
+	"himap/internal/mrrg"
+)
+
+// Path is a resource node sequence from a producer to one sink; node 0 is
+// the producer's own placement node (FU or memory read port). Times are
+// real (unwrapped).
+type Path []mrrg.Node
+
+// Net is one routed signal: a producer node and a tree of paths to its
+// sinks. Paths share resource nodes freely (a net may reuse its own
+// nodes at no cost — fanout taps an existing wire).
+type Net struct {
+	ID    int
+	Src   mrrg.Node
+	Paths []Path
+	nodes map[uint64]bool // RealKeys of every node of the tree, incl. Src
+	list  []mrrg.Node     // nodes charged to occupancy (excludes Src)
+}
+
+// Nodes reports the set of real-keyed resource nodes the net occupies.
+func (n *Net) Nodes() map[uint64]bool { return n.nodes }
+
+// Session tracks resource occupancy and history costs across the nets of
+// one mapping attempt.
+type Session struct {
+	G *mrrg.Graph
+
+	// PresFac scales the penalty for entering an oversubscribed node;
+	// HistBump is added to a node's history cost each escalation round.
+	PresFac  float64
+	HistBump float64
+	// MaxVisits bounds each Dijkstra search.
+	MaxVisits int
+
+	// Filter, when non-nil, restricts the search to nodes it accepts.
+	// HiMap's canonical routing uses it to keep paths inside the spatial
+	// envelope that exists for every replica of the route (a class member
+	// near the array edge must be able to reuse the translated path).
+	Filter func(mrrg.Node) bool
+
+	occ    map[uint64]int
+	hist   map[uint64]float64
+	netSeq int
+}
+
+// NewSession creates a routing session over g with the default cost
+// parameters.
+func NewSession(g *mrrg.Graph) *Session {
+	return &Session{
+		G:         g,
+		PresFac:   2.0,
+		HistBump:  3.0,
+		MaxVisits: 400000,
+		occ:       make(map[uint64]int),
+		hist:      make(map[uint64]float64),
+	}
+}
+
+// ResetKeepHistory clears all occupancy and nets but keeps the
+// accumulated history costs — the state carried between negotiated
+// congestion rounds when a mapping attempt is rebuilt from scratch.
+func (s *Session) ResetKeepHistory() {
+	s.occ = make(map[uint64]int)
+	s.netSeq = 0
+}
+
+// baseCost is the intrinsic cost of occupying one resource node.
+func baseCost(c mrrg.Class) float64 {
+	switch c {
+	case mrrg.ClassOut:
+		return 1.0
+	case mrrg.ClassReg:
+		return 0.6
+	case mrrg.ClassRFRead, mrrg.ClassRFWrite:
+		return 0.3
+	case mrrg.ClassMemRead, mrrg.ClassMemWrite:
+		return 1.0
+	default:
+		return 1.0
+	}
+}
+
+// enterCost prices entering node n for a net that does not yet own it.
+func (s *Session) enterCost(n mrrg.Node) float64 {
+	key := s.G.Key(n)
+	cap := s.G.Capacity(n.Class)
+	over := s.occ[key] + 1 - cap
+	pen := 1.0
+	if over > 0 {
+		pen = 1.0 + float64(over)*s.PresFac
+	}
+	return baseCost(n.Class)*pen + s.hist[key]
+}
+
+// Reserve marks a placement node (FU slot, memory port) occupied outside
+// any net, e.g. an operation placement. It returns the new occupancy.
+func (s *Session) Reserve(n mrrg.Node) int {
+	k := s.G.Key(n)
+	s.occ[k]++
+	return s.occ[k]
+}
+
+// Unreserve releases a Reserve.
+func (s *Session) Unreserve(n mrrg.Node) {
+	k := s.G.Key(n)
+	s.occ[k]--
+	if s.occ[k] <= 0 {
+		delete(s.occ, k)
+	}
+}
+
+// Occ returns the current occupancy of a node (modulo II).
+func (s *Session) Occ(n mrrg.Node) int { return s.occ[s.G.Key(n)] }
+
+// Hist returns the accumulated history cost of a node (for tests).
+func (s *Session) Hist(n mrrg.Node) float64 { return s.hist[s.G.Key(n)] }
+
+type pqItem struct {
+	key  uint64 // RealKey
+	node mrrg.Node
+	cost float64
+}
+
+type pq []pqItem
+
+func (p pq) Len() int { return len(p) }
+func (p pq) Less(i, j int) bool {
+	if p[i].cost != p[j].cost {
+		return p[i].cost < p[j].cost
+	}
+	return p[i].key < p[j].key // deterministic tie-break
+}
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+// NewNet starts a net at the producer's placement node. The source node's
+// occupancy is the producer's own (via Reserve); the net reuses it freely.
+func (s *Session) NewNet(src mrrg.Node) *Net {
+	s.netSeq++
+	return &Net{
+		ID:    s.netSeq,
+		Src:   src,
+		nodes: map[uint64]bool{mrrg.RealKey(src): true},
+	}
+}
+
+// RouteSink extends the net with a least-cost path from any node the net
+// already owns to any node of targets. Newly entered nodes are charged to
+// the session occupancy (modulo II). The found path starts at an owned
+// node and ends at the reached target.
+func (s *Session) RouteSink(net *Net, targets []mrrg.Node) (Path, float64, error) {
+	if len(targets) == 0 {
+		return nil, 0, fmt.Errorf("route: no targets")
+	}
+	targetKeys := make(map[uint64]bool, len(targets))
+	maxT := 0
+	for _, t := range targets {
+		targetKeys[mrrg.RealKey(t)] = true
+		if t.T > maxT {
+			maxT = t.T
+		}
+	}
+	dist := make(map[uint64]float64)
+	parent := make(map[uint64]uint64)
+	nodeOf := make(map[uint64]mrrg.Node)
+	var frontier pq
+	seed := func(n mrrg.Node) {
+		if n.T > maxT {
+			return
+		}
+		k := mrrg.RealKey(n)
+		nodeOf[k] = n
+		dist[k] = 0
+		heap.Push(&frontier, pqItem{key: k, node: n, cost: 0})
+	}
+	seed(net.Src)
+	for _, p := range net.Paths {
+		for _, n := range p {
+			seed(n)
+		}
+	}
+	visited := make(map[uint64]bool)
+	visits := 0
+	for frontier.Len() > 0 {
+		it := heap.Pop(&frontier).(pqItem)
+		if visited[it.key] {
+			continue
+		}
+		visited[it.key] = true
+		visits++
+		if visits > s.MaxVisits {
+			return nil, 0, fmt.Errorf("route: search limit %d exceeded", s.MaxVisits)
+		}
+		if targetKeys[it.key] {
+			var rev []mrrg.Node
+			k := it.key
+			for {
+				rev = append(rev, nodeOf[k])
+				pk, ok := parent[k]
+				if !ok {
+					break
+				}
+				k = pk
+			}
+			path := make(Path, 0, len(rev))
+			for i := len(rev) - 1; i >= 0; i-- {
+				path = append(path, rev[i])
+			}
+			s.commit(net, path)
+			return path, it.cost, nil
+		}
+		s.G.Succ(it.node, func(m mrrg.Node) {
+			if m.T > maxT {
+				return
+			}
+			if s.Filter != nil && !s.Filter(m) {
+				return
+			}
+			mk := mrrg.RealKey(m)
+			if visited[mk] {
+				return
+			}
+			step := 0.0
+			if !net.nodes[mk] {
+				step = s.enterCost(m)
+			}
+			nd := it.cost + step
+			if old, ok := dist[mk]; !ok || nd < old {
+				dist[mk] = nd
+				parent[mk] = it.key
+				nodeOf[mk] = m
+				heap.Push(&frontier, pqItem{key: mk, node: m, cost: nd})
+			}
+		})
+	}
+	return nil, 0, fmt.Errorf("route: no path from net %d (src %v) to %v", net.ID, net.Src, targets[0])
+}
+
+// commit charges newly used path nodes to occupancy and records them in
+// the net.
+func (s *Session) commit(net *Net, path Path) {
+	for _, n := range path {
+		rk := mrrg.RealKey(n)
+		if net.nodes[rk] {
+			continue
+		}
+		net.nodes[rk] = true
+		net.list = append(net.list, n)
+		s.occ[s.G.Key(n)]++
+	}
+	net.Paths = append(net.Paths, path)
+}
+
+// Release rips up an entire net, returning its resources.
+func (s *Session) Release(net *Net) {
+	for _, n := range net.list {
+		k := s.G.Key(n)
+		s.occ[k]--
+		if s.occ[k] <= 0 {
+			delete(s.occ, k)
+		}
+	}
+	net.nodes = map[uint64]bool{mrrg.RealKey(net.Src): true}
+	net.list = nil
+	net.Paths = nil
+}
+
+// ChargeShifted charges a translated copy of the net's resources to the
+// session occupancy — used when a canonical route is replicated across
+// iteration clusters so that congestion reflects all replicas.
+func (s *Session) ChargeShifted(net *Net, dt, dr, dc int) {
+	for _, n := range net.list {
+		s.occ[s.G.Key(n.Shifted(dt, dr, dc))]++
+	}
+}
+
+// OversubscribedIn returns the nodes of the given nets whose occupancy
+// exceeds capacity.
+func (s *Session) OversubscribedIn(nets []*Net) []mrrg.Node {
+	var out []mrrg.Node
+	seen := map[uint64]bool{}
+	for _, net := range nets {
+		for _, p := range net.Paths {
+			for _, n := range p {
+				k := s.G.Key(n)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				if s.occ[k] > s.G.Capacity(n.Class) {
+					out = append(out, n)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// BumpHistory raises the history cost of every oversubscribed node among
+// the given nets and returns how many nodes were bumped. A return of zero
+// means the routing is congestion-free (§V's success condition).
+func (s *Session) BumpHistory(nets []*Net) int {
+	over := s.OversubscribedIn(nets)
+	for _, n := range over {
+		s.hist[s.G.Key(n)] += s.HistBump
+	}
+	return len(over)
+}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"fmt"
+
+	"himap/internal/arch"
+	"himap/internal/ir"
+	"himap/internal/kernel"
+)
+
+// Validate runs nblocks back-to-back block instances of the kernel through
+// the configuration — the steady-state software-pipelined execution, one
+// block initiation every II cycles — feeding each block independent
+// pseudo-random inputs, and compares every block's drained outputs against
+// the golden executor. This is the functional-validation step of §VI.
+func Validate(cfg *arch.Config, k *kernel.Kernel, block []int, nblocks int, seed int64) error {
+	if nblocks < 1 {
+		return fmt.Errorf("sim: nblocks = %d", nblocks)
+	}
+	// Per-block inputs and golden outputs.
+	inputs := make([]map[string]*kernel.Tensor, nblocks)
+	golden := make([]map[string]*kernel.Tensor, nblocks)
+	for b := 0; b < nblocks; b++ {
+		inputs[b] = k.DefaultInputs(block, seed+int64(b))
+		g, err := k.Golden(block, inputs[b])
+		if err != nil {
+			return err
+		}
+		golden[b] = g
+	}
+
+	// Align phases: execution e of a port serves block e - Phase - shift.
+	minPhase, maxPhase := 0, 0
+	for _, s := range append(append([]arch.IOSpec{}, cfg.Loads...), cfg.Stores...) {
+		if s.Phase < minPhase {
+			minPhase = s.Phase
+		}
+		if s.Phase > maxPhase {
+			maxPhase = s.Phase
+		}
+	}
+	shift := -minPhase
+	execs := shift + nblocks + maxPhase + 2
+
+	m := New(cfg)
+	type pk struct{ r, c, slot int }
+	feedVals := map[pk][]int64{}
+	for _, s := range cfg.Loads {
+		key := pk{s.R, s.C, s.Slot}
+		vals, ok := feedVals[key]
+		if !ok {
+			vals = make([]int64, execs)
+		}
+		for e := 0; e < execs; e++ {
+			b := e - s.Phase - shift
+			if b < 0 || b >= nblocks {
+				continue
+			}
+			t, okT := inputs[b][s.Tensor]
+			if !okT {
+				return fmt.Errorf("sim: load references unknown tensor %q", s.Tensor)
+			}
+			vals[e] = t.At(ir.IterVec(s.Index))
+		}
+		feedVals[key] = vals
+	}
+	for key, vals := range feedVals {
+		m.SetFeed(key.r, key.c, key.slot, vals)
+	}
+
+	if err := m.Run(execs * cfg.II); err != nil {
+		return err
+	}
+
+	// Drain stores into per-block output tensors.
+	outs := make([]map[string]*kernel.Tensor, nblocks)
+	for b := 0; b < nblocks; b++ {
+		outs[b] = k.NewOutputs(block)
+	}
+	for _, s := range cfg.Stores {
+		log := m.StoreLog(s.R, s.C, s.Slot)
+		for e, v := range log {
+			b := e - s.Phase - shift
+			if b < 0 || b >= nblocks {
+				continue
+			}
+			t, ok := outs[b][s.Tensor]
+			if !ok {
+				return fmt.Errorf("sim: store references unknown tensor %q", s.Tensor)
+			}
+			t.Set(ir.IterVec(s.Index), v)
+		}
+	}
+	for b := 0; b < nblocks; b++ {
+		if err := kernel.CompareOutputs(golden[b], outs[b]); err != nil {
+			return fmt.Errorf("sim: block %d: %v", b, err)
+		}
+	}
+	return nil
+}
