@@ -20,7 +20,9 @@ import (
 	core "himap/internal/himap"
 	"himap/internal/ir"
 	"himap/internal/kernel"
+	"himap/internal/mrrg"
 	"himap/internal/power"
+	"himap/internal/route"
 	"himap/internal/sim"
 )
 
@@ -28,6 +30,7 @@ import (
 
 // BenchmarkTable1Categorize regenerates Table I's categorization.
 func BenchmarkTable1Categorize(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cat := kernel.Categorize(kernel.Catalog())
 		if len(cat) != 5 {
@@ -43,6 +46,7 @@ func BenchmarkTable1Categorize(b *testing.B) {
 func BenchmarkTable2UniqueIters(b *testing.B) {
 	for _, k := range kernel.Evaluation() {
 		b.Run(k.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := core.Compile(k, arch.Default(4, 4), core.Options{})
 				if err != nil {
@@ -66,6 +70,7 @@ func BenchmarkFig7HiMap(b *testing.B) {
 	for _, k := range kernel.Evaluation() {
 		for _, size := range []int{4, 8, 16} {
 			b.Run(fmt.Sprintf("%s/%dx%d", k.Name, size, size), func(b *testing.B) {
+				b.ReportAllocs()
 				var res *core.Result
 				var err error
 				for i := 0; i < b.N; i++ {
@@ -98,6 +103,7 @@ func BenchmarkFig7Baseline(b *testing.B) {
 	}
 	for _, c := range cases {
 		b.Run(fmt.Sprintf("%s/%dx%d", c.k.Name, c.size, c.size), func(b *testing.B) {
+			b.ReportAllocs()
 			var res *baseline.Result
 			var err error
 			for i := 0; i < b.N; i++ {
@@ -125,6 +131,7 @@ func BenchmarkFig8HiMapCompileTime(b *testing.B) {
 	for _, k := range []*kernel.Kernel{kernel.MVT(), kernel.GEMM(), kernel.TTM()} {
 		for _, size := range []int{4, 8, 16, 32} {
 			b.Run(fmt.Sprintf("%s/b%d", k.Name, size), func(b *testing.B) {
+				b.ReportAllocs()
 				inner := size
 				if k.Dim >= 4 && inner > 8 {
 					inner = 8
@@ -151,6 +158,7 @@ func BenchmarkFig8BaselineCompileTime(b *testing.B) {
 		{kernel.TTM(), 2},
 	} {
 		b.Run(fmt.Sprintf("%s/b%d", c.k.Name, c.b), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := baseline.Compile(c.k, arch.Default(c.b, c.b),
 					c.k.UniformBlock(c.b), baseline.Options{Seed: 1, TimeBudget: 60 * time.Second}); err != nil {
@@ -166,6 +174,7 @@ func BenchmarkFig8BaselineCompileTime(b *testing.B) {
 // mapping beyond the block size of 8, 5, and 4").
 func BenchmarkFig8Wall(b *testing.B) {
 	k := kernel.GEMM()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, err := baseline.Compile(k, arch.Default(8, 8), k.UniformBlock(8), baseline.Options{})
 		if err == nil {
@@ -180,6 +189,7 @@ func BenchmarkFig8Wall(b *testing.B) {
 func BenchmarkCompileEndToEnd(b *testing.B) {
 	for _, k := range kernel.Evaluation() {
 		b.Run(k.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Compile(k, arch.Default(8, 8), core.Options{}); err != nil {
 					b.Fatal(err)
@@ -210,6 +220,7 @@ func BenchmarkGolden(b *testing.B) {
 	k := kernel.GEMM()
 	block := []int{16, 16, 16}
 	inputs := k.DefaultInputs(block, 1)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := k.Golden(block, inputs); err != nil {
 			b.Fatal(err)
@@ -224,6 +235,7 @@ func BenchmarkSimulate(b *testing.B) {
 		b.Fatal(err)
 	}
 	m := sim.New(res.Config)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := m.Step(); err != nil {
@@ -239,6 +251,7 @@ func BenchmarkValidatePipelined(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := sim.Validate(res.Config, k, res.Block, 3, 7); err != nil {
@@ -251,6 +264,7 @@ func BenchmarkValidatePipelined(b *testing.B) {
 func BenchmarkPublicAPI(b *testing.B) {
 	k := himap.KernelMVT()
 	cg := himap.DefaultCGRA(4, 4)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := himap.Compile(k, cg, himap.Options{})
 		if err != nil {
@@ -265,6 +279,7 @@ func BenchmarkPublicAPI(b *testing.B) {
 func BenchmarkUniqueIdentificationScaling(b *testing.B) {
 	for _, inner := range []int{4, 16} {
 		b.Run(fmt.Sprintf("inner%d", inner), func(b *testing.B) {
+			b.ReportAllocs()
 			var res *core.Result
 			var err error
 			for i := 0; i < b.N; i++ {
@@ -281,6 +296,7 @@ func BenchmarkUniqueIdentificationScaling(b *testing.B) {
 
 // BenchmarkExpTableII regenerates the full Table II measurement.
 func BenchmarkExpTableII(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := exp.TableII(4, exp.Config{})
 		if err != nil {
@@ -300,6 +316,7 @@ func BenchmarkExpTableII(b *testing.B) {
 func BenchmarkAblationNegotiation(b *testing.B) {
 	for _, rounds := range []int{1, 8} {
 		b.Run(fmt.Sprintf("rounds%d", rounds), func(b *testing.B) {
+			b.ReportAllocs()
 			var res *core.Result
 			var err error
 			for i := 0; i < b.N; i++ {
@@ -322,6 +339,7 @@ func BenchmarkAblationRelayPolicy(b *testing.B) {
 			name = "registers-only"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var res *core.Result
 			var err error
 			for i := 0; i < b.N; i++ {
@@ -336,11 +354,54 @@ func BenchmarkAblationRelayPolicy(b *testing.B) {
 	}
 }
 
+// ------------------------------------------------------- router hot path
+
+// BenchmarkRouteSinkHotPath isolates the negotiated-congestion router's
+// inner loop: one net fanned out to three sinks at increasing space-time
+// distance on an 8x8 MRRG, with the session's occupancy reset (history
+// kept) between iterations — the exact reuse pattern of the routing
+// rounds in step 3. allocs/op is the hot-path discipline metric: the
+// generation-stamped scratch arrays keep steady-state Dijkstra runs free
+// of per-search map and heap-interface allocations.
+func BenchmarkRouteSinkHotPath(b *testing.B) {
+	g := mrrg.New(arch.Default(8, 8), 8)
+	s := route.NewSession(g)
+	src := mrrg.Node{T: 0, R: 0, C: 0, Class: mrrg.ClassFU}
+	sinks := [][3]int{{4, 2, 2}, {8, 4, 4}, {14, 7, 7}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ResetKeepHistory()
+		s.Reserve(src)
+		net := s.NewNet(src)
+		for _, t := range sinks {
+			if _, _, err := s.RouteSink(net, g.OperandTargets(t[0], t[1], t[2])); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSessionResetKeepHistory measures the between-rounds occupancy
+// reset on a large (16x16, II 8) session: it must reuse the session's
+// dense occupancy storage (0 allocs/op), not reallocate it, so the
+// negotiation loop's per-round cost is a clear, not a malloc.
+func BenchmarkSessionResetKeepHistory(b *testing.B) {
+	g := mrrg.New(arch.Default(16, 16), 8)
+	s := route.NewSession(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ResetKeepHistory()
+	}
+}
+
 // BenchmarkAblationDepthSlack measures the value of MAP's fallback depth
 // exploration.
 func BenchmarkAblationDepthSlack(b *testing.B) {
 	for _, slack := range []int{1, 3} {
 		b.Run(fmt.Sprintf("slack%d", slack), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Compile(kernel.FW(), arch.Default(4, 4), core.Options{DepthSlack: slack}); err != nil {
 					b.Fatal(err)

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -38,22 +39,25 @@ func parseInts(s string) []int {
 
 func main() {
 	var (
-		table1 = flag.Bool("table1", false, "regenerate Table I")
-		table2 = flag.Bool("table2", false, "regenerate Table II")
-		fig7   = flag.Bool("fig7", false, "regenerate Figure 7")
-		fig8   = flag.Bool("fig8", false, "regenerate Figure 8")
-		env    = flag.Bool("envelope", false, "large-array (64x64) scalability run")
-		all    = flag.Bool("all", false, "regenerate everything")
-		sizes  = flag.String("sizes", "4,8,16,32", "CGRA sizes for Fig 7")
-		bs     = flag.String("bs", "2,3,4,5,6,8,10,12,16,20,32,64", "block sizes for Fig 8")
-		budget = flag.Duration("budget", 20*time.Second, "baseline time budget per point")
-		t2size = flag.Int("table2size", 8, "CGRA size for Table II")
+		table1  = flag.Bool("table1", false, "regenerate Table I")
+		table2  = flag.Bool("table2", false, "regenerate Table II")
+		fig7    = flag.Bool("fig7", false, "regenerate Figure 7")
+		fig8    = flag.Bool("fig8", false, "regenerate Figure 8")
+		env     = flag.Bool("envelope", false, "large-array (64x64) scalability run")
+		all     = flag.Bool("all", false, "regenerate everything")
+		sizes   = flag.String("sizes", "4,8,16,32", "CGRA sizes for Fig 7")
+		bs      = flag.String("bs", "2,3,4,5,6,8,10,12,16,20,32,64", "block sizes for Fig 8")
+		budget  = flag.Duration("budget", 20*time.Second, "baseline time budget per point")
+		t2size  = flag.Int("table2size", 8, "CGRA size for Table II")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent experiment points (1 = sequential)")
+		benchJS = flag.String("bench-json", "", "write the compile-cost benchmark report (wall-clock, allocs, peak II per kernel) to this JSON file, e.g. BENCH_compile.json")
+		benchSz = flag.Int("bench-size", 8, "CGRA size for the -bench-json per-kernel rows")
 	)
 	flag.Parse()
 	if *all {
 		*table1, *table2, *fig7, *fig8 = true, true, true, true
 	}
-	if !*table1 && !*table2 && !*fig7 && !*fig8 && !*env {
+	if !*table1 && !*table2 && !*fig7 && !*fig8 && !*env && *benchJS == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -62,7 +66,7 @@ func main() {
 		fmt.Println(exp.TableI())
 	}
 	if *table2 {
-		rows, err := exp.TableII(*t2size, exp.Config{})
+		rows, err := exp.TableII(*t2size, exp.Config{Workers: *workers})
 		if err != nil {
 			fatal(err)
 		}
@@ -73,7 +77,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "fig7 point done: %s %dx%d (himap U %.1f%%, bhc U %.1f%% %s)\n",
 				p.Kernel, p.Size, p.Size, p.HiMapU*100, p.BHCU*100, p.BHCNote)
 		}
-		pts, err := exp.Fig7(exp.Config{Sizes: parseInts(*sizes), BaselineBudget: *budget, Progress: progress})
+		pts, err := exp.Fig7(exp.Config{Sizes: parseInts(*sizes), BaselineBudget: *budget, Workers: *workers, Progress: progress})
 		if err != nil {
 			fatal(err)
 		}
@@ -85,18 +89,32 @@ func main() {
 				p.Kernel, p.B, p.HiMapTime.Round(time.Millisecond), p.HiMapOK,
 				p.BHCTime.Round(time.Millisecond), p.BHCOK, p.BHCNote)
 		}
-		pts, err := exp.Fig8(exp.Fig8Config{Bs: parseInts(*bs), BaselineBudget: *budget, Progress: progress})
+		pts, err := exp.Fig8(exp.Fig8Config{Bs: parseInts(*bs), BaselineBudget: *budget, Workers: *workers, Progress: progress})
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(exp.FormatFig8(pts))
 	}
 	if *env {
-		pts, err := exp.Envelope([]int{64}, exp.Fig8Config{})
+		pts, err := exp.Envelope([]int{64}, exp.Fig8Config{Workers: *workers})
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(exp.FormatEnvelope(pts))
+	}
+	if *benchJS != "" {
+		rep, err := exp.BenchCompile(*benchSz, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		out, err := rep.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*benchJS, out, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: compile-cost report written to %s\n", *benchJS)
 	}
 }
 

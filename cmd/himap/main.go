@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"himap"
 )
@@ -32,6 +33,7 @@ func main() {
 		block    = flag.Int("block", 0, "baseline block size (default: largest under the 400-node wall)")
 		seed     = flag.Int64("seed", 42, "validation input seed")
 		save     = flag.String("save", "", "write the mapping as JSON to this file")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "compilation worker count (1 = fully sequential; the mapping is identical either way)")
 	)
 	flag.Parse()
 
@@ -47,7 +49,7 @@ func main() {
 		if b == 0 {
 			b = 4
 		}
-		res, err := himap.CompileBaseline(k, cg, k.UniformBlock(b), himap.BaselineOptions{Seed: *seed})
+		res, err := himap.CompileBaseline(k, cg, k.UniformBlock(b), himap.BaselineOptions{Seed: *seed, Workers: *workers})
 		if err != nil {
 			fatal(err)
 		}
@@ -66,7 +68,7 @@ func main() {
 		return
 	}
 
-	res, err := himap.Compile(k, cg, himap.Options{InnerBlock: *inner})
+	res, err := himap.Compile(k, cg, himap.Options{InnerBlock: *inner, Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}

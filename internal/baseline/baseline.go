@@ -22,6 +22,7 @@ import (
 	"himap/internal/ir"
 	"himap/internal/kernel"
 	"himap/internal/mrrg"
+	"himap/internal/par"
 	"himap/internal/route"
 )
 
@@ -33,6 +34,13 @@ type Options struct {
 	SAMoves    int           // SA moves per II attempt; 0 = auto (scales with DFG²)
 	TimeBudget time.Duration // overall wall-clock budget; 0 = unlimited
 	RouteRound int           // negotiated congestion rounds (default 6)
+	// Workers is the number of independently seeded simulated-annealing
+	// chains raced per II attempt; the feasible placement with the lowest
+	// cost wins, ties broken deterministically toward the lowest chain
+	// index (i.e. the lowest seed). 0 or 1 keeps the classic single-chain
+	// mapper, whose output is bit-stable across releases; higher values
+	// trade CPU for placement quality and wall-clock at a fixed seed.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -44,6 +52,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RouteRound == 0 {
 		o.RouteRound = 6
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
 	}
 	return o
 }
@@ -131,6 +142,9 @@ func Compile(k *kernel.Kernel, cg arch.CGRA, block []int, opts Options) (*Result
 		mii = 1
 	}
 
+	// Chain 0 keeps the historical shared rng across II attempts, so a
+	// single-chain run is bit-identical to the pre-parallel mapper; extra
+	// chains get fresh deterministic seeds per (II, chain).
 	rng := rand.New(rand.NewSource(opts.Seed + int64(len(d.Nodes))))
 	totalMoves := 0
 	var lastErr error
@@ -144,12 +158,33 @@ func Compile(k *kernel.Kernel, cg arch.CGRA, block []int, opts Options) (*Result
 			// super-linear compile-time behaviour of Fig. 8.
 			moves = 1500*len(d.Nodes) + 2*len(d.Nodes)*len(d.Nodes)
 		}
-		pl, ok := anneal(d, cg, ii, moves, rng, deadline)
-		totalMoves += moves
-		if !ok {
+		type chainOut struct {
+			pl   []place
+			ok   bool
+			cost float64
+		}
+		outs := make([]chainOut, opts.Workers)
+		par.ForEach(opts.Workers, opts.Workers, func(ci int) {
+			r := rng
+			if ci > 0 {
+				r = rand.New(rand.NewSource(opts.Seed + int64(len(d.Nodes)) +
+					int64(ci)*1_000_003 + int64(ii)*8191))
+			}
+			pl, ok, cost := anneal(d, cg, ii, moves, r, deadline)
+			outs[ci] = chainOut{pl: pl, ok: ok, cost: cost}
+		})
+		totalMoves += moves * opts.Workers
+		best := -1
+		for ci := range outs {
+			if outs[ci].ok && (best < 0 || outs[ci].cost < outs[best].cost) {
+				best = ci
+			}
+		}
+		if best < 0 {
 			lastErr = fmt.Errorf("placement infeasible at II %d", ii)
 			continue
 		}
+		pl := outs[best].pl
 		cfg, err := routeAndEmit(d, cg, ii, pl, opts.RouteRound)
 		if err != nil {
 			lastErr = err
@@ -188,11 +223,12 @@ func slotOf(n *ir.Node, p place, ii int) slotKey {
 }
 
 // anneal performs simulated annealing over joint (time, PE) placements.
-// It returns a placement with zero hard violations, or ok=false.
-func anneal(d *ir.DFG, cg arch.CGRA, ii, moves int, rng *rand.Rand, deadline time.Time) ([]place, bool) {
+// It returns a placement with zero hard violations (plus its total cost,
+// for best-of-N chain selection), or ok=false.
+func anneal(d *ir.DFG, cg arch.CGRA, ii, moves int, rng *rand.Rand, deadline time.Time) ([]place, bool, float64) {
 	order, err := d.TopoOrder()
 	if err != nil {
-		return nil, false
+		return nil, false, 0
 	}
 	// ASAP levels give the initial schedule and the move window.
 	asap := make([]int, len(d.Nodes))
@@ -303,7 +339,7 @@ func anneal(d *ir.DFG, cg arch.CGRA, ii, moves int, rng *rand.Rand, deadline tim
 	decay := math.Pow(0.02/temp, 1/float64(moves+1))
 	for mv := 0; mv < moves; mv++ {
 		if mv%4096 == 0 && !deadline.IsZero() && time.Now().After(deadline) {
-			return nil, false
+			return nil, false, 0
 		}
 		id := rng.Intn(len(d.Nodes))
 		n := d.Nodes[id]
@@ -324,9 +360,13 @@ func anneal(d *ir.DFG, cg arch.CGRA, ii, moves int, rng *rand.Rand, deadline tim
 		temp *= decay
 	}
 	if !feasible() {
-		return pl, false
+		return pl, false, 0
 	}
-	return pl, true
+	total := 0.0
+	for id := range d.Nodes {
+		total += cost(id)
+	}
+	return pl, true, total
 }
 
 // routeAndEmit performs detailed routing of every DFG edge over the MRRG

@@ -1,0 +1,112 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"himap/internal/arch"
+	"himap/internal/himap"
+	"himap/internal/kernel"
+	"himap/internal/par"
+)
+
+// BenchKernel is one row of the compile-cost report: a full HiMap
+// compilation of a kernel at one CGRA size, with the heap traffic it
+// generated.
+type BenchKernel struct {
+	Kernel      string  `json:"kernel"`
+	Size        int     `json:"size"`
+	WallMS      float64 `json:"wall_ms"`
+	Allocs      uint64  `json:"allocs"`
+	AllocBytes  uint64  `json:"alloc_bytes"`
+	IIB         int     `json:"peak_ii"`
+	Utilization float64 `json:"utilization"`
+	Attempts    int     `json:"attempts"`
+	RouteRounds int     `json:"route_rounds"`
+}
+
+// BenchReport is the machine-readable compile-cost snapshot written by
+// `experiments -bench-json` (BENCH_compile.json). Per-kernel rows are
+// measured sequentially so the alloc counters are attributable; the sweep
+// row exercises the Workers fan-out end to end.
+type BenchReport struct {
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Workers    int           `json:"workers"`
+	Kernels    []BenchKernel `json:"kernels"`
+	// Sweep is a HiMap-only kernel×size sweep ({MVT, GEMM, TTM} ×
+	// {4, 8, 16}) run through the parallel harness; WallMS is its total
+	// wall-clock with the configured Workers.
+	SweepPoints int     `json:"sweep_points"`
+	SweepWallMS float64 `json:"sweep_wall_ms"`
+}
+
+// BenchCompile compiles every evaluation kernel at the given size,
+// recording wall-clock and heap-allocation deltas per kernel, then times a
+// parallel kernel×size sweep with the given worker count.
+func BenchCompile(size, workers int) (*BenchReport, error) {
+	rep := &BenchReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    par.Workers(workers),
+	}
+	var ms0, ms1 runtime.MemStats
+	for _, k := range kernel.Evaluation() {
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		res, err := himap.Compile(k, arch.Default(size, size), himap.Options{Workers: 1})
+		wall := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		if err != nil {
+			return nil, fmt.Errorf("exp: bench %s %dx%d: %v", k.Name, size, size, err)
+		}
+		rep.Kernels = append(rep.Kernels, BenchKernel{
+			Kernel:      k.Name,
+			Size:        size,
+			WallMS:      float64(wall.Microseconds()) / 1000,
+			Allocs:      ms1.Mallocs - ms0.Mallocs,
+			AllocBytes:  ms1.TotalAlloc - ms0.TotalAlloc,
+			IIB:         res.IIB,
+			Utilization: res.Utilization,
+			Attempts:    res.Stats.Attempts,
+			RouteRounds: res.Stats.RouteRounds,
+		})
+	}
+
+	sweepKernels := []*kernel.Kernel{kernel.MVT(), kernel.GEMM(), kernel.TTM()}
+	sweepSizes := []int{4, 8, 16}
+	type job struct {
+		k *kernel.Kernel
+		c int
+	}
+	var jobs []job
+	for _, k := range sweepKernels {
+		for _, c := range sweepSizes {
+			jobs = append(jobs, job{k: k, c: c})
+		}
+	}
+	start := time.Now()
+	errs := par.Map(rep.Workers, len(jobs), func(i int) error {
+		_, err := himap.Compile(jobs[i].k, arch.Default(jobs[i].c, jobs[i].c), himap.Options{Workers: 1})
+		return err
+	})
+	rep.SweepWallMS = float64(time.Since(start).Microseconds()) / 1000
+	rep.SweepPoints = len(jobs)
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("exp: bench sweep %s %dx%d: %v", jobs[i].k.Name, jobs[i].c, jobs[i].c, err)
+		}
+	}
+	return rep, nil
+}
+
+// JSON renders the report with stable indentation for committing next to
+// the experiment logs.
+func (r *BenchReport) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -12,12 +12,14 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"himap/internal/arch"
 	"himap/internal/baseline"
 	"himap/internal/himap"
 	"himap/internal/kernel"
+	"himap/internal/par"
 	"himap/internal/power"
 )
 
@@ -29,7 +31,15 @@ type Config struct {
 	BaselineMaxNodes int           // the baseline's DFG scalability wall
 	InnerBlock       int           // HiMap's b3.. extent (0: per-kernel default)
 	Seed             int64
+	// Workers bounds how many (kernel, size) points are measured
+	// concurrently. Results are always collected in the sequential point
+	// order regardless of the worker count; each point's compile runs
+	// single-threaded so points — not compiles — are the unit of
+	// parallelism. 0 means runtime.GOMAXPROCS(0).
+	Workers int
 	// Progress, when set, receives each Fig-7 point as it is measured.
+	// With Workers > 1 points may arrive out of order; calls are
+	// serialized.
 	Progress func(Fig7Point)
 }
 
@@ -104,19 +114,30 @@ type TableIIRow struct {
 // unique-iteration counts next to the paper's.
 func TableII(size int, cfg Config) ([]TableIIRow, error) {
 	cfg = cfg.withDefaults()
-	var rows []TableIIRow
-	for _, k := range cfg.Kernels {
-		res, err := himap.Compile(k, arch.Default(size, size), himap.Options{InnerBlock: cfg.InnerBlock})
+	type cell struct {
+		row TableIIRow
+		err error
+	}
+	cells := par.Map(par.Workers(cfg.Workers), len(cfg.Kernels), func(i int) cell {
+		k := cfg.Kernels[i]
+		res, err := himap.Compile(k, arch.Default(size, size), himap.Options{InnerBlock: cfg.InnerBlock, Workers: 1})
 		if err != nil {
-			return nil, fmt.Errorf("exp: TableII %s: %v", k.Name, err)
+			return cell{err: fmt.Errorf("exp: TableII %s: %v", k.Name, err)}
 		}
-		rows = append(rows, TableIIRow{
+		return cell{row: TableIIRow{
 			Kernel:    k.Name,
 			Dim:       k.Dim,
 			Desc:      k.Desc,
 			MaxUnique: res.UniqueIters,
 			PaperMax:  PaperUnique[k.Name],
-		})
+		}}
+	})
+	rows := make([]TableIIRow, 0, len(cells))
+	for _, c := range cells {
+		if c.err != nil {
+			return nil, c.err
+		}
+		rows = append(rows, c.row)
 	}
 	return rows, nil
 }
@@ -151,37 +172,61 @@ type Fig7Point struct {
 }
 
 // Fig7 runs the utilization / performance / power-efficiency comparison.
+// Points are measured Workers at a time but reported in sequential
+// (kernel-major, size-minor) order.
 func Fig7(cfg Config) ([]Fig7Point, error) {
 	cfg = cfg.withDefaults()
 	model := power.Default40nm()
-	var out []Fig7Point
+	type job struct {
+		k    *kernel.Kernel
+		size int
+	}
+	var jobs []job
 	for _, k := range cfg.Kernels {
 		for _, size := range cfg.Sizes {
-			p := Fig7Point{Kernel: k.Name, Size: size}
-			res, err := himap.Compile(k, arch.Default(size, size), himap.Options{InnerBlock: cfg.InnerBlock})
-			if err != nil {
-				return nil, fmt.Errorf("exp: Fig7 HiMap %s %dx%d: %v", k.Name, size, size, err)
-			}
-			p.HiMapU = res.Utilization
-			p.HiMapMOPS = model.PerformanceMOPS(res.Config)
-			p.HiMapEff = model.EfficiencyMOPSPerMW(res.Config)
-			p.HiMapBlock = res.Block
-			p.HiMapTime = res.Stats.Total
-
-			bres, note := runBaselineBestEffort(k, size, cfg)
-			p.BHCNote = note
-			if bres != nil {
-				p.BHCU = bres.Utilization
-				p.BHCMOPS = model.PerformanceMOPS(bres.Config)
-				p.BHCEff = model.EfficiencyMOPSPerMW(bres.Config)
-				p.BHCBlock = bres.Block
-				p.BHCTime = bres.Time
-			}
-			if cfg.Progress != nil {
-				cfg.Progress(p)
-			}
-			out = append(out, p)
+			jobs = append(jobs, job{k: k, size: size})
 		}
+	}
+	type cell struct {
+		p   Fig7Point
+		err error
+	}
+	var progressMu sync.Mutex
+	cells := par.Map(par.Workers(cfg.Workers), len(jobs), func(i int) cell {
+		k, size := jobs[i].k, jobs[i].size
+		p := Fig7Point{Kernel: k.Name, Size: size}
+		res, err := himap.Compile(k, arch.Default(size, size), himap.Options{InnerBlock: cfg.InnerBlock, Workers: 1})
+		if err != nil {
+			return cell{err: fmt.Errorf("exp: Fig7 HiMap %s %dx%d: %v", k.Name, size, size, err)}
+		}
+		p.HiMapU = res.Utilization
+		p.HiMapMOPS = model.PerformanceMOPS(res.Config)
+		p.HiMapEff = model.EfficiencyMOPSPerMW(res.Config)
+		p.HiMapBlock = res.Block
+		p.HiMapTime = res.Stats.Total
+
+		bres, note := runBaselineBestEffort(k, size, cfg)
+		p.BHCNote = note
+		if bres != nil {
+			p.BHCU = bres.Utilization
+			p.BHCMOPS = model.PerformanceMOPS(bres.Config)
+			p.BHCEff = model.EfficiencyMOPSPerMW(bres.Config)
+			p.BHCBlock = bres.Block
+			p.BHCTime = bres.Time
+		}
+		if cfg.Progress != nil {
+			progressMu.Lock()
+			cfg.Progress(p)
+			progressMu.Unlock()
+		}
+		return cell{p: p}
+	})
+	out := make([]Fig7Point, 0, len(cells))
+	for _, c := range cells {
+		if c.err != nil {
+			return nil, c.err
+		}
+		out = append(out, c.p)
 	}
 	return out, nil
 }
@@ -268,11 +313,11 @@ type Fig8Point struct {
 
 // Fig8Config tunes the compilation-time sweep.
 type Fig8Config struct {
-	Kernels        []*kernel.Kernel // default MVT, GEMM, TTM
-	Bs             []int            // default 2..64 as in the paper
+	Kernels []*kernel.Kernel // default MVT, GEMM, TTM
+	Bs      []int            // default 2..64 as in the paper
 	// Progress, when set, receives each point as soon as it is measured.
-	Progress func(Fig8Point)
-	BaselineBudget time.Duration    // default 30s (stands in for the 3-day timeout)
+	Progress       func(Fig8Point)
+	BaselineBudget time.Duration // default 30s (stands in for the 3-day timeout)
 	// MaxInner caps the pure-time block dimensions (b3..bl) of 3-D and
 	// 4-D kernels in the sweep: II_B — and with it the materialized
 	// configuration and the unrolled DFG — grows with their product, and
@@ -282,6 +327,9 @@ type Fig8Config struct {
 	MaxInner3D int
 	MaxInner4D int
 	Seed       int64
+	// Workers bounds how many sweep points run concurrently (results keep
+	// the sequential order). 0 means runtime.GOMAXPROCS(0).
+	Workers int
 }
 
 func (c Fig8Config) withDefaults() Fig8Config {
@@ -304,50 +352,63 @@ func (c Fig8Config) withDefaults() Fig8Config {
 }
 
 // Fig8 measures compilation time vs block size (b = c) for both mappers.
+// Points run Workers at a time; the returned slice keeps the sequential
+// (kernel-major, block-minor) order.
 func Fig8(cfg Fig8Config) ([]Fig8Point, error) {
 	cfg = cfg.withDefaults()
-	var out []Fig8Point
+	type job struct {
+		k *kernel.Kernel
+		b int
+	}
+	var jobs []job
 	for _, k := range cfg.Kernels {
 		for _, b := range cfg.Bs {
 			if b < k.MinBlock {
 				continue
 			}
-			p := Fig8Point{Kernel: k.Name, B: b}
-			inner := b
-			if k.Dim == 3 && inner > cfg.MaxInner3D {
-				inner = cfg.MaxInner3D
-			}
-			if k.Dim >= 4 && inner > cfg.MaxInner4D {
-				inner = cfg.MaxInner4D
-			}
-			res, err := himap.Compile(k, arch.Default(b, b), himap.Options{InnerBlock: inner})
-			if err == nil {
-				p.HiMapOK = true
-				p.HiMapTime = res.Stats.Total
-			}
-			bres, err := baseline.Compile(k, arch.Default(b, b), k.UniformBlock(b),
-				baseline.Options{Seed: cfg.Seed, TimeBudget: cfg.BaselineBudget})
-			switch {
-			case err == nil:
-				p.BHCOK = true
-				p.BHCTime = bres.Time
-			default:
-				var tooLarge baseline.ErrTooLarge
-				var timeout baseline.ErrTimeout
-				if errors.As(err, &tooLarge) {
-					p.BHCNote = tooLarge.Error()
-				} else if errors.As(err, &timeout) {
-					p.BHCNote = "timeout"
-				} else {
-					p.BHCNote = "failed"
-				}
-			}
-			if cfg.Progress != nil {
-				cfg.Progress(p)
-			}
-			out = append(out, p)
+			jobs = append(jobs, job{k: k, b: b})
 		}
 	}
+	var progressMu sync.Mutex
+	out := par.Map(par.Workers(cfg.Workers), len(jobs), func(i int) Fig8Point {
+		k, b := jobs[i].k, jobs[i].b
+		p := Fig8Point{Kernel: k.Name, B: b}
+		inner := b
+		if k.Dim == 3 && inner > cfg.MaxInner3D {
+			inner = cfg.MaxInner3D
+		}
+		if k.Dim >= 4 && inner > cfg.MaxInner4D {
+			inner = cfg.MaxInner4D
+		}
+		res, err := himap.Compile(k, arch.Default(b, b), himap.Options{InnerBlock: inner, Workers: 1})
+		if err == nil {
+			p.HiMapOK = true
+			p.HiMapTime = res.Stats.Total
+		}
+		bres, err := baseline.Compile(k, arch.Default(b, b), k.UniformBlock(b),
+			baseline.Options{Seed: cfg.Seed, TimeBudget: cfg.BaselineBudget})
+		switch {
+		case err == nil:
+			p.BHCOK = true
+			p.BHCTime = bres.Time
+		default:
+			var tooLarge baseline.ErrTooLarge
+			var timeout baseline.ErrTimeout
+			if errors.As(err, &tooLarge) {
+				p.BHCNote = tooLarge.Error()
+			} else if errors.As(err, &timeout) {
+				p.BHCNote = "timeout"
+			} else {
+				p.BHCNote = "failed"
+			}
+		}
+		if cfg.Progress != nil {
+			progressMu.Lock()
+			cfg.Progress(p)
+			progressMu.Unlock()
+		}
+		return p
+	})
 	return out, nil
 }
 
@@ -394,30 +455,49 @@ func Envelope(sizes []int, cfg Fig8Config) ([]EnvelopePoint, error) {
 		sizes = []int{64}
 	}
 	model := power.Default40nm()
-	var out []EnvelopePoint
+	type job struct {
+		k    *kernel.Kernel
+		size int
+	}
+	var jobs []job
 	for _, k := range kernel.Evaluation() {
 		for _, size := range sizes {
-			inner := size
-			if k.Dim == 3 && inner > cfg.MaxInner3D {
-				inner = cfg.MaxInner3D
-			}
-			if k.Dim >= 4 && inner > cfg.MaxInner4D {
-				inner = cfg.MaxInner4D
-			}
-			res, err := himap.Compile(k, arch.Default(size, size), himap.Options{InnerBlock: inner})
-			if err != nil {
-				return nil, fmt.Errorf("exp: envelope %s %dx%d: %v", k.Name, size, size, err)
-			}
-			out = append(out, EnvelopePoint{
-				Kernel:      k.Name,
-				Size:        size,
-				Utilization: res.Utilization,
-				UniqueIters: res.UniqueIters,
-				IIB:         res.IIB,
-				MOPS:        model.PerformanceMOPS(res.Config),
-				CompileTime: res.Stats.Total,
-			})
+			jobs = append(jobs, job{k: k, size: size})
 		}
+	}
+	type cell struct {
+		p   EnvelopePoint
+		err error
+	}
+	cells := par.Map(par.Workers(cfg.Workers), len(jobs), func(i int) cell {
+		k, size := jobs[i].k, jobs[i].size
+		inner := size
+		if k.Dim == 3 && inner > cfg.MaxInner3D {
+			inner = cfg.MaxInner3D
+		}
+		if k.Dim >= 4 && inner > cfg.MaxInner4D {
+			inner = cfg.MaxInner4D
+		}
+		res, err := himap.Compile(k, arch.Default(size, size), himap.Options{InnerBlock: inner, Workers: 1})
+		if err != nil {
+			return cell{err: fmt.Errorf("exp: envelope %s %dx%d: %v", k.Name, size, size, err)}
+		}
+		return cell{p: EnvelopePoint{
+			Kernel:      k.Name,
+			Size:        size,
+			Utilization: res.Utilization,
+			UniqueIters: res.UniqueIters,
+			IIB:         res.IIB,
+			MOPS:        model.PerformanceMOPS(res.Config),
+			CompileTime: res.Stats.Total,
+		}}
+	})
+	out := make([]EnvelopePoint, 0, len(cells))
+	for _, c := range cells {
+		if c.err != nil {
+			return nil, c.err
+		}
+		out = append(out, c.p)
 	}
 	return out, nil
 }

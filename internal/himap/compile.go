@@ -7,6 +7,7 @@ import (
 	"himap/internal/arch"
 	"himap/internal/ir"
 	"himap/internal/kernel"
+	"himap/internal/par"
 	"himap/internal/systolic"
 )
 
@@ -39,6 +40,15 @@ type Options struct {
 	// through the register file — the ablation showing why the crossbar
 	// relays matter for reaching 100% utilization.
 	RelayPolicy RelayPolicy
+	// Workers bounds the compilation pipeline's parallelism: the systolic
+	// (H,S) scheme search is sharded across Workers goroutines, and
+	// (sub-mapping, scheme) attempts run speculatively in waves of
+	// Workers, always committing to the first attempt (in the sequential
+	// ranking order) that succeeds. The emitted mapping is therefore
+	// bit-identical for every Workers value; only wall-clock changes.
+	// 0 means runtime.GOMAXPROCS(0); 1 executes exactly the historical
+	// sequential flow.
+	Workers int
 }
 
 // RelayPolicy selects the relay-pin strategy (ablation knob).
@@ -68,6 +78,7 @@ func (o Options) withDefaults() Options {
 	if o.MaxRouteRounds == 0 {
 		o.MaxRouteRounds = 8
 	}
+	o.Workers = par.Workers(o.Workers)
 	return o
 }
 
@@ -137,20 +148,44 @@ func Compile(k *kernel.Kernel, cg arch.CGRA, opts Options) (*Result, error) {
 	}
 
 	deps := k.DistanceVectors()
-	attempts := 0
-	var lastErr error
+	type attempt struct {
+		sub    *SubMapping
+		sch    systolic.Scheme
+		vx, vy int
+	}
+	var atts []attempt
 	for _, sub := range subs {
 		vx, vy := cg.Rows/sub.S1, cg.Cols/sub.S2
-		schemes := candidateSchemes(k, deps, vx, vy, opts)
-		for _, sch := range schemes {
-			attempts++
-			res, err := tryScheme(k, cg, f, sub, sch, vx, vy, opts)
-			if err != nil {
-				lastErr = err
+		for _, sch := range candidateSchemes(k, deps, vx, vy, opts) {
+			atts = append(atts, attempt{sub: sub, sch: sch, vx: vx, vy: vy})
+		}
+	}
+
+	// Attempts run speculatively in waves of Workers; within a wave the
+	// lowest-index success wins. Because every attempt ranked before the
+	// winner fails regardless of execution order, the committed mapping
+	// and Stats.Attempts are identical to the sequential (Workers=1) flow.
+	var lastErr error
+	for base := 0; base < len(atts); base += opts.Workers {
+		end := base + opts.Workers
+		if end > len(atts) {
+			end = len(atts)
+		}
+		wave := atts[base:end]
+		results := make([]*Result, len(wave))
+		errs := make([]error, len(wave))
+		par.ForEach(opts.Workers, len(wave), func(i int) {
+			a := wave[i]
+			results[i], errs[i] = tryScheme(k, cg, f, a.sub, a.sch, a.vx, a.vy, opts)
+		})
+		for i := range wave {
+			if errs[i] != nil {
+				lastErr = errs[i]
 				continue
 			}
+			res := results[i]
 			res.Stats.MapTime = mapTime
-			res.Stats.Attempts = attempts
+			res.Stats.Attempts = base + i + 1
 			res.Stats.Total = time.Since(start)
 			return res, nil
 		}
@@ -158,7 +193,7 @@ func Compile(k *kernel.Kernel, cg arch.CGRA, opts Options) (*Result, error) {
 	if lastErr == nil {
 		lastErr = fmt.Errorf("no valid systolic scheme")
 	}
-	return nil, fmt.Errorf("himap: compilation of %s on %s failed after %d attempts: %v", k.Name, cg, attempts, lastErr)
+	return nil, fmt.Errorf("himap: compilation of %s on %s failed after %d attempts: %v", k.Name, cg, len(atts), lastErr)
 }
 
 // candidateSchemes enumerates systolic schemes compatible with the VSA
@@ -172,7 +207,7 @@ func candidateSchemes(k *kernel.Kernel, deps []ir.IterVec, vx, vy int, opts Opti
 		want = 1
 	}
 	probe := k.UniformBlock(3)
-	cands := systolic.Search(deps, probe, want)
+	cands := systolic.SearchN(deps, probe, want, opts.Workers)
 	var out []systolic.Scheme
 	for _, c := range cands {
 		if len(out) >= opts.MaxSchemes {

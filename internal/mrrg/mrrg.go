@@ -122,6 +122,65 @@ func RealKey(n Node) uint64 {
 		uint64(n.Class)*8 + uint64(n.Idx)
 }
 
+// SlotsPerPE returns the number of distinct resource slots one PE holds
+// per cycle: the FU, the four directional output registers, the RF
+// read/write ports, the two memory ports, and NumRegs register-file
+// entries. It is the stride of the dense key space.
+func (g *Graph) SlotsPerPE() int { return 9 + g.Arch.NumRegs }
+
+// SlotIndex packs a (class, idx) resource into a dense per-PE slot in
+// [0, SlotsPerPE()) — unlike the sparse class*8+idx packing of Key and
+// RealKey, the dense slot space has no holes, so occupancy and search
+// scratch state can live in flat arrays instead of maps.
+func (g *Graph) SlotIndex(c Class, idx uint8) int {
+	switch c {
+	case ClassFU:
+		return 0
+	case ClassOut:
+		return 1 + int(idx) // 4 directions
+	case ClassRFWrite:
+		return 5
+	case ClassRFRead:
+		return 6
+	case ClassMemRead:
+		return 7
+	case ClassMemWrite:
+		return 8
+	default: // ClassReg
+		return 9 + int(idx)
+	}
+}
+
+// SlotResource inverts SlotIndex.
+func (g *Graph) SlotResource(slot int) (Class, uint8) {
+	switch {
+	case slot == 0:
+		return ClassFU, 0
+	case slot < 5:
+		return ClassOut, uint8(slot - 1)
+	case slot == 5:
+		return ClassRFWrite, 0
+	case slot == 6:
+		return ClassRFRead, 0
+	case slot == 7:
+		return ClassMemRead, 0
+	case slot == 8:
+		return ClassMemWrite, 0
+	default:
+		return ClassReg, uint8(slot - 9)
+	}
+}
+
+// DenseKey packs the node into a dense occupancy index in
+// [0, NumDenseKeys()); real time is folded modulo II exactly as in Key.
+func (g *Graph) DenseKey(n Node) int {
+	return (g.WrapTime(n.T)*g.Arch.NumPEs()+n.R*g.Arch.Cols+n.C)*g.SlotsPerPE() +
+		g.SlotIndex(n.Class, n.Idx)
+}
+
+// NumDenseKeys returns the size of the dense occupancy key space.
+func (g *Graph) NumDenseKeys() int { return g.II * g.Arch.NumPEs() * g.SlotsPerPE() }
+
 // Capacity returns the occupancy capacity of a node class.
 func (g *Graph) Capacity(c Class) int {
 	switch c {

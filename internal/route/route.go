@@ -7,12 +7,22 @@
 //
 // Searches run in *real* (unwrapped) time so that a route's length equals
 // the true producer→consumer latency; occupancy is charged modulo II via
-// mrrg.Graph.Key. Search is pruned at the latest target cycle — the
+// mrrg.Graph.DenseKey. Search is pruned at the latest target cycle — the
 // resource edges are time-monotone, so no useful path extends past it.
+//
+// Memory discipline: the Dijkstra inner loop is allocation-free in steady
+// state. All per-search state (dist, parent, closed, target and ownership
+// marks) lives in flat generation-stamped scratch arrays owned by the
+// Session and indexed by dense packed node keys; a search invalidates the
+// previous search's entries by bumping a generation counter instead of
+// clearing or reallocating. The frontier is a hand-rolled min-heap of
+// value items (no container/heap interface boxing). Occupancy and history
+// costs are flat arrays over the modulo key space, so the enterCost call
+// on every relaxed edge is two array loads. See DESIGN.md ("Concurrency
+// model & hot-path memory discipline").
 package route
 
 import (
-	"container/heap"
 	"fmt"
 
 	"himap/internal/mrrg"
@@ -38,7 +48,9 @@ type Net struct {
 func (n *Net) Nodes() map[uint64]bool { return n.nodes }
 
 // Session tracks resource occupancy and history costs across the nets of
-// one mapping attempt.
+// one mapping attempt. A Session (and its scratch storage) may be reused
+// across many routing rounds; it is not safe for concurrent use — give
+// each worker goroutine its own Session.
 type Session struct {
 	G *mrrg.Graph
 
@@ -55,29 +67,46 @@ type Session struct {
 	// near the array edge must be able to reuse the translated path).
 	Filter func(mrrg.Node) bool
 
-	occ    map[uint64]int
-	hist   map[uint64]float64
+	// occ and hist are dense arrays over the modulo occupancy key space
+	// (mrrg.Graph.DenseKey) — the negotiated-congestion state.
+	occ    []int32
+	hist   []float64
 	netSeq int
+
+	sc searchScratch
 }
 
 // NewSession creates a routing session over g with the default cost
-// parameters.
+// parameters. Occupancy and history storage is allocated once here and
+// reused for the session's lifetime; ResetKeepHistory and Reset clear it
+// in place rather than reallocating.
 func NewSession(g *mrrg.Graph) *Session {
+	n := g.NumDenseKeys()
 	return &Session{
 		G:         g,
 		PresFac:   2.0,
 		HistBump:  3.0,
 		MaxVisits: 400000,
-		occ:       make(map[uint64]int),
-		hist:      make(map[uint64]float64),
+		occ:       make([]int32, n),
+		hist:      make([]float64, n),
 	}
 }
 
 // ResetKeepHistory clears all occupancy and nets but keeps the
 // accumulated history costs — the state carried between negotiated
 // congestion rounds when a mapping attempt is rebuilt from scratch.
+// The occupancy storage is zeroed in place, not reallocated.
 func (s *Session) ResetKeepHistory() {
-	s.occ = make(map[uint64]int)
+	clear(s.occ)
+	s.netSeq = 0
+}
+
+// Reset returns the session to its NewSession state (occupancy, history,
+// and net numbering all cleared) while keeping every allocation for
+// reuse — the cheap way to recycle a Session across mapping attempts.
+func (s *Session) Reset() {
+	clear(s.occ)
+	clear(s.hist)
 	s.netSeq = 0
 }
 
@@ -99,9 +128,9 @@ func baseCost(c mrrg.Class) float64 {
 
 // enterCost prices entering node n for a net that does not yet own it.
 func (s *Session) enterCost(n mrrg.Node) float64 {
-	key := s.G.Key(n)
+	key := s.G.DenseKey(n)
 	cap := s.G.Capacity(n.Class)
-	over := s.occ[key] + 1 - cap
+	over := int(s.occ[key]) + 1 - cap
 	pen := 1.0
 	if over > 0 {
 		pen = 1.0 + float64(over)*s.PresFac
@@ -112,49 +141,119 @@ func (s *Session) enterCost(n mrrg.Node) float64 {
 // Reserve marks a placement node (FU slot, memory port) occupied outside
 // any net, e.g. an operation placement. It returns the new occupancy.
 func (s *Session) Reserve(n mrrg.Node) int {
-	k := s.G.Key(n)
+	k := s.G.DenseKey(n)
 	s.occ[k]++
-	return s.occ[k]
+	return int(s.occ[k])
 }
 
 // Unreserve releases a Reserve.
 func (s *Session) Unreserve(n mrrg.Node) {
-	k := s.G.Key(n)
-	s.occ[k]--
-	if s.occ[k] <= 0 {
-		delete(s.occ, k)
-	}
+	s.occ[s.G.DenseKey(n)]--
 }
 
 // Occ returns the current occupancy of a node (modulo II).
-func (s *Session) Occ(n mrrg.Node) int { return s.occ[s.G.Key(n)] }
+func (s *Session) Occ(n mrrg.Node) int { return int(s.occ[s.G.DenseKey(n)]) }
 
 // Hist returns the accumulated history cost of a node (for tests).
-func (s *Session) Hist(n mrrg.Node) float64 { return s.hist[s.G.Key(n)] }
+func (s *Session) Hist(n mrrg.Node) float64 { return s.hist[s.G.DenseKey(n)] }
 
-type pqItem struct {
-	key  uint64 // RealKey
-	node mrrg.Node
+// heapItem is one frontier entry: the accumulated cost, the node's
+// RealKey (the deterministic tie-break — kept identical to the historical
+// container/heap ordering so mappings are bit-stable across releases),
+// and the node's dense scratch index.
+type heapItem struct {
 	cost float64
+	key  uint64
+	idx  int32
 }
 
-type pq []pqItem
-
-func (p pq) Len() int { return len(p) }
-func (p pq) Less(i, j int) bool {
-	if p[i].cost != p[j].cost {
-		return p[i].cost < p[j].cost
+func itemLess(a, b heapItem) bool {
+	if a.cost != b.cost {
+		return a.cost < b.cost
 	}
-	return p[i].key < p[j].key // deterministic tie-break
+	return a.key < b.key
 }
-func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
-func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
-func (p *pq) Pop() interface{} {
-	old := *p
-	n := len(old)
-	it := old[n-1]
-	*p = old[:n-1]
-	return it
+
+// minHeap is a hand-rolled binary min-heap of value items — no
+// interface{} boxing, no per-push allocation once warmed up.
+type minHeap []heapItem
+
+func (h *minHeap) push(it heapItem) {
+	q := append(*h, it)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !itemLess(q[i], q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	*h = q
+}
+
+func (h *minHeap) pop() heapItem {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && itemLess(q[r], q[l]) {
+			m = r
+		}
+		if !itemLess(q[m], q[i]) {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	*h = q
+	return top
+}
+
+// searchScratch is the per-Session Dijkstra working set: flat arrays over
+// the dense real-node index space of one search, invalidated between
+// searches by a generation stamp (an entry is live only when its stamp
+// equals the current generation). The arrays grow monotonically and are
+// never cleared, so steady-state searches allocate nothing.
+type searchScratch struct {
+	gen    uint32
+	seen   []uint32  // dist[i] valid when seen[i] == gen
+	dist   []float64 // tentative cost
+	parent []int32   // dense index of the predecessor; -1 for seeds
+	closed []uint32  // node finalized when closed[i] == gen
+	tgt    []uint32  // node is a search target when tgt[i] == gen
+	owned  []uint32  // node already belongs to the net when owned[i] == gen
+	heap   minHeap
+}
+
+// begin opens a new search generation over n dense indices.
+func (sc *searchScratch) begin(n int) {
+	if len(sc.seen) < n {
+		sc.seen = make([]uint32, n)
+		sc.dist = make([]float64, n)
+		sc.parent = make([]int32, n)
+		sc.closed = make([]uint32, n)
+		sc.tgt = make([]uint32, n)
+		sc.owned = make([]uint32, n)
+		sc.gen = 0 // fresh arrays are all-zero: restart stamping
+	}
+	sc.gen++
+	if sc.gen == 0 { // generation counter wrapped: purge stale stamps
+		clear(sc.seen)
+		clear(sc.closed)
+		clear(sc.tgt)
+		clear(sc.owned)
+		sc.gen = 1
+	}
+	sc.heap = sc.heap[:0]
 }
 
 // NewNet starts a net at the producer's placement node. The source node's
@@ -168,34 +267,77 @@ func (s *Session) NewNet(src mrrg.Node) *Net {
 	}
 }
 
+// nodeAt reconstructs the node of a dense scratch index (the inverse of
+// the packing in RouteSink).
+func (s *Session) nodeAt(i int32, tBase, pes, cols, slots int) mrrg.Node {
+	slot := int(i) % slots
+	rest := int(i) / slots
+	pe := rest % pes
+	cl, idx := s.G.SlotResource(slot)
+	return mrrg.Node{T: rest/pes + tBase, R: pe / cols, C: pe % cols, Class: cl, Idx: idx}
+}
+
 // RouteSink extends the net with a least-cost path from any node the net
 // already owns to any node of targets. Newly entered nodes are charged to
 // the session occupancy (modulo II). The found path starts at an owned
 // node and ends at the reached target.
+//
+// The search is a Dijkstra over the implicit time-extended graph, pruned
+// at the latest target cycle, running entirely in the session's
+// generation-stamped scratch arrays: per call it allocates only the
+// returned Path (plus one-time scratch growth when a search spans more
+// cycles than any before it).
 func (s *Session) RouteSink(net *Net, targets []mrrg.Node) (Path, float64, error) {
 	if len(targets) == 0 {
 		return nil, 0, fmt.Errorf("route: no targets")
 	}
-	targetKeys := make(map[uint64]bool, len(targets))
-	maxT := 0
+	// The dense per-search index space covers real cycles [tBase, maxT]:
+	// tBase is the earliest seed or target (successor times are monotone,
+	// so nothing before it is reachable), maxT the latest target (nothing
+	// after it is useful).
+	maxT, tBase := targets[0].T, targets[0].T
 	for _, t := range targets {
-		targetKeys[mrrg.RealKey(t)] = true
 		if t.T > maxT {
 			maxT = t.T
 		}
+		if t.T < tBase {
+			tBase = t.T
+		}
 	}
-	dist := make(map[uint64]float64)
-	parent := make(map[uint64]uint64)
-	nodeOf := make(map[uint64]mrrg.Node)
-	var frontier pq
+	if net.Src.T < tBase {
+		tBase = net.Src.T
+	}
+	for _, p := range net.Paths {
+		for _, n := range p {
+			if n.T < tBase {
+				tBase = n.T
+			}
+		}
+	}
+
+	pes := s.G.Arch.NumPEs()
+	cols := s.G.Arch.Cols
+	slots := s.G.SlotsPerPE()
+	sc := &s.sc
+	sc.begin((maxT - tBase + 1) * pes * slots)
+	gen := sc.gen
+	idxOf := func(n mrrg.Node) int32 {
+		return int32(((n.T-tBase)*pes+n.R*cols+n.C)*slots + s.G.SlotIndex(n.Class, n.Idx))
+	}
+
+	for _, t := range targets {
+		sc.tgt[idxOf(t)] = gen
+	}
 	seed := func(n mrrg.Node) {
 		if n.T > maxT {
 			return
 		}
-		k := mrrg.RealKey(n)
-		nodeOf[k] = n
-		dist[k] = 0
-		heap.Push(&frontier, pqItem{key: k, node: n, cost: 0})
+		i := idxOf(n)
+		sc.owned[i] = gen
+		sc.seen[i] = gen
+		sc.dist[i] = 0
+		sc.parent[i] = -1
+		sc.heap.push(heapItem{cost: 0, key: mrrg.RealKey(n), idx: i})
 	}
 	seed(net.Src)
 	for _, p := range net.Paths {
@@ -203,57 +345,63 @@ func (s *Session) RouteSink(net *Net, targets []mrrg.Node) (Path, float64, error
 			seed(n)
 		}
 	}
-	visited := make(map[uint64]bool)
+
 	visits := 0
-	for frontier.Len() > 0 {
-		it := heap.Pop(&frontier).(pqItem)
-		if visited[it.key] {
+	for len(sc.heap) > 0 {
+		it := sc.heap.pop()
+		if sc.closed[it.idx] == gen {
 			continue
 		}
-		visited[it.key] = true
+		sc.closed[it.idx] = gen
 		visits++
 		if visits > s.MaxVisits {
 			return nil, 0, fmt.Errorf("route: search limit %d exceeded", s.MaxVisits)
 		}
-		if targetKeys[it.key] {
-			var rev []mrrg.Node
-			k := it.key
-			for {
-				rev = append(rev, nodeOf[k])
-				pk, ok := parent[k]
-				if !ok {
+		if sc.tgt[it.idx] == gen {
+			n := 0
+			for i := it.idx; ; {
+				n++
+				p := sc.parent[i]
+				if p < 0 {
 					break
 				}
-				k = pk
+				i = p
 			}
-			path := make(Path, 0, len(rev))
-			for i := len(rev) - 1; i >= 0; i-- {
-				path = append(path, rev[i])
+			path := make(Path, n)
+			for i, j := it.idx, n-1; ; j-- {
+				path[j] = s.nodeAt(i, tBase, pes, cols, slots)
+				p := sc.parent[i]
+				if p < 0 {
+					break
+				}
+				i = p
 			}
 			s.commit(net, path)
 			return path, it.cost, nil
 		}
-		s.G.Succ(it.node, func(m mrrg.Node) {
+		cur := s.nodeAt(it.idx, tBase, pes, cols, slots)
+		base := it.cost
+		parent := it.idx
+		s.G.Succ(cur, func(m mrrg.Node) {
 			if m.T > maxT {
 				return
 			}
 			if s.Filter != nil && !s.Filter(m) {
 				return
 			}
-			mk := mrrg.RealKey(m)
-			if visited[mk] {
+			mi := idxOf(m)
+			if sc.closed[mi] == gen {
 				return
 			}
-			step := 0.0
-			if !net.nodes[mk] {
-				step = s.enterCost(m)
+			nd := base
+			if sc.owned[mi] != gen {
+				nd += s.enterCost(m)
 			}
-			nd := it.cost + step
-			if old, ok := dist[mk]; !ok || nd < old {
-				dist[mk] = nd
-				parent[mk] = it.key
-				nodeOf[mk] = m
-				heap.Push(&frontier, pqItem{key: mk, node: m, cost: nd})
+			if sc.seen[mi] != gen || nd < sc.dist[mi] {
+				sc.seen[mi] = gen
+				sc.dist[mi] = nd
+				sc.parent[mi] = parent
+				sc.heap.push(heapItem{cost: nd, key: mrrg.RealKey(m), idx: mi})
 			}
 		})
 	}
@@ -270,7 +418,7 @@ func (s *Session) commit(net *Net, path Path) {
 		}
 		net.nodes[rk] = true
 		net.list = append(net.list, n)
-		s.occ[s.G.Key(n)]++
+		s.occ[s.G.DenseKey(n)]++
 	}
 	net.Paths = append(net.Paths, path)
 }
@@ -278,11 +426,7 @@ func (s *Session) commit(net *Net, path Path) {
 // Release rips up an entire net, returning its resources.
 func (s *Session) Release(net *Net) {
 	for _, n := range net.list {
-		k := s.G.Key(n)
-		s.occ[k]--
-		if s.occ[k] <= 0 {
-			delete(s.occ, k)
-		}
+		s.occ[s.G.DenseKey(n)]--
 	}
 	net.nodes = map[uint64]bool{mrrg.RealKey(net.Src): true}
 	net.list = nil
@@ -294,7 +438,7 @@ func (s *Session) Release(net *Net) {
 // iteration clusters so that congestion reflects all replicas.
 func (s *Session) ChargeShifted(net *Net, dt, dr, dc int) {
 	for _, n := range net.list {
-		s.occ[s.G.Key(n.Shifted(dt, dr, dc))]++
+		s.occ[s.G.DenseKey(n.Shifted(dt, dr, dc))]++
 	}
 }
 
@@ -302,16 +446,16 @@ func (s *Session) ChargeShifted(net *Net, dt, dr, dc int) {
 // exceeds capacity.
 func (s *Session) OversubscribedIn(nets []*Net) []mrrg.Node {
 	var out []mrrg.Node
-	seen := map[uint64]bool{}
+	seen := map[int]bool{}
 	for _, net := range nets {
 		for _, p := range net.Paths {
 			for _, n := range p {
-				k := s.G.Key(n)
+				k := s.G.DenseKey(n)
 				if seen[k] {
 					continue
 				}
 				seen[k] = true
-				if s.occ[k] > s.G.Capacity(n.Class) {
+				if int(s.occ[k]) > s.G.Capacity(n.Class) {
 					out = append(out, n)
 				}
 			}
@@ -326,7 +470,7 @@ func (s *Session) OversubscribedIn(nets []*Net) []mrrg.Node {
 func (s *Session) BumpHistory(nets []*Net) int {
 	over := s.OversubscribedIn(nets)
 	for _, n := range over {
-		s.hist[s.G.Key(n)] += s.HistBump
+		s.hist[s.G.DenseKey(n)] += s.HistBump
 	}
 	return len(over)
 }

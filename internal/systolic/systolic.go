@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"himap/internal/ir"
+	"himap/internal/par"
 )
 
 // Mapping is a realized space-time transformation for a concrete block.
@@ -252,28 +253,16 @@ type Candidate struct {
 // wantSpaceDims restricts the number of VSA axes (1 for linear arrays,
 // 2 for meshes; 0 = either).
 func Search(deps []ir.IterVec, block []int, wantSpaceDims int) []Candidate {
-	dim := len(block)
-	var out []Candidate
-	try := func(s Scheme) {
-		m := s.Realize(block)
-		if m.Validate(deps) != nil {
-			return
-		}
-		score := 0.0
-		for _, d := range deps {
-			tr, xr, yr := m.DepOffset(d)
-			hops := abs(xr) + abs(yr)
-			if hops > 1 {
-				score += 40 + 10*float64(hops)
-			}
-			score += float64(tr-hops) * 0.5 // holds cost registers
-		}
-		for _, sk := range s.Skew {
-			score += float64(sk) * 0.1
-		}
-		out = append(out, Candidate{Scheme: s, Mapping: m, Score: score})
-	}
+	return SearchN(deps, block, wantSpaceDims, 1)
+}
 
+// SearchN is Search sharded over up to workers goroutines: each
+// space-dimension assignment (the outermost enumeration axis) is scored
+// independently, the per-shard candidate lists are concatenated in
+// enumeration order, and the final stable sort runs over the merged list
+// — so the ranked result is byte-identical for every worker count.
+func SearchN(deps []ir.IterVec, block []int, wantSpaceDims, workers int) []Candidate {
+	dim := len(block)
 	spaceDimSets := [][]int{}
 	if wantSpaceDims != 2 {
 		for p := 0; p < dim; p++ {
@@ -289,13 +278,40 @@ func Search(deps []ir.IterVec, block []int, wantSpaceDims int) []Candidate {
 			}
 		}
 	}
-	for _, sd := range spaceDimSets {
+
+	shards := par.Map(par.Workers(workers), len(spaceDimSets), func(i int) []Candidate {
+		sd := spaceDimSets[i]
+		var out []Candidate
+		try := func(s Scheme) {
+			m := s.Realize(block)
+			if m.Validate(deps) != nil {
+				return
+			}
+			score := 0.0
+			for _, d := range deps {
+				tr, xr, yr := m.DepOffset(d)
+				hops := abs(xr) + abs(yr)
+				if hops > 1 {
+					score += 40 + 10*float64(hops)
+				}
+				score += float64(tr-hops) * 0.5 // holds cost registers
+			}
+			for _, sk := range s.Skew {
+				score += float64(sk) * 0.1
+			}
+			out = append(out, Candidate{Scheme: s, Mapping: m, Score: score})
+		}
 		rest := remaining(dim, sd)
 		for _, perm := range permutations(rest) {
 			forEachSkew(len(sd), 2, func(skew []int) {
 				try(Scheme{SpaceDims: sd, TimePerm: perm, Skew: append([]int(nil), skew...)})
 			})
 		}
+		return out
+	})
+	var out []Candidate
+	for _, s := range shards {
+		out = append(out, s...)
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {

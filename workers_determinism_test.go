@@ -1,0 +1,110 @@
+package himap_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"himap"
+)
+
+// TestWorkersDeterminism pins the concurrency contract of the pipeline:
+// the mapping HiMap emits is a pure function of (kernel, CGRA, Options
+// minus Workers). Speculative scheme attempts always commit to the first
+// success in sequential ranking order, and the systolic search merges its
+// shards in enumeration order, so Workers=8 must reproduce the Workers=1
+// configuration, bitstream, and (non-timing) statistics byte for byte.
+func TestWorkersDeterminism(t *testing.T) {
+	for _, name := range []string{"GEMM", "FW"} {
+		t.Run(name, func(t *testing.T) {
+			k, err := himap.KernelByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cg := himap.DefaultCGRA(8, 8)
+			r1, err := himap.Compile(k, cg, himap.Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r8, err := himap.Compile(k, cg, himap.Options{Workers: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var j1, j8 bytes.Buffer
+			if err := himap.SaveConfig(r1.Config, &j1); err != nil {
+				t.Fatal(err)
+			}
+			if err := himap.SaveConfig(r8.Config, &j8); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(j1.Bytes(), j8.Bytes()) {
+				t.Fatal("Workers=8 produced a different configuration than Workers=1")
+			}
+
+			b1, err := himap.EncodeBitstream(r1.Config)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b8, err := himap.EncodeBitstream(r8.Config)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(b1, b8) {
+				t.Fatal("Workers=8 produced a different bitstream than Workers=1")
+			}
+
+			// Every non-timing statistic and result field must agree too —
+			// in particular Attempts, which proves the wave execution
+			// committed to the same (sub-mapping, scheme) pair.
+			if r1.Stats.Attempts != r8.Stats.Attempts {
+				t.Errorf("Attempts: %d (W=1) vs %d (W=8)", r1.Stats.Attempts, r8.Stats.Attempts)
+			}
+			if r1.Stats.CanonicalNets != r8.Stats.CanonicalNets {
+				t.Errorf("CanonicalNets: %d vs %d", r1.Stats.CanonicalNets, r8.Stats.CanonicalNets)
+			}
+			if r1.Stats.RouteRounds != r8.Stats.RouteRounds {
+				t.Errorf("RouteRounds: %d vs %d", r1.Stats.RouteRounds, r8.Stats.RouteRounds)
+			}
+			if r1.IIB != r8.IIB || r1.UniqueIters != r8.UniqueIters || r1.Utilization != r8.Utilization {
+				t.Errorf("result stats differ: IIB %d/%d unique %d/%d U %v/%v",
+					r1.IIB, r8.IIB, r1.UniqueIters, r8.UniqueIters, r1.Utilization, r8.Utilization)
+			}
+			if !reflect.DeepEqual(r1.Block, r8.Block) {
+				t.Errorf("block: %v vs %v", r1.Block, r8.Block)
+			}
+		})
+	}
+}
+
+// TestBaselineChainsReproducible pins the baseline's multi-chain mode:
+// every simulated-annealing chain is seeded explicitly from (Seed, DFG
+// size, chain index, II), so two runs with the same options — including
+// Workers > 1, where chains race on the pool — must pick the same winning
+// chain and emit identical configurations.
+func TestBaselineChainsReproducible(t *testing.T) {
+	k, err := himap.KernelByName("MVT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := himap.DefaultCGRA(4, 4)
+	opts := himap.BaselineOptions{Seed: 7, Workers: 2}
+	ra, err := himap.CompileBaseline(k, cg, k.UniformBlock(4), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := himap.CompileBaseline(k, cg, k.UniformBlock(4), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ja, jb bytes.Buffer
+	if err := himap.SaveConfig(ra.Config, &ja); err != nil {
+		t.Fatal(err)
+	}
+	if err := himap.SaveConfig(rb.Config, &jb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja.Bytes(), jb.Bytes()) {
+		t.Fatal("baseline multi-chain run is not reproducible for a fixed seed")
+	}
+}
