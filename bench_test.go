@@ -199,6 +199,42 @@ func BenchmarkCompileEndToEnd(b *testing.B) {
 	}
 }
 
+// BenchmarkCompileMemoized measures a recompilation against a warmed
+// artifact memo: the generic IDFG, the sub-CGRA mapping search, and the
+// block unroll (isdg-build) all come from the content-keyed cache, so
+// only the per-attempt placement/routing work runs. TTM is the kernel
+// where those front artifacts are the largest share of the compile.
+// Compare against BenchmarkCompileCold for the memoization speedup.
+func BenchmarkCompileMemoized(b *testing.B) {
+	k := kernel.TTM()
+	cg := arch.Default(8, 8)
+	memo := core.NewMemo()
+	if _, err := core.Compile(k, cg, core.Options{Workers: 1, Memo: memo}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Compile(k, cg, core.Options{Workers: 1, Memo: memo}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileCold is the control for BenchmarkCompileMemoized: the
+// same compile with a fresh memo every iteration, so every artifact is
+// rebuilt from the kernel specification.
+func BenchmarkCompileCold(b *testing.B) {
+	k := kernel.TTM()
+	cg := arch.Default(8, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Compile(k, cg, core.Options{Workers: 1, Memo: core.NewMemo()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDFGUnroll times block unrolling (front-end substrate).
 func BenchmarkDFGUnroll(b *testing.B) {
 	k := kernel.GEMM()

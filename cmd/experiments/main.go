@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -115,6 +116,23 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "experiments: compile-cost report written to %s\n", *benchJS)
+		for _, row := range rep.Kernels {
+			var stages []string
+			for name := range row.StageMS {
+				stages = append(stages, name)
+			}
+			sort.Slice(stages, func(i, j int) bool {
+				if row.StageMS[stages[i]] != row.StageMS[stages[j]] {
+					return row.StageMS[stages[i]] > row.StageMS[stages[j]]
+				}
+				return stages[i] < stages[j]
+			})
+			line := fmt.Sprintf("  %-6s %7.1f ms:", row.Kernel, row.WallMS)
+			for _, name := range stages {
+				line += fmt.Sprintf(" %s %.1f", name, row.StageMS[name])
+			}
+			fmt.Fprintln(os.Stderr, line)
+		}
 	}
 }
 

@@ -34,8 +34,14 @@ func main() {
 		seed     = flag.Int64("seed", 42, "validation input seed")
 		save     = flag.String("save", "", "write the mapping as JSON to this file")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "compilation worker count (1 = fully sequential; the mapping is identical either way)")
+		trace    = flag.Bool("trace", false, "print one line per pipeline stage (wall time, attempt/wave, counters) to stderr")
 	)
 	flag.Parse()
+
+	var tracer himap.Tracer
+	if *trace {
+		tracer = himap.NewTextTracer(os.Stderr)
+	}
 
 	k, err := himap.KernelByName(*name)
 	if err != nil {
@@ -49,7 +55,7 @@ func main() {
 		if b == 0 {
 			b = 4
 		}
-		res, err := himap.CompileBaseline(k, cg, k.UniformBlock(b), himap.BaselineOptions{Seed: *seed, Workers: *workers})
+		res, err := himap.CompileBaseline(k, cg, k.UniformBlock(b), himap.BaselineOptions{Seed: *seed, Workers: *workers, Tracer: tracer})
 		if err != nil {
 			fatal(err)
 		}
@@ -68,7 +74,7 @@ func main() {
 		return
 	}
 
-	res, err := himap.Compile(k, cg, himap.Options{InnerBlock: *inner, Workers: *workers})
+	res, err := himap.Compile(k, cg, himap.Options{InnerBlock: *inner, Workers: *workers, Tracer: tracer})
 	if err != nil {
 		fatal(err)
 	}

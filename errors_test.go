@@ -1,0 +1,193 @@
+package himap_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"himap"
+)
+
+// These tests pin the error taxonomy of the staged pipeline through the
+// public API: every failure class is reachable, carries its sentinel
+// through errors.Is, and aggregates into a *CompileError recoverable with
+// errors.As. Each test uses a fresh Memo so the shared artifact cache
+// cannot leak state between constructions.
+
+func freshOpts() himap.Options {
+	return himap.Options{Workers: 1, Memo: himap.NewMemo()}
+}
+
+// TestErrNoSubMapping: a 1×1 CGRA whose configuration depth cannot hold
+// one iteration's compute ops admits no IDFG → sub-CGRA mapping at all,
+// so the front pipeline fails in idfg-map before any attempt runs.
+func TestErrNoSubMapping(t *testing.T) {
+	k := himap.KernelBICG()
+	cg := himap.DefaultCGRA(1, 1)
+	cg.ConfigDepth = 2
+	_, err := himap.Compile(k, cg, freshOpts())
+	if err == nil {
+		t.Fatal("expected failure on depth-2 1x1 CGRA")
+	}
+	if !errors.Is(err, himap.ErrNoSubMapping) {
+		t.Fatalf("want ErrNoSubMapping, got %v", err)
+	}
+	var ce *himap.CompileError
+	if !errors.As(err, &ce) {
+		t.Fatalf("errors.As must recover *CompileError from %v", err)
+	}
+	if ce.Attempts != 0 {
+		t.Errorf("front-stage failure must report 0 attempts, got %d", ce.Attempts)
+	}
+	if ce.Primary == nil || ce.Primary.Stage != "idfg-map" {
+		t.Errorf("primary failure should be stage idfg-map, got %+v", ce.Primary)
+	}
+}
+
+// TestErrBlockTooSmall: on a full-depth 1×1 CGRA sub-mappings exist, but
+// every derived block collapses below the kernel's minimum extent.
+func TestErrBlockTooSmall(t *testing.T) {
+	_, err := himap.Compile(himap.KernelBICG(), himap.DefaultCGRA(1, 1), freshOpts())
+	if err == nil {
+		t.Fatal("expected failure on 1x1 CGRA")
+	}
+	if !errors.Is(err, himap.ErrBlockTooSmall) {
+		t.Fatalf("want ErrBlockTooSmall, got %v", err)
+	}
+}
+
+// TestErrBlockPinConflict: forcing CONV2D's pinned window dimensions onto
+// the VSA space axes asks for block extents that contradict the pins.
+func TestErrBlockPinConflict(t *testing.T) {
+	opts := freshOpts()
+	opts.ForceScheme = &himap.Scheme{SpaceDims: []int{2, 3}, TimePerm: []int{0, 1}, Skew: []int{0, 0}}
+	_, err := himap.Compile(himap.KernelConv2D(), himap.DefaultCGRA(8, 8), opts)
+	if err == nil {
+		t.Fatal("expected pin conflict")
+	}
+	if !errors.Is(err, himap.ErrBlockPinConflict) {
+		t.Fatalf("want ErrBlockPinConflict, got %v", err)
+	}
+	if errors.Is(err, himap.ErrRouteCongested) {
+		t.Error("must not match an unrelated class")
+	}
+}
+
+// TestErrSchemeInfeasible: a forced scheme that does not cover the kernel
+// dimensions is rejected by the block-derive shape guard as infeasible
+// rather than panicking inside Realize.
+func TestErrSchemeInfeasible(t *testing.T) {
+	opts := freshOpts()
+	opts.ForceScheme = &himap.Scheme{SpaceDims: []int{0, 1}, Skew: []int{0, 1}}
+	_, err := himap.Compile(himap.KernelGEMM(), himap.DefaultCGRA(8, 8), opts)
+	if err == nil {
+		t.Fatal("expected infeasible scheme")
+	}
+	if !errors.Is(err, himap.ErrSchemeInfeasible) {
+		t.Fatalf("want ErrSchemeInfeasible, got %v", err)
+	}
+	var se *himap.StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("errors.As must recover *StageError from %v", err)
+	}
+	if se.Stage != "block-derive" || se.Kernel != "GEMM" {
+		t.Errorf("stage context not stamped: %+v", se)
+	}
+}
+
+// TestErrRouteCongested: restricting the negotiation to a single round on
+// FW's broadcast-heavy traffic leaves oversubscribed routing resources.
+func TestErrRouteCongested(t *testing.T) {
+	opts := freshOpts()
+	opts.MaxRouteRounds = 1
+	opts.MaxSubMaps = 1
+	opts.MaxSchemes = 1
+	_, err := himap.Compile(himap.KernelFW(), himap.DefaultCGRA(8, 8), opts)
+	if err == nil {
+		t.Skip("FW routed in one round; congestion construction no longer applies")
+	}
+	if !errors.Is(err, himap.ErrRouteCongested) {
+		t.Fatalf("want ErrRouteCongested, got %v", err)
+	}
+	var ce *himap.CompileError
+	if !errors.As(err, &ce) {
+		t.Fatalf("errors.As must recover *CompileError from %v", err)
+	}
+	if ce.Attempts != 1 {
+		t.Errorf("single-candidate search must report 1 attempt, got %d", ce.Attempts)
+	}
+}
+
+// TestCompileErrorDeterministic pins the failure-path contract: when every
+// attempt fails, the aggregated error — primary failure, attempt count,
+// and rendered message — is identical for any Workers value, because the
+// primary is always the lowest-ranked attempt's failure, not whichever
+// goroutine lost last.
+func TestCompileErrorDeterministic(t *testing.T) {
+	bad := &himap.Scheme{SpaceDims: []int{0, 1}, Skew: []int{0, 1}}
+	run := func(workers int) error {
+		opts := himap.Options{Workers: workers, Memo: himap.NewMemo(), ForceScheme: bad}
+		_, err := himap.Compile(himap.KernelGEMM(), himap.DefaultCGRA(8, 8), opts)
+		return err
+	}
+	e1, e4 := run(1), run(4)
+	if e1 == nil || e4 == nil {
+		t.Fatal("expected both runs to fail")
+	}
+	if e1.Error() != e4.Error() {
+		t.Errorf("failure message depends on Workers:\n  W=1: %s\n  W=4: %s", e1, e4)
+	}
+	var c1, c4 *himap.CompileError
+	if !errors.As(e1, &c1) || !errors.As(e4, &c4) {
+		t.Fatal("both errors must be *CompileError")
+	}
+	if c1.Attempts != c4.Attempts {
+		t.Errorf("attempt count differs: %d vs %d", c1.Attempts, c4.Attempts)
+	}
+	if c1.Attempts < 2 {
+		t.Fatalf("construction too weak: need multiple failing attempts, got %d", c1.Attempts)
+	}
+	if c1.Primary.Attempt != 1 {
+		t.Errorf("primary must be the lowest-ranked attempt, got attempt %d", c1.Primary.Attempt)
+	}
+	if !strings.Contains(e1.Error(), "GEMM") || !strings.Contains(e1.Error(), "8x8") {
+		t.Errorf("message must carry kernel and CGRA context: %s", e1)
+	}
+}
+
+// TestKernelPinBelowMinimumRejected: a FixedBlock entry below MinBlock is
+// an internally contradictory specification; Kernel.Validate rejects it
+// with the typed pin-conflict class, and Compile surfaces the same class
+// before any mapping work starts.
+func TestKernelPinBelowMinimumRejected(t *testing.T) {
+	k := *himap.KernelGEMM()
+	k.MinBlock = 4
+	k.FixedBlock = []int{2}
+	if err := k.Validate(); !errors.Is(err, himap.ErrBlockPinConflict) {
+		t.Fatalf("Kernel.Validate: want ErrBlockPinConflict, got %v", err)
+	}
+	_, err := himap.Compile(&k, himap.DefaultCGRA(8, 8), freshOpts())
+	if !errors.Is(err, himap.ErrBlockPinConflict) {
+		t.Fatalf("Compile: want ErrBlockPinConflict, got %v", err)
+	}
+}
+
+// TestCompileErrorUnwrapExposesStages: the aggregate exposes each stage's
+// best-ranked failure, so callers can match any class that occurred.
+func TestCompileErrorUnwrapExposesStages(t *testing.T) {
+	opts := freshOpts()
+	opts.ForceScheme = &himap.Scheme{SpaceDims: []int{0, 1}, Skew: []int{0, 1}}
+	_, err := himap.Compile(himap.KernelGEMM(), himap.DefaultCGRA(8, 8), opts)
+	var ce *himap.CompileError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CompileError, got %v", err)
+	}
+	if len(ce.Stages) == 0 {
+		t.Fatal("CompileError must aggregate per-stage failures")
+	}
+	for _, se := range ce.Stages {
+		if se.Stage == "" {
+			t.Errorf("aggregated stage failure missing stage name: %+v", se)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 
 	"himap/internal/arch"
 	"himap/internal/baseline"
+	"himap/internal/diag"
 	core "himap/internal/himap"
 	"himap/internal/ir"
 	"himap/internal/kernel"
@@ -60,6 +61,72 @@ type (
 	// Scheme is a block-size-independent systolic space-time template.
 	Scheme = systolic.Scheme
 )
+
+// Diagnostics: the typed failure taxonomy and tracing contract shared by
+// the HiMap pipeline and the conventional baseline (see internal/diag).
+type (
+	// CompileError is the structured failure of a whole compilation: the
+	// deterministic lowest-ranked attempt's error plus the best-ranked
+	// failure per pipeline stage, with the true attempt count.
+	CompileError = core.CompileError
+	// StageError pins one failure class to a pipeline stage, kernel,
+	// CGRA, and attempt; recover it with errors.As.
+	StageError = diag.StageError
+	// Tracer receives one TraceSpan per executed pipeline stage. Set
+	// Options.Tracer (or BaselineOptions.Tracer) to observe a compile.
+	Tracer = diag.Tracer
+	// TraceSpan is one completed stage execution: stage name, attempt and
+	// wave identity, wall time, counters, and the failure (if any).
+	TraceSpan = diag.Span
+	// Memo is the compilation artifact cache (generic IDFG, sub-mapping
+	// lists, unrolled DFG/ISDG), content-keyed by kernel specification.
+	// Compiles share a process-wide cache unless Options.Memo injects one.
+	Memo = core.Memo
+)
+
+// Failure classes of the compilation pipelines. Every compile failure
+// wraps the class that caused it, so callers dispatch with errors.Is
+// regardless of stage, mapper, or Workers value:
+//
+//	_, err := himap.Compile(k, cg, himap.Options{MaxRouteRounds: 1})
+//	if errors.Is(err, himap.ErrRouteCongested) { ... }
+var (
+	// ErrNoSubMapping: step 1 found no valid IDFG → sub-CGRA mapping.
+	ErrNoSubMapping = diag.ErrNoSubMapping
+	// ErrSchemeInfeasible: no systolic space-time scheme satisfies the
+	// dependences and the VSA shape.
+	ErrSchemeInfeasible = diag.ErrSchemeInfeasible
+	// ErrRouteCongested: negotiated-congestion routing failed within the
+	// round budget.
+	ErrRouteCongested = diag.ErrRouteCongested
+	// ErrBlockPinConflict: a pinned block dimension (Kernel.FixedBlock)
+	// contradicts MinBlock or the scheme's VSA axis extent.
+	ErrBlockPinConflict = diag.ErrBlockPinConflict
+	// ErrBlockTooSmall: a derived block dimension fell below MinBlock.
+	ErrBlockTooSmall = diag.ErrBlockTooSmall
+	// ErrPlacementInfeasible: placement found no zero-violation solution.
+	ErrPlacementInfeasible = diag.ErrPlacementInfeasible
+	// ErrReplicaConflict: replication collided while stamping a canonical
+	// route onto a class member.
+	ErrReplicaConflict = diag.ErrReplicaConflict
+	// ErrConfigInvalid: the emitted configuration failed final validation.
+	ErrConfigInvalid = diag.ErrConfigInvalid
+)
+
+// NewTextTracer returns a Tracer printing one human-readable line per
+// stage span to w — the tracer behind cmd/himap's -trace flag.
+func NewTextTracer(w io.Writer) Tracer { return diag.NewTextTracer(w) }
+
+// TraceCollector accumulates spans in memory for programmatic inspection
+// (per-stage wall-time breakdowns, failure analysis).
+type TraceCollector = diag.Collector
+
+// NewTraceCollector returns an empty in-memory span collector.
+func NewTraceCollector() *TraceCollector { return diag.NewCollector() }
+
+// NewMemo returns a fresh, empty artifact cache for Options.Memo —
+// useful to isolate compiles or to measure cold-path cost.
+func NewMemo() *Memo { return core.NewMemo() }
 
 // DefaultCGRA returns the paper's evaluation architecture at the given
 // array size: per PE an ALU, a 4-register file (2R/2W), a crossbar, a

@@ -10,12 +10,12 @@ import (
 // schedule, and the memory correlation metadata, with a format version
 // for forward compatibility.
 type configJSON struct {
-	Version int        `json:"version"`
-	CGRA    CGRA       `json:"cgra"`
-	II      int        `json:"ii"`
+	Version int         `json:"version"`
+	CGRA    CGRA        `json:"cgra"`
+	II      int         `json:"ii"`
 	Slots   [][][]Instr `json:"slots"`
-	Loads   []IOSpec   `json:"loads,omitempty"`
-	Stores  []IOSpec   `json:"stores,omitempty"`
+	Loads   []IOSpec    `json:"loads,omitempty"`
+	Stores  []IOSpec    `json:"stores,omitempty"`
 }
 
 // configFormatVersion is bumped on breaking schema changes.

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"himap/internal/arch"
+	"himap/internal/diag"
 	"himap/internal/ir"
 	"himap/internal/kernel"
 	"himap/internal/mrrg"
@@ -41,6 +42,11 @@ type Options struct {
 	// mapper, whose output is bit-stable across releases; higher values
 	// trade CPU for placement quality and wall-clock at a fixed seed.
 	Workers int
+	// Tracer receives one span per mapper stage (dfg-build, then place and
+	// route per II attempt, with Attempt = II), on the same contract as the
+	// HiMap pipeline so harnesses can compare the two mappers' stage costs
+	// and failure modes uniformly. nil means no tracing.
+	Tracer diag.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -55,6 +61,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers < 1 {
 		o.Workers = 1
+	}
+	if o.Tracer == nil {
+		o.Tracer = diag.Nop()
 	}
 	return o
 }
@@ -110,10 +119,13 @@ func Compile(k *kernel.Kernel, cg arch.CGRA, block []int, opts Options) (*Result
 	if lower := ir.BoxSize(block) * len(k.Body); lower > opts.MaxNodes {
 		return nil, ErrTooLarge{Nodes: lower, Max: opts.MaxNodes}
 	}
+	buildStart := time.Now()
 	d, err := k.BuildDFG(block)
 	if err != nil {
 		return nil, err
 	}
+	opts.Tracer.Emit(diag.Span{Stage: "dfg-build", Wall: time.Since(buildStart),
+		Counters: map[string]int64{"nodes": int64(len(d.Nodes))}})
 	if len(d.Nodes) > opts.MaxNodes {
 		return nil, ErrTooLarge{Nodes: len(d.Nodes), Max: opts.MaxNodes}
 	}
@@ -164,6 +176,7 @@ func Compile(k *kernel.Kernel, cg arch.CGRA, block []int, opts Options) (*Result
 			cost float64
 		}
 		outs := make([]chainOut, opts.Workers)
+		placeStart := time.Now()
 		par.ForEach(opts.Workers, opts.Workers, func(ci int) {
 			r := rng
 			if ci > 0 {
@@ -180,16 +193,29 @@ func Compile(k *kernel.Kernel, cg arch.CGRA, block []int, opts Options) (*Result
 				best = ci
 			}
 		}
+		placeSpan := diag.Span{Stage: "place", Attempt: ii, Wall: time.Since(placeStart),
+			Counters: map[string]int64{"moves": int64(moves * opts.Workers)}}
 		if best < 0 {
-			lastErr = fmt.Errorf("placement infeasible at II %d", ii)
+			se := diag.Failf(diag.ErrPlacementInfeasible, "no zero-violation placement at II %d", ii).
+				Stamp("place", k.Name, cg.String(), ii)
+			lastErr = se
+			placeSpan.Err = se.Error()
+			opts.Tracer.Emit(placeSpan)
 			continue
 		}
+		opts.Tracer.Emit(placeSpan)
 		pl := outs[best].pl
+		routeStart := time.Now()
 		cfg, err := routeAndEmit(d, cg, ii, pl, opts.RouteRound)
+		routeSpan := diag.Span{Stage: "route", Attempt: ii, Wall: time.Since(routeStart)}
 		if err != nil {
-			lastErr = err
+			se := diag.Classify(err, diag.ErrRouteCongested).Stamp("route", k.Name, cg.String(), ii)
+			lastErr = se
+			routeSpan.Err = se.Error()
+			opts.Tracer.Emit(routeSpan)
 			continue
 		}
+		opts.Tracer.Emit(routeSpan)
 		return &Result{
 			Kernel: k, CGRA: cg, Block: block, II: ii,
 			Config:      cfg,
@@ -201,7 +227,11 @@ func Compile(k *kernel.Kernel, cg arch.CGRA, block []int, opts Options) (*Result
 	if !deadline.IsZero() && time.Now().After(deadline) {
 		return nil, ErrTimeout{Budget: opts.TimeBudget}
 	}
-	return nil, fmt.Errorf("baseline: no valid mapping up to II %d for %s on %s (last: %v)", opts.MaxII, k.Name, cg, lastErr)
+	if lastErr == nil {
+		lastErr = diag.Failf(diag.ErrPlacementInfeasible, "minimum II %d exceeds MaxII %d", mii, opts.MaxII).
+			Stamp("place", k.Name, cg.String(), mii)
+	}
+	return nil, fmt.Errorf("baseline: no valid mapping up to II %d for %s on %s: %w", opts.MaxII, k.Name, cg, lastErr)
 }
 
 // slotKey identifies a capacity-1 placement slot: FU / mem-read /
@@ -437,7 +467,7 @@ func routeAndEmit(d *ir.DFG, cg arch.CGRA, ii int, pl []place, rounds int) (*arc
 		}
 	}
 	if !ok {
-		return nil, fmt.Errorf("baseline: routing congestion unresolved at II %d", ii)
+		return nil, fmt.Errorf("baseline: %w at II %d", diag.ErrRouteCongested, ii)
 	}
 
 	cfg := arch.NewConfig(cg, ii)

@@ -1,0 +1,266 @@
+// Package diag is the shared diagnostics layer of the compilation
+// pipelines: a typed failure taxonomy (sentinel error classes plus the
+// StageError wrapper that pins a failure to a pipeline stage and attempt)
+// and the Tracer contract (per-stage spans with wall time, attempt/wave
+// identifiers, and counters).
+//
+// Both mappers — the hierarchical HiMap pipeline (internal/himap) and the
+// conventional baseline (internal/baseline) — report failures through the
+// same classes and emit spans through the same interface, so a harness
+// comparing the two (internal/exp, a future compilation service) can
+// aggregate failure modes and stage costs uniformly. The package is a
+// leaf: it imports only the standard library, so every layer (kernel
+// front end, routers, mappers, CLIs) can depend on it without cycles.
+package diag
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sentinel failure classes. Every pipeline failure wraps exactly one of
+// these (via StageError), so callers dispatch with errors.Is regardless
+// of which stage or mapper produced it.
+var (
+	// ErrNoSubMapping: step 1 found no valid IDFG → sub-CGRA mapping
+	// (the kernel's iteration graph does not fit any candidate shape).
+	ErrNoSubMapping = errors.New("no valid IDFG to sub-CGRA mapping")
+	// ErrSchemeInfeasible: a systolic space-time scheme violates a
+	// dependence (non-causal or invalid offset) or the injectivity of
+	// the allocation, or needs a larger VSA than the array provides.
+	ErrSchemeInfeasible = errors.New("systolic scheme infeasible")
+	// ErrRouteCongested: negotiated-congestion routing could not reach a
+	// conflict-free solution within the round budget (or found no path).
+	ErrRouteCongested = errors.New("routing congestion unresolved")
+	// ErrBlockPinConflict: a pinned block dimension (Kernel.FixedBlock)
+	// contradicts the kernel minimum or the scheme's VSA axis extent.
+	ErrBlockPinConflict = errors.New("pinned block dimension conflict")
+	// ErrBlockTooSmall: a derived block dimension falls below the
+	// kernel's minimum well-formed extent.
+	ErrBlockTooSmall = errors.New("block below kernel minimum")
+	// ErrPlacementInfeasible: placement found no zero-violation solution
+	// (baseline simulated annealing, or a sub-CGRA slot search).
+	ErrPlacementInfeasible = errors.New("placement infeasible")
+	// ErrReplicaConflict: stamping a canonical route onto a class member
+	// collided with another replica (HiMap replication step).
+	ErrReplicaConflict = errors.New("replication conflict")
+	// ErrConfigInvalid: the emitted configuration failed final
+	// validation.
+	ErrConfigInvalid = errors.New("configuration invalid")
+)
+
+// StageError pins one failure class to its pipeline context: the stage
+// that raised it, the kernel and target array being compiled, and the
+// 1-based attempt index within the mapper's search ((sub-mapping, scheme)
+// rank for HiMap, II for the baseline; 0 when the failure precedes the
+// attempt loop). It unwraps to both its Class sentinel and its underlying
+// cause, so errors.Is sees the taxonomy and errors.As reaches any richer
+// typed error below.
+type StageError struct {
+	Class   error  // one of the sentinel classes above
+	Stage   string // pipeline stage name, e.g. "route"
+	Kernel  string
+	CGRA    string
+	Attempt int   // 1-based attempt rank; 0 = outside the attempt loop
+	Err     error // underlying cause (may be nil)
+}
+
+func (e *StageError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stage %s", e.Stage)
+	if e.Kernel != "" {
+		fmt.Fprintf(&b, " (%s on %s", e.Kernel, e.CGRA)
+		if e.Attempt > 0 {
+			fmt.Fprintf(&b, ", attempt %d", e.Attempt)
+		}
+		b.WriteString(")")
+	} else if e.Attempt > 0 {
+		fmt.Fprintf(&b, " (attempt %d)", e.Attempt)
+	}
+	b.WriteString(": ")
+	b.WriteString(e.Class.Error())
+	if e.Err != nil {
+		fmt.Fprintf(&b, ": %v", e.Err)
+	}
+	return b.String()
+}
+
+// Unwrap exposes both the class sentinel and the cause to errors.Is/As.
+func (e *StageError) Unwrap() []error {
+	if e.Err == nil {
+		return []error{e.Class}
+	}
+	return []error{e.Class, e.Err}
+}
+
+// Stamp fills the pipeline context fields that are still zero; stages
+// raise StageErrors with only Class/Err set and the pipeline runner
+// stamps stage, kernel, CGRA, and attempt on the way out.
+func (e *StageError) Stamp(stage, kernel, cgra string, attempt int) *StageError {
+	if e.Stage == "" {
+		e.Stage = stage
+	}
+	if e.Kernel == "" {
+		e.Kernel = kernel
+		e.CGRA = cgra
+	}
+	if e.Attempt == 0 {
+		e.Attempt = attempt
+	}
+	return e
+}
+
+// Fail builds a StageError from a class and a cause. Stage and attempt
+// context is stamped later by the pipeline runner.
+func Fail(class, cause error) *StageError {
+	return &StageError{Class: class, Err: cause}
+}
+
+// Failf is Fail with a formatted cause.
+func Failf(class error, format string, args ...any) *StageError {
+	return &StageError{Class: class, Err: fmt.Errorf(format, args...)}
+}
+
+// classes lists every sentinel, in taxonomy order, for Classify.
+var classes = []error{
+	ErrNoSubMapping, ErrSchemeInfeasible, ErrRouteCongested,
+	ErrBlockPinConflict, ErrBlockTooSmall, ErrPlacementInfeasible,
+	ErrReplicaConflict, ErrConfigInvalid,
+}
+
+// Classify coerces an arbitrary stage failure into a StageError: an error
+// that already is one passes through; an error wrapping a sentinel (e.g.
+// a kernel-validation failure carrying ErrBlockPinConflict) is classed by
+// that sentinel; anything else gets the stage's fallback class. The
+// original error stays in the cause chain either way.
+func Classify(err error, fallback error) *StageError {
+	var se *StageError
+	if errors.As(err, &se) {
+		return se
+	}
+	for _, c := range classes {
+		if errors.Is(err, c) {
+			return Fail(c, err)
+		}
+	}
+	return Fail(fallback, err)
+}
+
+// ---------------------------------------------------------------- tracing
+
+// Span is one completed pipeline stage execution. Attempt and Wave
+// identify speculative attempts (0 for stages outside the attempt loop);
+// Err carries the stage's failure rendering ("" on success); Counters
+// holds stage-specific metrics (route rounds, canonical nets, memo hits).
+type Span struct {
+	Stage    string
+	Attempt  int // 1-based attempt rank; 0 = front stage
+	Wave     int // 1-based wave index under Workers>1; 0 = front stage
+	Wall     time.Duration
+	Err      string
+	Counters map[string]int64
+}
+
+// Tracer receives one Span per executed pipeline stage. Implementations
+// must be safe for concurrent Emit calls: speculative attempts run in
+// parallel waves and emit from their worker goroutines.
+type Tracer interface {
+	Emit(Span)
+}
+
+// nopTracer discards every span.
+type nopTracer struct{}
+
+func (nopTracer) Emit(Span) {}
+
+// Nop returns the no-op tracer (the default when Options.Tracer is nil).
+func Nop() Tracer { return nopTracer{} }
+
+// textTracer renders one line per span, for CLI -trace output.
+type textTracer struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewTextTracer returns a tracer printing one human-readable line per
+// span to w, serialized across goroutines.
+func NewTextTracer(w io.Writer) Tracer { return &textTracer{w: w} }
+
+func (t *textTracer) Emit(s Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %-14s", s.Stage)
+	if s.Attempt > 0 {
+		fmt.Fprintf(&b, " attempt %-3d wave %-2d", s.Attempt, s.Wave)
+	} else {
+		b.WriteString("                   ")
+	}
+	fmt.Fprintf(&b, " %10s", s.Wall.Round(time.Microsecond))
+	if len(s.Counters) > 0 {
+		keys := make([]string, 0, len(s.Counters))
+		for k := range s.Counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%d", k, s.Counters[k])
+		}
+	}
+	if s.Err != "" {
+		fmt.Fprintf(&b, " err=%q", s.Err)
+	}
+	b.WriteByte('\n')
+	io.WriteString(t.w, b.String())
+}
+
+// Collector accumulates spans in memory — the JSON tracer backing
+// internal/exp's per-stage cost reports and any test asserting on trace
+// structure.
+type Collector struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewCollector returns an empty span collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Emit appends the span (goroutine-safe).
+func (c *Collector) Emit(s Span) {
+	c.mu.Lock()
+	c.spans = append(c.spans, s)
+	c.mu.Unlock()
+}
+
+// Spans returns a copy of everything collected so far.
+func (c *Collector) Spans() []Span {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Span(nil), c.spans...)
+}
+
+// Reset discards all collected spans.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.spans = nil
+	c.mu.Unlock()
+}
+
+// StageWall sums wall time per stage name over everything collected —
+// the per-stage cost breakdown of a compile (speculative attempts
+// included, so the sum can exceed the compile's wall-clock under
+// Workers > 1).
+func (c *Collector) StageWall() map[string]time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]time.Duration)
+	for _, s := range c.spans {
+		out[s.Stage] += s.Wall
+	}
+	return out
+}

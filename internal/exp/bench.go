@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"himap/internal/arch"
+	"himap/internal/diag"
 	"himap/internal/himap"
 	"himap/internal/kernel"
 	"himap/internal/par"
@@ -25,6 +26,11 @@ type BenchKernel struct {
 	Utilization float64 `json:"utilization"`
 	Attempts    int     `json:"attempts"`
 	RouteRounds int     `json:"route_rounds"`
+	// StageMS breaks the compile down by pipeline stage (from the JSON
+	// tracer), summed over every attempt the search executed — so failed
+	// speculative attempts show up as extra stage cost, and the stage sum
+	// can exceed WallMS under Workers > 1.
+	StageMS map[string]float64 `json:"stage_ms"`
 }
 
 // BenchReport is the machine-readable compile-cost snapshot written by
@@ -52,14 +58,22 @@ func BenchCompile(size, workers int) (*BenchReport, error) {
 	}
 	var ms0, ms1 runtime.MemStats
 	for _, k := range kernel.Evaluation() {
+		// A fresh artifact memo keeps every row a cold compile, so the
+		// wall-clock and alloc columns stay attributable to the kernel.
+		col := diag.NewCollector()
+		opts := himap.Options{Workers: 1, Tracer: col, Memo: himap.NewMemo()}
 		runtime.GC()
 		runtime.ReadMemStats(&ms0)
 		start := time.Now()
-		res, err := himap.Compile(k, arch.Default(size, size), himap.Options{Workers: 1})
+		res, err := himap.Compile(k, arch.Default(size, size), opts)
 		wall := time.Since(start)
 		runtime.ReadMemStats(&ms1)
 		if err != nil {
 			return nil, fmt.Errorf("exp: bench %s %dx%d: %v", k.Name, size, size, err)
+		}
+		stageMS := map[string]float64{}
+		for stage, d := range col.StageWall() {
+			stageMS[stage] = float64(d.Microseconds()) / 1000
 		}
 		rep.Kernels = append(rep.Kernels, BenchKernel{
 			Kernel:      k.Name,
@@ -71,6 +85,7 @@ func BenchCompile(size, workers int) (*BenchReport, error) {
 			Utilization: res.Utilization,
 			Attempts:    res.Stats.Attempts,
 			RouteRounds: res.Stats.RouteRounds,
+			StageMS:     stageMS,
 		})
 	}
 

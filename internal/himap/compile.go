@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"himap/internal/arch"
+	"himap/internal/diag"
 	"himap/internal/ir"
 	"himap/internal/kernel"
 	"himap/internal/par"
@@ -49,6 +50,13 @@ type Options struct {
 	// 0 means runtime.GOMAXPROCS(0); 1 executes exactly the historical
 	// sequential flow.
 	Workers int
+	// Tracer receives one span per executed pipeline stage (see
+	// internal/diag). nil means no tracing.
+	Tracer diag.Tracer
+	// Memo is the artifact cache reusing IDFG/sub-mapping/ISDG builds
+	// across attempts and compiles. nil means the shared process-wide
+	// cache; inject a fresh NewMemo() to isolate (benchmarks, tests).
+	Memo *Memo
 }
 
 // RelayPolicy selects the relay-pin strategy (ablation knob).
@@ -77,6 +85,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxRouteRounds == 0 {
 		o.MaxRouteRounds = 8
+	}
+	if o.Tracer == nil {
+		o.Tracer = diag.Nop()
+	}
+	if o.Memo == nil {
+		o.Memo = sharedMemo
 	}
 	o.Workers = par.Workers(o.Workers)
 	return o
@@ -112,7 +126,7 @@ type Result struct {
 
 // Stats records compilation effort.
 type Stats struct {
-	MapTime       time.Duration // step 1 (IDFG → sub-CGRA)
+	MapTime       time.Duration // step 1 (IDFG → sub-CGRA) + scheme search
 	PlaceTime     time.Duration // step 2 (ISDG → VSA)
 	RouteTime     time.Duration // step 3 canonical routing
 	ReplicateTime time.Duration // step 3 replication + validation
@@ -126,74 +140,62 @@ type Stats struct {
 // returns the first valid mapping, iterating sub-CGRA mappings in
 // decreasing utilization (Algorithm 1's outer loop) and systolic schemes
 // in increasing cost until routing and replication succeed.
+//
+// The flow is a staged pass pipeline (see pipeline.go): the front stages
+// run once, then (sub-mapping, scheme) attempts execute the per-attempt
+// stages speculatively in waves of Workers, always committing to the
+// first success in sequential ranking order. On failure Compile returns a
+// *CompileError aggregating the lowest-ranked attempt's failure and the
+// best-ranked failure per stage — deterministic for every Workers value.
 func Compile(k *kernel.Kernel, cg arch.CGRA, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := cg.Validate(); err != nil {
 		return nil, err
 	}
-	start := time.Now()
-
-	f, err := k.GenericIDFG()
-	if err != nil {
+	if err := k.Validate(); err != nil {
 		return nil, err
 	}
-	mapStart := time.Now()
-	subs := MapIDFG(f, cg, opts.DepthSlack)
-	mapTime := time.Since(mapStart)
-	if len(subs) == 0 {
-		return nil, fmt.Errorf("himap: no valid IDFG → sub-CGRA mapping for %s on %s", k.Name, cg)
-	}
-	if len(subs) > opts.MaxSubMaps {
-		subs = subs[:opts.MaxSubMaps]
-	}
+	start := time.Now()
 
-	deps := k.DistanceVectors()
-	type attempt struct {
-		sub    *SubMapping
-		sch    systolic.Scheme
-		vx, vy int
+	front := newContext(k, cg, opts)
+	if err := frontStages.Run(front); err != nil {
+		return nil, newCompileError(k.Name, cg.String(), 0, []error{err})
 	}
-	var atts []attempt
-	for _, sub := range subs {
-		vx, vy := cg.Rows/sub.S1, cg.Cols/sub.S2
-		for _, sch := range candidateSchemes(k, deps, vx, vy, opts) {
-			atts = append(atts, attempt{sub: sub, sch: sch, vx: vx, vy: vy})
-		}
-	}
+	atts := front.Attempts
 
 	// Attempts run speculatively in waves of Workers; within a wave the
 	// lowest-index success wins. Because every attempt ranked before the
 	// winner fails regardless of execution order, the committed mapping
 	// and Stats.Attempts are identical to the sequential (Workers=1) flow.
-	var lastErr error
+	errs := make([]error, len(atts))
 	for base := 0; base < len(atts); base += opts.Workers {
 		end := base + opts.Workers
 		if end > len(atts) {
 			end = len(atts)
 		}
 		wave := atts[base:end]
+		waveIdx := base/opts.Workers + 1
 		results := make([]*Result, len(wave))
-		errs := make([]error, len(wave))
 		par.ForEach(opts.Workers, len(wave), func(i int) {
-			a := wave[i]
-			results[i], errs[i] = tryScheme(k, cg, f, a.sub, a.sch, a.vx, a.vy, opts)
+			actx := front.forAttempt(wave[i], base+i+1, waveIdx)
+			if err := attemptStages.Run(actx); err != nil {
+				errs[base+i] = err
+				return
+			}
+			results[i] = actx.buildResult()
 		})
 		for i := range wave {
-			if errs[i] != nil {
-				lastErr = errs[i]
+			if results[i] == nil {
 				continue
 			}
 			res := results[i]
-			res.Stats.MapTime = mapTime
+			res.Stats.MapTime = front.wall[StageIDFGMap] + front.wall[StageSchemeSearch]
 			res.Stats.Attempts = base + i + 1
 			res.Stats.Total = time.Since(start)
 			return res, nil
 		}
 	}
-	if lastErr == nil {
-		lastErr = fmt.Errorf("no valid systolic scheme")
-	}
-	return nil, fmt.Errorf("himap: compilation of %s on %s failed after %d attempts: %v", k.Name, cg, len(atts), lastErr)
+	return nil, newCompileError(k.Name, cg.String(), len(atts), errs)
 }
 
 // candidateSchemes enumerates systolic schemes compatible with the VSA
@@ -220,7 +222,8 @@ func candidateSchemes(k *kernel.Kernel, deps []ir.IterVec, vx, vy int, opts Opti
 
 // blockForScheme derives the block sizes: space dimensions take the VSA
 // extents (line 6: b1 = c/s1, b2 = c/s2); remaining dimensions take the
-// user's inner block, and pinned dimensions keep their pins.
+// user's inner block, and pinned dimensions keep their pins (a pin below
+// MinBlock is rejected by Kernel.Validate before compilation starts).
 func blockForScheme(k *kernel.Kernel, sch systolic.Scheme, vx, vy int, opts Options) ([]int, error) {
 	block := make([]int, k.Dim)
 	for d := 0; d < k.Dim; d++ {
@@ -232,7 +235,8 @@ func blockForScheme(k *kernel.Kernel, sch systolic.Scheme, vx, vy int, opts Opti
 	ext := []int{vx, vy}
 	for i, d := range sch.SpaceDims {
 		if d < len(k.FixedBlock) && k.FixedBlock[d] > 0 && k.FixedBlock[d] != ext[i] {
-			return nil, fmt.Errorf("himap: scheme maps pinned dim %d to a VSA axis of extent %d", d, ext[i])
+			return nil, diag.Failf(diag.ErrBlockPinConflict,
+				"scheme maps pinned dim %d to a VSA axis of extent %d", d, ext[i])
 		}
 		block[d] = ext[i]
 	}
@@ -241,87 +245,17 @@ func blockForScheme(k *kernel.Kernel, sch systolic.Scheme, vx, vy int, opts Opti
 		min = 1
 	}
 	for d, b := range block {
-		if d < len(k.FixedBlock) && k.FixedBlock[d] > 0 {
+		if b >= min {
 			continue
 		}
-		if b < min {
-			return nil, fmt.Errorf("himap: block dim %d = %d below minimum %d", d, b, min)
+		if d < len(k.FixedBlock) && k.FixedBlock[d] > 0 {
+			return nil, diag.Failf(diag.ErrBlockPinConflict,
+				"pinned block dim %d = %d below minimum %d", d, b, min)
 		}
+		return nil, diag.Failf(diag.ErrBlockTooSmall,
+			"block dim %d = %d below minimum %d", d, b, min)
 	}
 	return block, nil
-}
-
-// tryScheme executes steps 2 and 3 for one (sub-CGRA mapping, scheme)
-// pair.
-func tryScheme(k *kernel.Kernel, cg arch.CGRA, f *ir.IDFG, sub *SubMapping,
-	sch systolic.Scheme, vx, vy int, opts Options) (*Result, error) {
-	placeStart := time.Now()
-	block, err := blockForScheme(k, sch, vx, vy, opts)
-	if err != nil {
-		return nil, err
-	}
-	m := sch.Realize(block)
-	if err := m.Validate(k.DistanceVectors()); err != nil {
-		return nil, err
-	}
-	gx, gy := m.VSAShape()
-	if gx > vx || gy > vy {
-		return nil, fmt.Errorf("himap: scheme needs VSA %dx%d, have %dx%d", gx, gy, vx, vy)
-	}
-
-	dfg, isdg, err := k.BuildISDG(block)
-	if err != nil {
-		return nil, err
-	}
-	// AddForwardingPath (lines 14-17).
-	fdfg, err := ApplyForwarding(dfg, isdg, m)
-	if err != nil {
-		return nil, err
-	}
-	if fdfg != dfg {
-		dfg = fdfg
-		isdg, err = ir.BuildISDG(dfg)
-		if err != nil {
-			return nil, err
-		}
-	}
-	cp := PlaceClusters(isdg, m)
-	classes, byClust := IdentifyUnique(isdg, cp)
-	placeTime := time.Since(placeStart)
-
-	iib := sub.Depth * m.IIS
-	lay := &layout{
-		cg: cg, g: isdg, cp: cp, sub: sub, iib: iib,
-		classes: classes, byClust: byClust,
-		ix:     buildNodeIndex(isdg),
-		policy: opts.RelayPolicy,
-	}
-	routeStart := time.Now()
-	cfg, rstats, err := routeAndReplicate(lay, opts.MaxRouteRounds)
-	routeTime := time.Since(routeStart)
-	if err != nil {
-		return nil, err
-	}
-
-	util := float64(dfg.NumCompute()) / float64(cg.NumPEs()*iib)
-	return &Result{
-		Kernel: k, CGRA: cg,
-		Sub: sub, Scheme: sch, Mapping: m,
-		Block: block, IIB: iib,
-		DFG: dfg, ISDG: isdg, CP: cp,
-		UniqueIters: len(classes),
-		Classes:     classes,
-		ByCluster:   byClust,
-		Config:      cfg,
-		Utilization: util,
-		Stats: Stats{
-			PlaceTime:     placeTime,
-			RouteTime:     routeTime - rstats.ReplicateTime,
-			ReplicateTime: rstats.ReplicateTime,
-			CanonicalNets: rstats.CanonicalNets,
-			RouteRounds:   rstats.Rounds,
-		},
-	}, nil
 }
 
 // Summary renders a one-line result description.

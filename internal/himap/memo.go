@@ -1,0 +1,185 @@
+package himap
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"himap/internal/arch"
+	"himap/internal/ir"
+	"himap/internal/kernel"
+	"himap/internal/systolic"
+)
+
+// Memo is the compilation artifact cache. It content-keys and reuses the
+// expensive pure derivations of the pipeline:
+//
+//   - the generic IDFG of a kernel (idfg-map stage),
+//   - the sub-CGRA mapping list per (kernel, CGRA, depth slack),
+//   - the ranked systolic scheme candidates per (kernel, VSA extents,
+//     candidate limit), and
+//   - the unrolled DFG/ISDG per (kernel, block vector), shared both
+//     across the speculative attempts of one compile (attempts trying
+//     different schemes over the same block) and across repeated
+//     compiles (the experiments harness, sweeps, future server
+//     batching).
+//
+// All cached artifacts are read-only by pipeline contract: every stage
+// that transforms one (e.g. forwarding) builds a new object instead of
+// mutating, so sharing across concurrent attempts and compiles is safe.
+// Keys hash the kernel specification content (not pointer identity), so
+// two structurally identical Kernel values share entries and a modified
+// copy does not.
+//
+// Entries are computed under a per-key once, so concurrent attempts (or
+// concurrent Compile calls) requesting the same artifact build it
+// exactly once and share the result.
+type Memo struct {
+	idfg    sync.Map // kernel key -> *memoEntry[*ir.IDFG]
+	subs    sync.Map // kernel key + cgra + slack -> *memoEntry[[]*SubMapping]
+	schemes sync.Map // kernel key + vsa extents + limit -> *memoEntry[[]systolic.Scheme]
+	isdg    sync.Map // kernel key + block -> *memoEntry[isdgArtifact]
+
+	hits, misses int64
+	statMu       sync.Mutex
+}
+
+type isdgArtifact struct {
+	dfg  *ir.DFG
+	isdg *ir.ISDG
+}
+
+type memoEntry struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+// sharedMemo backs every Compile whose Options do not inject their own.
+var sharedMemo = NewMemo()
+
+// NewMemo returns an empty artifact cache. Most callers should leave
+// Options.Memo nil and share the process-wide cache; benchmarks and
+// tests inject fresh ones to measure or isolate the cold path.
+func NewMemo() *Memo { return &Memo{} }
+
+// Stats reports cumulative hit/miss counts (an entry computed under the
+// once counts one miss; every other arrival counts a hit).
+func (m *Memo) Stats() (hits, misses int64) {
+	m.statMu.Lock()
+	defer m.statMu.Unlock()
+	return m.hits, m.misses
+}
+
+func (m *Memo) load(table *sync.Map, key string, compute func() (any, error)) (any, error) {
+	e, loaded := table.LoadOrStore(key, &memoEntry{})
+	ent := e.(*memoEntry)
+	computed := false
+	ent.once.Do(func() {
+		ent.val, ent.err = compute()
+		computed = true
+	})
+	m.statMu.Lock()
+	if computed || !loaded {
+		m.misses++
+	} else {
+		m.hits++
+	}
+	m.statMu.Unlock()
+	return ent.val, ent.err
+}
+
+// IDFG returns (building at most once) the kernel's generic IDFG.
+func (m *Memo) IDFG(k *kernel.Kernel) (*ir.IDFG, error) {
+	v, err := m.load(&m.idfg, kernelKey(k), func() (any, error) {
+		return k.GenericIDFG()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*ir.IDFG), nil
+}
+
+// SubMappings returns the full MapIDFG result for the kernel on cg with
+// the given depth slack. Callers must not mutate the returned slice or
+// its entries; Compile copies the prefix it truncates.
+func (m *Memo) SubMappings(k *kernel.Kernel, f *ir.IDFG, cg arch.CGRA, depthSlack int) ([]*SubMapping, error) {
+	key := fmt.Sprintf("%s|%+v|slack%d", kernelKey(k), cg, depthSlack)
+	v, err := m.load(&m.subs, key, func() (any, error) {
+		return MapIDFG(f, cg, depthSlack), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]*SubMapping), nil
+}
+
+// Schemes returns the ranked systolic scheme candidates for the kernel on
+// a VSA of vx × vy sub-CGRA clusters. The search result is a pure function
+// of the kernel's dependence structure, the VSA extents, and the candidate
+// limit — Workers only shards the search, never changes its merged output
+// (pinned by TestWorkersDeterminism) — so it is safe to key without it. A
+// forced scheme bypasses the cache entirely: it is already free to
+// "search" and may vary per call site.
+func (m *Memo) Schemes(k *kernel.Kernel, deps []ir.IterVec, vx, vy int, opts Options) ([]systolic.Scheme, error) {
+	if opts.ForceScheme != nil {
+		return candidateSchemes(k, deps, vx, vy, opts), nil
+	}
+	key := fmt.Sprintf("%s|vsa%dx%d|n%d", kernelKey(k), vx, vy, opts.MaxSchemes)
+	v, err := m.load(&m.schemes, key, func() (any, error) {
+		return candidateSchemes(k, deps, vx, vy, opts), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]systolic.Scheme), nil
+}
+
+// ISDG returns (building at most once) the kernel's unrolled DFG and
+// ISDG for a block vector.
+func (m *Memo) ISDG(k *kernel.Kernel, block []int) (*ir.DFG, *ir.ISDG, error) {
+	key := fmt.Sprintf("%s|b%v", kernelKey(k), block)
+	v, err := m.load(&m.isdg, key, func() (any, error) {
+		dfg, isdg, err := k.BuildISDG(block)
+		if err != nil {
+			return nil, err
+		}
+		return isdgArtifact{dfg: dfg, isdg: isdg}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	a := v.(isdgArtifact)
+	return a.dfg, a.isdg, nil
+}
+
+// kernelKey renders the content identity of a kernel specification: every
+// field that determines DFG construction and hence every downstream
+// artifact (name and dimensionality, block constraints, and the complete
+// body — op kinds, operand source structure, affine maps, predicates,
+// constants, and store rules). Tensor extent functions and the Prepare
+// hook affect only input generation, never the mapped structure, so they
+// are deliberately excluded.
+func kernelKey(k *kernel.Kernel) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s|d%d|m%d|f%v|", k.Name, k.Suite, k.Dim, k.MinBlock, k.FixedBlock)
+	writeInput := func(in kernel.Input) {
+		for _, c := range in {
+			fmt.Fprintf(&b, "w%v:", c.When)
+			s := c.Src
+			fmt.Fprintf(&b, "k%d,o%d,d%v,t%s,m%v+%v,v%d;", s.Kind, s.Op, s.Dist, s.Tensor, s.Map.Coef, s.Map.Off, s.Value)
+		}
+	}
+	for i, op := range k.Body {
+		fmt.Fprintf(&b, "[%d:%s:%d|A:", i, op.Name, op.Kind)
+		writeInput(op.A)
+		b.WriteString("|B:")
+		writeInput(op.B)
+		b.WriteString("|S:")
+		for _, st := range op.Stores {
+			fmt.Fprintf(&b, "w%v>%s,m%v+%v;", st.When, st.Tensor, st.Map.Coef, st.Map.Off)
+		}
+		b.WriteString("]")
+	}
+	return b.String()
+}

@@ -3,7 +3,6 @@ package himap
 import (
 	"fmt"
 	"sort"
-	"time"
 
 	"himap/internal/arch"
 	"himap/internal/ir"
@@ -235,14 +234,13 @@ type RouteStats struct {
 	UniqueIters   int
 	CanonicalNets int
 	Rounds        int
-	ReplicateTime time.Duration
 }
 
-// routeAndReplicate performs Algorithm 1 lines 21-29: routes the minimal
+// routeCanonical performs Algorithm 1 lines 21-27: routes the minimal
 // DFG — one canonical net per (unique class, producer op) — under
-// negotiated congestion, then replicates placements and routes to every
-// cluster, emitting the final configuration with conflict detection.
-func routeAndReplicate(l *layout, maxRounds int) (*arch.Config, RouteStats, error) {
+// negotiated congestion, returning the per-class net plans that the
+// replicate stage stamps onto every cluster.
+func (l *layout) routeCanonical(maxRounds int) ([][]canonNet, RouteStats, error) {
 	g := mrrg.New(l.cg, l.iib)
 	ses := route.NewSession(g)
 	stats := RouteStats{UniqueIters: len(l.classes)}
@@ -323,14 +321,7 @@ func routeAndReplicate(l *layout, maxRounds int) (*arch.Config, RouteStats, erro
 	for _, nets := range plans {
 		stats.CanonicalNets += len(nets)
 	}
-
-	repStart := time.Now()
-	cfg, err := l.replicate(plans)
-	stats.ReplicateTime = time.Since(repStart)
-	if err != nil {
-		return nil, stats, err
-	}
-	return cfg, stats, nil
+	return plans, stats, nil
 }
 
 // classEnvelope returns the spatial window (in the representative's
@@ -540,7 +531,8 @@ func (l *layout) chooseBoundaryLoad(ses *route.Session, classIdx, id int) error 
 
 // replicate stamps every class's canonical placements and routes onto all
 // of its member clusters (Algorithm 1 line 29), with full conflict
-// detection, and validates the resulting configuration.
+// detection. Final configuration validation is the pipeline's validate
+// stage (Config.Validate), not replicate's job.
 func (l *layout) replicate(plans [][]canonNet) (*arch.Config, error) {
 	cfg := arch.NewConfig(l.cg, l.iib)
 	em := route.NewEmitter(cfg)
@@ -633,9 +625,6 @@ func (l *layout) replicate(plans [][]canonNet) (*arch.Config, error) {
 		}
 	}
 
-	if err := cfg.Validate(); err != nil {
-		return nil, fmt.Errorf("himap: replicated configuration invalid: %v", err)
-	}
 	return cfg, nil
 }
 

@@ -15,6 +15,7 @@ package kernel
 import (
 	"fmt"
 
+	"himap/internal/diag"
 	"himap/internal/ir"
 )
 
@@ -290,6 +291,16 @@ func (k *Kernel) UniformBlock(b int) []int {
 func (k *Kernel) Validate() error {
 	if k.Dim < 1 {
 		return fmt.Errorf("kernel %s: Dim = %d", k.Name, k.Dim)
+	}
+	minBlock := k.MinBlock
+	if minBlock == 0 {
+		minBlock = 1
+	}
+	for d, fb := range k.FixedBlock {
+		if fb > 0 && fb < minBlock {
+			return fmt.Errorf("kernel %s: %w: FixedBlock[%d] = %d below MinBlock %d",
+				k.Name, diag.ErrBlockPinConflict, d, fb, minBlock)
+		}
 	}
 	tensors := map[string]TensorSpec{}
 	for _, ts := range k.Tensors {

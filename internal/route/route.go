@@ -23,9 +23,22 @@
 package route
 
 import (
+	"errors"
 	"fmt"
 
 	"himap/internal/mrrg"
+)
+
+// Sentinel route failures, errors.Is-able through the wrapped errors
+// RouteSink returns (and through the StageErrors of the mappers built on
+// this package).
+var (
+	// ErrNoPath: the Dijkstra search exhausted the reachable sub-graph
+	// without touching a target (or had no targets at all).
+	ErrNoPath = errors.New("no path")
+	// ErrSearchLimit: the search visited more nodes than Session.MaxVisits
+	// allows — congestion so severe the search was cut off.
+	ErrSearchLimit = errors.New("search limit exceeded")
 )
 
 // Path is a resource node sequence from a producer to one sink; node 0 is
@@ -289,7 +302,7 @@ func (s *Session) nodeAt(i int32, tBase, pes, cols, slots int) mrrg.Node {
 // cycles than any before it).
 func (s *Session) RouteSink(net *Net, targets []mrrg.Node) (Path, float64, error) {
 	if len(targets) == 0 {
-		return nil, 0, fmt.Errorf("route: no targets")
+		return nil, 0, fmt.Errorf("route: %w: no targets", ErrNoPath)
 	}
 	// The dense per-search index space covers real cycles [tBase, maxT]:
 	// tBase is the earliest seed or target (successor times are monotone,
@@ -355,7 +368,7 @@ func (s *Session) RouteSink(net *Net, targets []mrrg.Node) (Path, float64, error
 		sc.closed[it.idx] = gen
 		visits++
 		if visits > s.MaxVisits {
-			return nil, 0, fmt.Errorf("route: search limit %d exceeded", s.MaxVisits)
+			return nil, 0, fmt.Errorf("route: %w (limit %d)", ErrSearchLimit, s.MaxVisits)
 		}
 		if sc.tgt[it.idx] == gen {
 			n := 0
@@ -405,7 +418,7 @@ func (s *Session) RouteSink(net *Net, targets []mrrg.Node) (Path, float64, error
 			}
 		})
 	}
-	return nil, 0, fmt.Errorf("route: no path from net %d (src %v) to %v", net.ID, net.Src, targets[0])
+	return nil, 0, fmt.Errorf("route: %w from net %d (src %v) to %v", ErrNoPath, net.ID, net.Src, targets[0])
 }
 
 // commit charges newly used path nodes to occupancy and records them in

@@ -15,12 +15,19 @@
 package systolic
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"himap/internal/ir"
 	"himap/internal/par"
 )
+
+// ErrInfeasible marks a space-time mapping that violates a dependence
+// (non-causal or unroutable offset) or the injectivity of the allocation.
+// Every Validate/CheckInjective failure wraps it, so callers dispatch
+// with errors.Is without parsing messages.
+var ErrInfeasible = errors.New("systolic: mapping infeasible")
 
 // Mapping is a realized space-time transformation for a concrete block.
 type Mapping struct {
@@ -163,8 +170,8 @@ func (m *Mapping) CheckInjective() error {
 		t, x, y := m.Place(iter)
 		p := pos{((t % m.IIS) + m.IIS) % m.IIS, x, y}
 		if prev, ok := seen[p]; ok {
-			conflict = fmt.Errorf("systolic: iterations %v and %v collide at SPE (%d,%d) slot %d",
-				prev, iter, x, y, p.tm)
+			conflict = fmt.Errorf("%w: iterations %v and %v collide at SPE (%d,%d) slot %d",
+				ErrInfeasible, prev, iter, x, y, p.tm)
 			return
 		}
 		seen[p] = iter.Clone()
@@ -178,7 +185,7 @@ func (m *Mapping) Validate(deps []ir.IterVec) error {
 	for _, d := range deps {
 		if m.Classify(d) == DepInvalid {
 			tr, xr, yr := m.DepOffset(d)
-			return fmt.Errorf("systolic: dependence %v has invalid offset (t=%d, x=%d, y=%d)", d, tr, xr, yr)
+			return fmt.Errorf("%w: dependence %v has invalid offset (t=%d, x=%d, y=%d)", ErrInfeasible, d, tr, xr, yr)
 		}
 		if m.Classify(d) == DepForward {
 			if _, _, err := m.ForwardStep(d); err != nil {

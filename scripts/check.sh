@@ -1,9 +1,15 @@
 #!/bin/sh
-# Repository health gate: vet, build, and the full test suite under the
-# race detector. Run before sending changes; cmd/experiments and the
-# benchmarks (go test -bench . -benchmem) cover the perf side.
+# Repository health gate: formatting, vet, build, and the full test suite
+# under the race detector. Run before sending changes; cmd/experiments and
+# the benchmarks (go test -bench . -benchmem) cover the perf side.
 set -eux
 cd "$(dirname "$0")/.."
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 go vet ./...
 go build ./...
 go test -race ./...

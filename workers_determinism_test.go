@@ -12,69 +12,87 @@ import (
 // the mapping HiMap emits is a pure function of (kernel, CGRA, Options
 // minus Workers). Speculative scheme attempts always commit to the first
 // success in sequential ranking order, and the systolic search merges its
-// shards in enumeration order, so Workers=8 must reproduce the Workers=1
-// configuration, bitstream, and (non-timing) statistics byte for byte.
+// shards in enumeration order, so any Workers value must reproduce the
+// Workers=1 configuration, bitstream, and (non-timing) statistics byte
+// for byte — for every paper kernel, on both the cold path (fresh
+// artifact memo) and the memoized path (recompiling against a memo warmed
+// by the first run).
 func TestWorkersDeterminism(t *testing.T) {
-	for _, name := range []string{"GEMM", "FW"} {
-		t.Run(name, func(t *testing.T) {
-			k, err := himap.KernelByName(name)
-			if err != nil {
-				t.Fatal(err)
-			}
+	for _, k := range himap.EvaluationKernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
 			cg := himap.DefaultCGRA(8, 8)
-			r1, err := himap.Compile(k, cg, himap.Options{Workers: 1})
+
+			// Reference: sequential, cold memo.
+			r1, err := himap.Compile(k, cg, himap.Options{Workers: 1, Memo: himap.NewMemo()})
 			if err != nil {
 				t.Fatal(err)
 			}
-			r8, err := himap.Compile(k, cg, himap.Options{Workers: 8})
-			if err != nil {
-				t.Fatal(err)
-			}
-
-			var j1, j8 bytes.Buffer
-			if err := himap.SaveConfig(r1.Config, &j1); err != nil {
-				t.Fatal(err)
-			}
-			if err := himap.SaveConfig(r8.Config, &j8); err != nil {
-				t.Fatal(err)
-			}
-			if !bytes.Equal(j1.Bytes(), j8.Bytes()) {
-				t.Fatal("Workers=8 produced a different configuration than Workers=1")
-			}
-
+			j1 := configJSON(t, r1)
 			b1, err := himap.EncodeBitstream(r1.Config)
 			if err != nil {
 				t.Fatal(err)
 			}
-			b8, err := himap.EncodeBitstream(r8.Config)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !reflect.DeepEqual(b1, b8) {
-				t.Fatal("Workers=8 produced a different bitstream than Workers=1")
+
+			check := func(label string, opts himap.Options) {
+				r, err := himap.Compile(k, cg, opts)
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				if !bytes.Equal(j1, configJSON(t, r)) {
+					t.Fatalf("%s produced a different configuration than Workers=1", label)
+				}
+				b, err := himap.EncodeBitstream(r.Config)
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				if !reflect.DeepEqual(b1, b) {
+					t.Fatalf("%s produced a different bitstream than Workers=1", label)
+				}
+				// Every non-timing statistic and result field must agree too —
+				// in particular Attempts, which proves the wave execution
+				// committed to the same (sub-mapping, scheme) pair.
+				if r1.Stats.Attempts != r.Stats.Attempts {
+					t.Errorf("%s: Attempts %d vs %d", label, r1.Stats.Attempts, r.Stats.Attempts)
+				}
+				if r1.Stats.CanonicalNets != r.Stats.CanonicalNets {
+					t.Errorf("%s: CanonicalNets %d vs %d", label, r1.Stats.CanonicalNets, r.Stats.CanonicalNets)
+				}
+				if r1.Stats.RouteRounds != r.Stats.RouteRounds {
+					t.Errorf("%s: RouteRounds %d vs %d", label, r1.Stats.RouteRounds, r.Stats.RouteRounds)
+				}
+				if r1.IIB != r.IIB || r1.UniqueIters != r.UniqueIters || r1.Utilization != r.Utilization {
+					t.Errorf("%s: result stats differ: IIB %d/%d unique %d/%d U %v/%v", label,
+						r1.IIB, r.IIB, r1.UniqueIters, r.UniqueIters, r1.Utilization, r.Utilization)
+				}
+				if !reflect.DeepEqual(r1.Block, r.Block) {
+					t.Errorf("%s: block %v vs %v", label, r1.Block, r.Block)
+				}
 			}
 
-			// Every non-timing statistic and result field must agree too —
-			// in particular Attempts, which proves the wave execution
-			// committed to the same (sub-mapping, scheme) pair.
-			if r1.Stats.Attempts != r8.Stats.Attempts {
-				t.Errorf("Attempts: %d (W=1) vs %d (W=8)", r1.Stats.Attempts, r8.Stats.Attempts)
+			// Cold path, parallel waves.
+			check("Workers=4 cold", himap.Options{Workers: 4, Memo: himap.NewMemo()})
+
+			// Memoized path: both worker counts recompile against one
+			// shared memo warmed by a first compile, so the IDFG,
+			// sub-mapping list, and ISDG all come from the cache.
+			warm := himap.NewMemo()
+			if _, err := himap.Compile(k, cg, himap.Options{Workers: 1, Memo: warm}); err != nil {
+				t.Fatal(err)
 			}
-			if r1.Stats.CanonicalNets != r8.Stats.CanonicalNets {
-				t.Errorf("CanonicalNets: %d vs %d", r1.Stats.CanonicalNets, r8.Stats.CanonicalNets)
-			}
-			if r1.Stats.RouteRounds != r8.Stats.RouteRounds {
-				t.Errorf("RouteRounds: %d vs %d", r1.Stats.RouteRounds, r8.Stats.RouteRounds)
-			}
-			if r1.IIB != r8.IIB || r1.UniqueIters != r8.UniqueIters || r1.Utilization != r8.Utilization {
-				t.Errorf("result stats differ: IIB %d/%d unique %d/%d U %v/%v",
-					r1.IIB, r8.IIB, r1.UniqueIters, r8.UniqueIters, r1.Utilization, r8.Utilization)
-			}
-			if !reflect.DeepEqual(r1.Block, r8.Block) {
-				t.Errorf("block: %v vs %v", r1.Block, r8.Block)
-			}
+			check("Workers=1 memoized", himap.Options{Workers: 1, Memo: warm})
+			check("Workers=4 memoized", himap.Options{Workers: 4, Memo: warm})
 		})
 	}
+}
+
+func configJSON(t *testing.T, r *himap.Result) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := himap.SaveConfig(r.Config, &b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
 }
 
 // TestBaselineChainsReproducible pins the baseline's multi-chain mode:
