@@ -400,7 +400,7 @@ func BenchmarkAblationRelayPolicy(b *testing.B) {
 // generation-stamped scratch arrays keep steady-state Dijkstra runs free
 // of per-search map and heap-interface allocations.
 func BenchmarkRouteSinkHotPath(b *testing.B) {
-	g := mrrg.New(arch.Default(8, 8), 8)
+	g := mrrg.New(arch.DefaultFabric(8, 8), 8)
 	s := route.NewSession(g)
 	src := mrrg.Node{T: 0, R: 0, C: 0, Class: mrrg.ClassFU}
 	sinks := [][3]int{{4, 2, 2}, {8, 4, 4}, {14, 7, 7}}
@@ -423,7 +423,7 @@ func BenchmarkRouteSinkHotPath(b *testing.B) {
 // dense occupancy storage (0 allocs/op), not reallocate it, so the
 // negotiation loop's per-round cost is a clear, not a malloc.
 func BenchmarkSessionResetKeepHistory(b *testing.B) {
-	g := mrrg.New(arch.Default(16, 16), 8)
+	g := mrrg.New(arch.DefaultFabric(16, 16), 8)
 	s := route.NewSession(g)
 	b.ReportAllocs()
 	b.ResetTimer()

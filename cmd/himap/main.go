@@ -7,6 +7,8 @@
 //	himap -kernel GEMM -rows 8 -cols 8 -validate -render
 //	himap -kernel BICG -rows 8 -cols 1            # §II's linear array
 //	himap -kernel MVT -baseline -block 4          # conventional mapper
+//	himap -kernel GEMM -fabric torus              # wrap-around links
+//	himap -kernel FW -fabric torus -mem-pes boundary -validate
 package main
 
 import (
@@ -23,6 +25,8 @@ func main() {
 		name     = flag.String("kernel", "GEMM", "kernel name (ADI, ATAX, BICG, MVT, GEMM, SYRK, FW, TTM, CONV2D, CONV3D, NW, DOITGEN, DOTPROD, RELU)")
 		rows     = flag.Int("rows", 8, "CGRA rows")
 		cols     = flag.Int("cols", 8, "CGRA columns")
+		fabric   = flag.String("fabric", "mesh", "interconnect topology: mesh|torus|diag")
+		memPEs   = flag.String("mem-pes", "all", "memory-capable PEs: all|boundary (boundary = edge columns only)")
 		inner    = flag.Int("inner", 0, "inner block size b3.. for time-sequenced dimensions (0 = default)")
 		validate = flag.Bool("validate", false, "run cycle-accurate functional validation (3 pipelined blocks)")
 		render   = flag.Bool("render", false, "render the space-time schedule")
@@ -47,7 +51,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cg := himap.DefaultCGRA(*rows, *cols)
+	topo, err := himap.ParseTopology(*fabric)
+	if err != nil {
+		fatal(err)
+	}
+	mem, err := himap.ParseMemPolicy(*memPEs)
+	if err != nil {
+		fatal(err)
+	}
+	fab := himap.Fabric{CGRA: himap.DefaultCGRA(*rows, *cols), Topology: topo, Mem: mem}
 	model := himap.DefaultPowerModel()
 
 	if *useBase {
@@ -55,7 +67,7 @@ func main() {
 		if b == 0 {
 			b = 4
 		}
-		res, err := himap.CompileBaseline(k, cg, k.UniformBlock(b), himap.BaselineOptions{Seed: *seed, Workers: *workers, Tracer: tracer})
+		res, err := himap.CompileBaselineFabric(k, fab, k.UniformBlock(b), himap.BaselineOptions{Seed: *seed, Workers: *workers, Tracer: tracer})
 		if err != nil {
 			fatal(err)
 		}
@@ -74,7 +86,7 @@ func main() {
 		return
 	}
 
-	res, err := himap.Compile(k, cg, himap.Options{InnerBlock: *inner, Workers: *workers, Tracer: tracer})
+	res, err := himap.CompileFabric(k, fab, himap.Options{InnerBlock: *inner, Workers: *workers, Tracer: tracer})
 	if err != nil {
 		fatal(err)
 	}
@@ -86,7 +98,7 @@ func main() {
 	fmt.Printf("performance: %.0f MOPS, power: %.1f mW, efficiency: %.1f MOPS/mW\n",
 		model.PerformanceMOPS(res.Config), model.PowerMW(res.Config), model.EfficiencyMOPSPerMW(res.Config))
 	fmt.Printf("configuration memory: max %d unique words per PE (depth %d)\n",
-		res.Config.MaxUniqueInstrs(), cg.ConfigDepth)
+		res.Config.MaxUniqueInstrs(), fab.ConfigDepth)
 
 	if *validate {
 		if err := himap.Validate(res, 3, *seed); err != nil {

@@ -1,0 +1,74 @@
+package himap_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+
+	"himap"
+)
+
+// defaultFabricFingerprints pins the exact mappings the default fabric
+// (mesh topology, every PE memory-capable) produces for the eight
+// evaluation kernels on an 8x8 array. The hashes were captured before the
+// Fabric refactor; the refactor (and any future change) must reproduce
+// them bit-identically. The fingerprint is built from the canonical
+// instruction rendering (Instr.String), the II, and the load/store I/O
+// specs — deliberately not the raw JSON bytes, so representation-only
+// changes (e.g. widening OutSel for diagonal links) don't disturb it as
+// long as the mapping itself is unchanged.
+var defaultFabricFingerprints = map[string]string{
+	"ADI":  "4be75e3ecacdf7c9bd77223743241a082b8469bde26367d7cf2ded54b323a0cc",
+	"ATAX": "10c91fa59bf58021cd04346eb043291218cae9805275e1b04c163c79aafdd0b7",
+	"BICG": "f989d64f152302206e1678d3e39301462654623fd4e270dd05722cf30c277452",
+	"MVT":  "1b33b8638fc10c73bcc85ce86f4fa9b1416aff0f028ca85fef27014a1407253d",
+	"GEMM": "e92f7854f63143875896692d070a6f34663eb9d2fff92dd61e79e827939b9eb1",
+	"SYRK": "8d59d8f6d4454f1438d5e78570271cda6aab8333059082d344a7d94530102b8b",
+	"FW":   "bb5b461d9ff1f8380f1ec0f63fcef4afb26a75cc2b32e9dd1ce076905967ac8a",
+	"TTM":  "1bbfb68601054333cc6bb7c68a035f6c171aa1422678e47dacf1b4b3bc99dc88",
+}
+
+func mappingFingerprint(cfg *himap.Config, rows, cols int) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "ii=%d\n", cfg.II)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			for t := 0; t < cfg.II; t++ {
+				in := *cfg.At(r, c, t)
+				in.Comment = ""
+				fmt.Fprintf(h, "r%d c%d t%d %s\n", r, c, t, in.String())
+			}
+		}
+	}
+	for _, l := range cfg.Loads {
+		fmt.Fprintf(h, "load %+v\n", l)
+	}
+	for _, s := range cfg.Stores {
+		fmt.Fprintf(h, "store %+v\n", s)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestDefaultFabricBitIdentical is the regression anchor for the Fabric
+// refactor: the default fabric must keep producing exactly the mappings
+// the homogeneous-mesh model produced.
+func TestDefaultFabricBitIdentical(t *testing.T) {
+	for _, k := range himap.EvaluationKernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			r, err := himap.Compile(k, himap.DefaultCGRA(8, 8), himap.Options{})
+			if err != nil {
+				t.Fatalf("Compile(%s): %v", k.Name, err)
+			}
+			got := mappingFingerprint(r.Config, 8, 8)
+			want := defaultFabricFingerprints[k.Name]
+			if want == "" {
+				t.Fatalf("no golden fingerprint for %s; capture: %q", k.Name, got)
+			}
+			if got != want {
+				t.Errorf("%s: mapping fingerprint drifted\n got %s\nwant %s", k.Name, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,85 @@
+package himap_test
+
+import (
+	"errors"
+	"testing"
+
+	"himap"
+)
+
+// TestCompileFabricTorus pins the torus link provider end to end: every
+// paper kernel must compile on the wrap-around fabric and pass
+// cycle-accurate validation (the wrap links make every translation a
+// graph automorphism, so replication works from any cluster position).
+func TestCompileFabricTorus(t *testing.T) {
+	fab := himap.Fabric{CGRA: himap.DefaultCGRA(8, 8), Topology: himap.TopoTorus}
+	for _, name := range []string{"GEMM", "ATAX", "BICG"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			k, err := himap.KernelByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := himap.CompileFabric(k, fab, himap.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := himap.Validate(res, 3, 42); err != nil {
+				t.Fatalf("torus mapping failed cycle-accurate validation: %v", err)
+			}
+		})
+	}
+}
+
+// TestCompileFabricBoundaryMemTorus pins the heterogeneous-capability
+// path: a memory kernel compiled onto a torus whose memory ports exist
+// only on the boundary columns must place every load and store on a
+// memory-capable PE and still pass cycle-accurate validation.
+func TestCompileFabricBoundaryMemTorus(t *testing.T) {
+	fab := himap.Fabric{CGRA: himap.DefaultCGRA(8, 8), Topology: himap.TopoTorus, Mem: himap.MemBoundary}
+	k, err := himap.KernelByName("FW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := himap.CompileFabric(k, fab, himap.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := res.Config
+	for r := 0; r < cfg.Fabric.Rows; r++ {
+		for c := 0; c < cfg.Fabric.Cols; c++ {
+			for tt := 0; tt < cfg.II; tt++ {
+				in := cfg.Slots[r][c][tt]
+				if (in.MemRead.Active || in.MemWrite.Active) && !cfg.Fabric.MemCapable(r, c) {
+					t.Fatalf("memory access on compute-only PE(%d,%d)", r, c)
+				}
+			}
+		}
+	}
+	if err := himap.Validate(res, 3, 42); err != nil {
+		t.Fatalf("boundary-mem torus mapping failed validation: %v", err)
+	}
+}
+
+// TestMemPortInfeasibleTyped pins the failure mode: a kernel whose memory
+// demand no capability-uniform sub-CGRA of the fabric can satisfy must
+// fail with the typed ErrMemPortInfeasible class — a diagnosable error,
+// never a panic or an untyped string.
+func TestMemPortInfeasibleTyped(t *testing.T) {
+	fab := himap.Fabric{CGRA: himap.DefaultCGRA(8, 8), Mem: himap.MemBoundary}
+	k, err := himap.KernelByName("ATAX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = himap.CompileFabric(k, fab, himap.Options{})
+	if err == nil {
+		t.Skip("ATAX unexpectedly mapped on mesh/boundary; no infeasible case to check")
+	}
+	if !errors.Is(err, himap.ErrMemPortInfeasible) {
+		t.Fatalf("error does not wrap ErrMemPortInfeasible: %v", err)
+	}
+	var se *himap.StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("error is not a StageError: %v", err)
+	}
+}

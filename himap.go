@@ -42,6 +42,19 @@ import (
 type (
 	// CGRA describes a target array (size, register file, ports, memories).
 	CGRA = arch.CGRA
+	// Fabric is the full architecture model: the PE array (CGRA) plus the
+	// interconnect topology and the per-PE capability layout. The zero
+	// Topology/Mem values reproduce the classic model (mesh links, every
+	// PE memory-capable), so Fabric{CGRA: cg} is a drop-in upgrade.
+	Fabric = arch.Fabric
+	// Topology selects the fabric's link provider (mesh, torus, mesh+diag).
+	Topology = arch.Topology
+	// MemPolicy selects which PEs carry a memory port.
+	MemPolicy = arch.MemPolicy
+	// PECaps is the capability class of one PE.
+	PECaps = arch.PECaps
+	// Link is one typed directed link of a fabric.
+	Link = arch.Link
 	// Config is a complete CGRA mapping: per-PE repeating instruction
 	// streams plus memory-access correlation metadata.
 	Config = arch.Config
@@ -111,7 +124,31 @@ var (
 	ErrReplicaConflict = diag.ErrReplicaConflict
 	// ErrConfigInvalid: the emitted configuration failed final validation.
 	ErrConfigInvalid = diag.ErrConfigInvalid
+	// ErrMemPortInfeasible: the kernel demands more memory ports than the
+	// fabric's memory-capable PEs provide within any candidate sub-CGRA.
+	ErrMemPortInfeasible = diag.ErrMemPortInfeasible
 )
+
+// Fabric topologies and memory-port policies (see arch.Topology and
+// arch.MemPolicy for full documentation).
+const (
+	TopoMesh     = arch.TopoMesh
+	TopoTorus    = arch.TopoTorus
+	TopoMeshDiag = arch.TopoMeshDiag
+	MemAll       = arch.MemAll
+	MemBoundary  = arch.MemBoundary
+	MemNone      = arch.MemNone
+)
+
+// ParseTopology maps a CLI name (mesh|torus|diag) to a Topology.
+func ParseTopology(s string) (Topology, error) { return arch.ParseTopology(s) }
+
+// ParseMemPolicy maps a CLI name (all|boundary|none) to a MemPolicy.
+func ParseMemPolicy(s string) (MemPolicy, error) { return arch.ParseMemPolicy(s) }
+
+// DefaultFabric returns the paper's evaluation architecture as a fabric:
+// mesh links, every PE memory-capable.
+func DefaultFabric(rows, cols int) Fabric { return arch.DefaultFabric(rows, cols) }
 
 // NewTextTracer returns a Tracer printing one human-readable line per
 // stage span to w — the tracer behind cmd/himap's -trace flag.
@@ -139,10 +176,21 @@ func Compile(k *Kernel, cg CGRA, opts Options) (*Result, error) {
 	return core.Compile(k, cg, opts)
 }
 
+// CompileFabric is Compile for an arbitrary fabric (torus links,
+// boundary-column memory PEs, diagonal interconnect).
+func CompileFabric(k *Kernel, fab Fabric, opts Options) (*Result, error) {
+	return core.CompileFabric(k, fab, opts)
+}
+
 // CompileBaseline maps one unrolled block with the conventional flat
 // DFG → MRRG mapper (the paper's "BHC" stand-in).
 func CompileBaseline(k *Kernel, cg CGRA, block []int, opts BaselineOptions) (*BaselineResult, error) {
 	return baseline.Compile(k, cg, block, opts)
+}
+
+// CompileBaselineFabric is CompileBaseline for an arbitrary fabric.
+func CompileBaselineFabric(k *Kernel, fab Fabric, block []int, opts BaselineOptions) (*BaselineResult, error) {
+	return baseline.CompileFabric(k, fab, block, opts)
 }
 
 // Validate executes nblocks pipelined block instances of the mapping on

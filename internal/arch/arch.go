@@ -14,21 +14,32 @@ package arch
 
 import "fmt"
 
-// Dir is a mesh direction.
+// Dir is a link direction. The first four (N/S/E/W) are the classic mesh
+// directions; the remaining four are the diagonal links some fabrics add
+// (see Topology). Fabrics with fewer links simply never emit the extra
+// directions, so code sized for MaxDirs works for every topology.
 type Dir uint8
 
-// Mesh directions. North decreases the row index.
+// Link directions. North decreases the row index.
 const (
 	North Dir = iota
 	South
 	East
 	West
+	// NumDirs is the mesh direction count; kept for the many mesh-only
+	// call sites (default fabrics never exceed it).
 	NumDirs
+	NorthEast Dir = iota - 1 // NumDirs shares the value of NorthEast's slot
+	NorthWest
+	SouthEast
+	SouthWest
+	// MaxDirs bounds the direction index across all topologies.
+	MaxDirs
 )
 
-var dirNames = [...]string{"N", "S", "E", "W"}
+var dirNames = [...]string{"N", "S", "E", "W", "NE", "NW", "SE", "SW"}
 
-// String returns the one-letter direction name.
+// String returns the short direction name.
 func (d Dir) String() string {
 	if int(d) < len(dirNames) {
 		return dirNames[d]
@@ -47,6 +58,14 @@ func (d Dir) Delta() (dr, dc int) {
 		return 0, 1
 	case West:
 		return 0, -1
+	case NorthEast:
+		return -1, 1
+	case NorthWest:
+		return -1, -1
+	case SouthEast:
+		return 1, 1
+	case SouthWest:
+		return 1, -1
 	}
 	panic(fmt.Sprintf("arch: bad direction %d", d))
 }
@@ -62,6 +81,14 @@ func (d Dir) Opposite() Dir {
 		return West
 	case West:
 		return East
+	case NorthEast:
+		return SouthWest
+	case NorthWest:
+		return SouthEast
+	case SouthEast:
+		return NorthWest
+	case SouthWest:
+		return NorthEast
 	}
 	panic(fmt.Sprintf("arch: bad direction %d", d))
 }

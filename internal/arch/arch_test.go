@@ -120,7 +120,7 @@ func TestInstrString(t *testing.T) {
 }
 
 func TestConfigSlotWrap(t *testing.T) {
-	cfg := NewConfig(Default(2, 2), 3)
+	cfg := NewConfig(DefaultFabric(2, 2), 3)
 	cfg.At(1, 1, 4).Op = ir.OpAdd
 	if cfg.Slots[1][1][1].Op != ir.OpAdd {
 		t.Error("At must wrap time modulo II")
@@ -131,7 +131,7 @@ func TestConfigSlotWrap(t *testing.T) {
 }
 
 func TestConfigUtilizationAndUnique(t *testing.T) {
-	cfg := NewConfig(Default(2, 2), 2)
+	cfg := NewConfig(DefaultFabric(2, 2), 2)
 	*cfg.At(0, 0, 0) = Instr{Op: ir.OpAdd, SrcA: FromReg(0), SrcB: FromReg(1)}
 	*cfg.At(0, 0, 1) = Instr{Op: ir.OpAdd, SrcA: FromReg(0), SrcB: FromReg(1)}
 	if got := cfg.BusyFUs(); got != 2 {
@@ -153,7 +153,7 @@ func TestConfigUtilizationAndUnique(t *testing.T) {
 }
 
 func TestConfigValidateConfigDepth(t *testing.T) {
-	a := Default(1, 1)
+	a := DefaultFabric(1, 1)
 	a.ConfigDepth = 2
 	cfg := NewConfig(a, 4)
 	for tt := 0; tt < 4; tt++ {
@@ -176,7 +176,7 @@ func TestIsNop(t *testing.T) {
 }
 
 func TestCheckDataMemory(t *testing.T) {
-	cfg := NewConfig(Default(1, 1), 4)
+	cfg := NewConfig(DefaultFabric(1, 1), 4)
 	// 4 loads and 4 stores, no phase skew: 16 words needed, 64 available.
 	for s := 0; s < 4; s++ {
 		cfg.Loads = append(cfg.Loads, IOSpec{R: 0, C: 0, Slot: s, Tensor: "A", Index: []int{s}})

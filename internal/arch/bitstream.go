@@ -9,22 +9,26 @@ import (
 
 // Bitstream encoding of configurations: the binary image a PE's
 // configuration memory would hold. Each instruction packs into a
-// fixed-width 12-byte word:
+// fixed-width word whose size depends on the fabric's link-direction
+// count (WordSize = 8 + ndirs bytes; 12 for 4-direction fabrics):
 //
-//	byte 0      opcode
-//	byte 1      source A selector
-//	byte 2      source B selector
-//	bytes 3-6   output register selectors (N, S, E, W)
-//	bytes 7-8   register write ports 0 and 1 (selector + register index)
-//	byte 9      memory-port flags (bit0 read, bit1 write) + store selector
-//	bytes 10-11 16-bit signed immediate
+//	byte 0            opcode
+//	byte 1            source A selector
+//	byte 2            source B selector
+//	bytes 3..2+ndirs  output register selectors (N, S, E, W[, NE, NW, SE, SW])
+//	next 2 bytes      register write ports 0 and 1 (selector + register index)
+//	next byte         memory-port flags (bit0 read, bit1 write) + store selector
+//	last 2 bytes      16-bit signed immediate
 //
 // Operand selectors: bits 7..5 = kind, bits 4..0 = payload (direction or
-// register index). Memory-access correlation tags (IOSpec) are simulation
-// metadata — in hardware the address generation walks the block iteration
-// space — and are carried alongside the words, not inside them.
+// register index). The 4-direction layout is byte-identical to the
+// pre-Fabric fixed 12-byte format. Memory-access correlation tags
+// (IOSpec) are simulation metadata — in hardware the address generation
+// walks the block iteration space — and are carried alongside the words,
+// not inside them.
 const (
-	// WordBytes is the configuration word size.
+	// WordBytes is the configuration word size of 4-direction fabrics
+	// (mesh and torus); richer interconnects use WordSize.
 	WordBytes = 12
 
 	selNone  = 0
@@ -35,6 +39,10 @@ const (
 	selMem   = 5
 	selHold  = 6
 )
+
+// WordSize returns the configuration word size for a fabric with ndirs
+// link directions per PE.
+func WordSize(ndirs int) int { return 8 + ndirs }
 
 // ErrImmediate reports an immediate that does not fit the 16-bit field.
 type ErrImmediate struct{ V int64 }
@@ -70,7 +78,7 @@ func encodeSel(o Operand) (byte, *int64, error) {
 func decodeSel(b byte, imm int64) Operand {
 	switch b >> 5 {
 	case selIn:
-		return FromIn(Dir(b & 3))
+		return FromIn(Dir(b & 7))
 	case selALU:
 		return FromALU()
 	case selReg:
@@ -85,9 +93,17 @@ func decodeSel(b byte, imm int64) Operand {
 	return Operand{}
 }
 
-// EncodeInstr packs one instruction into a WordBytes-long slice.
-func EncodeInstr(in *Instr) ([]byte, error) {
-	w := make([]byte, WordBytes)
+// EncodeInstr packs one instruction into a WordSize(ndirs)-long slice.
+func EncodeInstr(in *Instr, ndirs int) ([]byte, error) {
+	if ndirs < int(NumDirs) || ndirs > int(MaxDirs) {
+		return nil, fmt.Errorf("arch: %d link directions not encodable", ndirs)
+	}
+	for d := ndirs; d < int(MaxDirs); d++ {
+		if in.OutSel[d].Kind != OpdNone {
+			return nil, fmt.Errorf("arch: OutSel %s set but word has %d direction slots", Dir(d), ndirs)
+		}
+	}
+	w := make([]byte, WordSize(ndirs))
 	w[0] = byte(in.Op)
 	var imm *int64
 	note := func(b byte, v *int64, err error) (byte, error) {
@@ -109,11 +125,12 @@ func EncodeInstr(in *Instr) ([]byte, error) {
 	if w[2], err = note(encodeSel(in.SrcB)); err != nil {
 		return nil, err
 	}
-	for d := 0; d < int(NumDirs); d++ {
+	for d := 0; d < ndirs; d++ {
 		if w[3+d], err = note(encodeSel(in.OutSel[d])); err != nil {
 			return nil, err
 		}
 	}
+	rw0, mem, immOff := 3+ndirs, 5+ndirs, 6+ndirs
 	if len(in.RegWr) > 2 {
 		return nil, fmt.Errorf("arch: %d register writes exceed the 2 encodable ports", len(in.RegWr))
 	}
@@ -128,52 +145,57 @@ func EncodeInstr(in *Instr) ([]byte, error) {
 		// collision), so register-write sources use a dedicated layout:
 		// bits 7..5 kind, bits 4..2 payload, bits 1..0 destination.
 		payload := sel & 31
-		w[7+i] = (sel & 0xE0) | ((payload & 7) << 2) | byte(rw.Reg&3)
+		w[rw0+i] = (sel & 0xE0) | ((payload & 7) << 2) | byte(rw.Reg&3)
 	}
 	if in.MemRead.Active {
-		w[9] |= 1
+		w[mem] |= 1
 	}
 	if in.MemWrite.Active {
-		w[9] |= 2
+		w[mem] |= 2
 		sel, err2 := note(encodeSel(in.MemWrite.Src))
 		if err2 != nil {
 			return nil, err2
 		}
-		w[9] |= sel & 0xE0
-		w[9] |= (sel & 3) << 2 // payload (dir/reg low bits)
+		w[mem] |= sel & 0xE0
+		w[mem] |= (sel & 7) << 2 // payload (dir/reg low bits)
 	}
 	if imm != nil {
-		binary.LittleEndian.PutUint16(w[10:], uint16(int16(*imm)))
+		binary.LittleEndian.PutUint16(w[immOff:], uint16(int16(*imm)))
 	}
 	return w, nil
 }
 
-// DecodeInstr unpacks a configuration word. Memory tags are not part of
-// the bitstream and come back empty.
-func DecodeInstr(w []byte) (*Instr, error) {
-	if len(w) != WordBytes {
-		return nil, fmt.Errorf("arch: word length %d, want %d", len(w), WordBytes)
+// DecodeInstr unpacks a configuration word for a fabric with ndirs link
+// directions. Memory tags are not part of the bitstream and come back
+// empty.
+func DecodeInstr(w []byte, ndirs int) (*Instr, error) {
+	if ndirs < int(NumDirs) || ndirs > int(MaxDirs) {
+		return nil, fmt.Errorf("arch: %d link directions not decodable", ndirs)
 	}
-	imm := int64(int16(binary.LittleEndian.Uint16(w[10:])))
+	if len(w) != WordSize(ndirs) {
+		return nil, fmt.Errorf("arch: word length %d, want %d", len(w), WordSize(ndirs))
+	}
+	rw0, mem, immOff := 3+ndirs, 5+ndirs, 6+ndirs
+	imm := int64(int16(binary.LittleEndian.Uint16(w[immOff:])))
 	in := &Instr{Op: ir.OpKind(w[0])}
 	in.SrcA = decodeSel(w[1], imm)
 	in.SrcB = decodeSel(w[2], imm)
-	for d := 0; d < int(NumDirs); d++ {
+	for d := 0; d < ndirs; d++ {
 		in.OutSel[d] = decodeSel(w[3+d], imm)
 	}
 	for i := 0; i < 2; i++ {
-		b := w[7+i]
+		b := w[rw0+i]
 		if b>>5 == selNone {
 			continue
 		}
 		sel := (b & 0xE0) | ((b >> 2) & 7)
 		in.RegWr = append(in.RegWr, RegWrite{Reg: int(b & 3), Src: decodeSel(sel, imm)})
 	}
-	if w[9]&1 != 0 {
+	if w[mem]&1 != 0 {
 		in.MemRead = MemOp{Active: true}
 	}
-	if w[9]&2 != 0 {
-		sel := (w[9] & 0xE0) | ((w[9] >> 2) & 3)
+	if w[mem]&2 != 0 {
+		sel := (w[mem] & 0xE0) | ((w[mem] >> 2) & 7)
 		in.MemWrite = MemOp{Active: true, Src: decodeSel(sel, imm)}
 	}
 	return in, nil
@@ -187,6 +209,9 @@ type Bitstream struct {
 	// that regenerates the II-cycle stream from unique words (§V).
 	Schedule [][][]int
 	II       int
+	// NDirs is the per-PE link-direction count the words were encoded
+	// for; it fixes the word size (WordSize(NDirs)).
+	NDirs int
 }
 
 // Encode produces the configuration-memory image: per PE the deduplicated
@@ -195,8 +220,9 @@ type Bitstream struct {
 // memory of each CGRA PE ... PE program counters generate the instruction
 // stream").
 func Encode(cfg *Config) (*Bitstream, error) {
-	a := cfg.CGRA
-	bs := &Bitstream{II: cfg.II}
+	a := cfg.Fabric.CGRA
+	ndirs := cfg.Fabric.NumLinkDirs()
+	bs := &Bitstream{II: cfg.II, NDirs: ndirs}
 	bs.Words = make([][][][]byte, a.Rows)
 	bs.Schedule = make([][][]int, a.Rows)
 	for r := 0; r < a.Rows; r++ {
@@ -206,7 +232,7 @@ func Encode(cfg *Config) (*Bitstream, error) {
 			index := map[string]int{}
 			bs.Schedule[r][c] = make([]int, cfg.II)
 			for t := 0; t < cfg.II; t++ {
-				w, err := EncodeInstr(&cfg.Slots[r][c][t])
+				w, err := EncodeInstr(&cfg.Slots[r][c][t], ndirs)
 				if err != nil {
 					return nil, fmt.Errorf("PE(%d,%d) slot %d: %v", r, c, t, err)
 				}
@@ -230,12 +256,16 @@ func Encode(cfg *Config) (*Bitstream, error) {
 
 // Decode reconstructs a configuration from the image (without the
 // simulation-only memory tags and provenance comments).
-func (bs *Bitstream) Decode(a CGRA) (*Config, error) {
-	cfg := NewConfig(a, bs.II)
-	for r := 0; r < a.Rows; r++ {
-		for c := 0; c < a.Cols; c++ {
+func (bs *Bitstream) Decode(f Fabric) (*Config, error) {
+	ndirs := bs.NDirs
+	if ndirs == 0 {
+		ndirs = f.NumLinkDirs()
+	}
+	cfg := NewConfig(f, bs.II)
+	for r := 0; r < f.Rows; r++ {
+		for c := 0; c < f.Cols; c++ {
 			for t := 0; t < bs.II; t++ {
-				in, err := DecodeInstr(bs.Words[r][c][bs.Schedule[r][c][t]])
+				in, err := DecodeInstr(bs.Words[r][c][bs.Schedule[r][c][t]], ndirs)
 				if err != nil {
 					return nil, err
 				}
@@ -252,7 +282,11 @@ func (bs *Bitstream) TotalBytes() int {
 	total := 0
 	for r := range bs.Words {
 		for c := range bs.Words[r] {
-			total += len(bs.Words[r][c]) * WordBytes
+			wb := WordBytes
+			if bs.NDirs != 0 {
+				wb = WordSize(bs.NDirs)
+			}
+			total += len(bs.Words[r][c]) * wb
 			bits := 1
 			for 1<<bits < len(bs.Words[r][c]) {
 				bits++

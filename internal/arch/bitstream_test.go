@@ -36,14 +36,14 @@ func instrEqualModuloTags(a, b *Instr) bool {
 
 func TestEncodeDecodeInstrRoundTrip(t *testing.T) {
 	in := sampleInstr()
-	w, err := EncodeInstr(in)
+	w, err := EncodeInstr(in, int(NumDirs))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(w) != WordBytes {
 		t.Fatalf("word length %d", len(w))
 	}
-	out, err := DecodeInstr(w)
+	out, err := DecodeInstr(w, int(NumDirs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,11 +54,11 @@ func TestEncodeDecodeInstrRoundTrip(t *testing.T) {
 
 func TestEncodeInstrNop(t *testing.T) {
 	var in Instr
-	w, err := EncodeInstr(&in)
+	w, err := EncodeInstr(&in, int(NumDirs))
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := DecodeInstr(w)
+	out, err := DecodeInstr(w, int(NumDirs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestEncodeInstrNop(t *testing.T) {
 
 func TestEncodeInstrRejectsWideImmediate(t *testing.T) {
 	in := &Instr{Op: ir.OpAdd, SrcA: FromReg(0), SrcB: FromConst(1 << 20)}
-	if _, err := EncodeInstr(in); err == nil {
+	if _, err := EncodeInstr(in, int(NumDirs)); err == nil {
 		t.Error("expected immediate-width error")
 	}
 }
@@ -77,18 +77,18 @@ func TestEncodeInstrRejectsWideImmediate(t *testing.T) {
 func TestEncodeInstrRejectsTwoImmediates(t *testing.T) {
 	in := &Instr{Op: ir.OpAdd, SrcA: FromReg(0), SrcB: FromConst(1)}
 	in.RegWr = []RegWrite{{Reg: 1, Src: FromConst(2)}}
-	if _, err := EncodeInstr(in); err == nil {
+	if _, err := EncodeInstr(in, int(NumDirs)); err == nil {
 		t.Error("two distinct immediates cannot share the field")
 	}
 	// The same immediate value is fine.
 	in.RegWr[0].Src = FromConst(1)
-	if _, err := EncodeInstr(in); err != nil {
+	if _, err := EncodeInstr(in, int(NumDirs)); err != nil {
 		t.Errorf("shared immediate should encode: %v", err)
 	}
 }
 
 func TestEncodeConfigDedupAndSize(t *testing.T) {
-	cfg := NewConfig(Default(2, 2), 4)
+	cfg := NewConfig(DefaultFabric(2, 2), 4)
 	// Two distinct instructions alternating: 2 unique words per PE.
 	a := Instr{Op: ir.OpAdd, SrcA: FromReg(0), SrcB: FromConst(1)}
 	m := Instr{Op: ir.OpMul, SrcA: FromReg(1), SrcB: FromConst(1)}
@@ -114,7 +114,7 @@ func TestEncodeConfigDedupAndSize(t *testing.T) {
 	if got := bs.TotalBytes(); got != 4*(2*WordBytes+1) {
 		t.Errorf("TotalBytes = %d", got)
 	}
-	dec, err := bs.Decode(cfg.CGRA)
+	dec, err := bs.Decode(cfg.Fabric)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestEncodeConfigDedupAndSize(t *testing.T) {
 }
 
 func TestEncodeEnforcesConfigDepth(t *testing.T) {
-	a := Default(1, 1)
+	a := DefaultFabric(1, 1)
 	a.ConfigDepth = 2
 	cfg := NewConfig(a, 4)
 	for tt := 0; tt < 4; tt++ {

@@ -22,8 +22,8 @@ type IOSpec struct {
 // instructions. It is the output of the HiMap and baseline mappers and the
 // input of the cycle-accurate simulator.
 type Config struct {
-	CGRA CGRA
-	II   int
+	Fabric Fabric
+	II     int
 	// Slots[r][c][t] is PE (r,c)'s instruction at cycle t mod II.
 	Slots [][][]Instr
 	// Loads and Stores carry the memory-access correlation metadata.
@@ -31,16 +31,16 @@ type Config struct {
 	Stores []IOSpec
 }
 
-// NewConfig allocates an all-NOP configuration.
-func NewConfig(c CGRA, ii int) *Config {
+// NewConfig allocates an all-NOP configuration for the fabric.
+func NewConfig(f Fabric, ii int) *Config {
 	if ii < 1 {
 		panic(fmt.Sprintf("arch: II = %d", ii))
 	}
-	cfg := &Config{CGRA: c, II: ii}
-	cfg.Slots = make([][][]Instr, c.Rows)
-	for r := 0; r < c.Rows; r++ {
-		cfg.Slots[r] = make([][]Instr, c.Cols)
-		for cc := 0; cc < c.Cols; cc++ {
+	cfg := &Config{Fabric: f, II: ii}
+	cfg.Slots = make([][][]Instr, f.Rows)
+	for r := 0; r < f.Rows; r++ {
+		cfg.Slots[r] = make([][]Instr, f.Cols)
+		for cc := 0; cc < f.Cols; cc++ {
 			cfg.Slots[r][cc] = make([]Instr, ii)
 		}
 	}
@@ -57,16 +57,27 @@ func (cfg *Config) At(r, c, t int) *Instr {
 // distinct instructions per PE must fit in ConfigDepth (HiMap stores only
 // unique instructions; the PE program counter regenerates the stream, §V).
 func (cfg *Config) Validate() error {
-	for r := 0; r < cfg.CGRA.Rows; r++ {
-		for c := 0; c < cfg.CGRA.Cols; c++ {
+	ndirs := cfg.Fabric.NumLinkDirs()
+	for r := 0; r < cfg.Fabric.Rows; r++ {
+		for c := 0; c < cfg.Fabric.Cols; c++ {
 			for t := 0; t < cfg.II; t++ {
-				if err := cfg.Slots[r][c][t].Validate(cfg.CGRA); err != nil {
+				in := &cfg.Slots[r][c][t]
+				if err := in.Validate(cfg.Fabric.CGRA); err != nil {
 					return fmt.Errorf("PE(%d,%d) slot %d: %v", r, c, t, err)
 				}
+				for d := ndirs; d < int(MaxDirs); d++ {
+					if in.OutSel[d].Kind != OpdNone {
+						return fmt.Errorf("PE(%d,%d) slot %d: OutSel %s but fabric has %d link directions",
+							r, c, t, Dir(d), ndirs)
+					}
+				}
+				if (in.MemRead.Active || in.MemWrite.Active) && !cfg.Fabric.MemCapable(r, c) {
+					return fmt.Errorf("PE(%d,%d) slot %d: memory access on compute-only PE", r, c, t)
+				}
 			}
-			if n := cfg.UniqueInstrs(r, c); n > cfg.CGRA.ConfigDepth {
+			if n := cfg.UniqueInstrs(r, c); n > cfg.Fabric.ConfigDepth {
 				return fmt.Errorf("PE(%d,%d): %d unique instructions exceed configuration memory depth %d",
-					r, c, n, cfg.CGRA.ConfigDepth)
+					r, c, n, cfg.Fabric.ConfigDepth)
 			}
 		}
 	}
@@ -95,8 +106,8 @@ func (cfg *Config) UniqueInstrs(r, c int) int {
 // the whole configuration.
 func (cfg *Config) MaxUniqueInstrs() int {
 	max := 0
-	for r := 0; r < cfg.CGRA.Rows; r++ {
-		for c := 0; c < cfg.CGRA.Cols; c++ {
+	for r := 0; r < cfg.Fabric.Rows; r++ {
+		for c := 0; c < cfg.Fabric.Cols; c++ {
 			if n := cfg.UniqueInstrs(r, c); n > max {
 				max = n
 			}
@@ -134,18 +145,18 @@ func (cfg *Config) DataMemoryDemand() int {
 func (cfg *Config) CheckDataMemory() error {
 	var err error
 	cfg.eachDataMemNeed(func(r, c, need int) {
-		if err == nil && need > cfg.CGRA.DataMemWords {
+		if err == nil && need > cfg.Fabric.DataMemWords {
 			err = fmt.Errorf("PE(%d,%d): steady-state streaming needs %d data-memory words, have %d",
-				r, c, need, cfg.CGRA.DataMemWords)
+				r, c, need, cfg.Fabric.DataMemWords)
 		}
 	})
 	return err
 }
 
 func (cfg *Config) eachDataMemNeed(fn func(r, c, need int)) {
-	need := make([][]int, cfg.CGRA.Rows)
+	need := make([][]int, cfg.Fabric.Rows)
 	for r := range need {
-		need[r] = make([]int, cfg.CGRA.Cols)
+		need[r] = make([]int, cfg.Fabric.Cols)
 	}
 	account := func(specs []IOSpec) {
 		for _, s := range specs {
@@ -169,8 +180,8 @@ func (cfg *Config) eachDataMemNeed(fn func(r, c, need int)) {
 // numerator of achieved utilization as seen by the hardware.
 func (cfg *Config) BusyFUs() int {
 	n := 0
-	for r := 0; r < cfg.CGRA.Rows; r++ {
-		for c := 0; c < cfg.CGRA.Cols; c++ {
+	for r := 0; r < cfg.Fabric.Rows; r++ {
+		for c := 0; c < cfg.Fabric.Cols; c++ {
 			for t := 0; t < cfg.II; t++ {
 				if cfg.Slots[r][c][t].Op.IsCompute() {
 					n++
@@ -184,7 +195,7 @@ func (cfg *Config) BusyFUs() int {
 // Utilization returns BusyFUs / (PEs × II), the hardware view of
 // U = |V_D| / |V_H^F|.
 func (cfg *Config) Utilization() float64 {
-	total := cfg.CGRA.NumPEs() * cfg.II
+	total := cfg.Fabric.NumPEs() * cfg.II
 	if total == 0 {
 		return 0
 	}

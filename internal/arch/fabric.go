@@ -1,0 +1,280 @@
+package arch
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Topology selects the link provider of a fabric: which typed directed
+// links exist between PEs. Links are enumerated per PE as (direction,
+// neighbor) pairs; consumers iterate the fabric's direction set instead
+// of assuming the fixed 4-neighbor mesh.
+type Topology uint8
+
+const (
+	// TopoMesh is the classic 4-neighbor mesh with no wrap-around.
+	TopoMesh Topology = iota
+	// TopoTorus is the 4-neighbor mesh with wrap-around links on both
+	// axes. Wrap-around makes every translation of the array a graph
+	// automorphism, which is what lets replication reuse canonical
+	// routes verbatim (coordinates wrap instead of falling off edges).
+	TopoTorus
+	// TopoMeshDiag is the mesh plus the four diagonal links (HyCUBE-
+	// style richer interconnect); no wrap-around.
+	TopoMeshDiag
+)
+
+var topoNames = [...]string{"mesh", "torus", "diag"}
+
+// String returns the CLI name of the topology.
+func (t Topology) String() string {
+	if int(t) < len(topoNames) {
+		return topoNames[t]
+	}
+	return fmt.Sprintf("Topology(%d)", uint8(t))
+}
+
+// ParseTopology maps a CLI name to a Topology.
+func ParseTopology(s string) (Topology, error) {
+	switch strings.ToLower(s) {
+	case "mesh", "":
+		return TopoMesh, nil
+	case "torus":
+		return TopoTorus, nil
+	case "diag", "mesh+diag", "meshdiag":
+		return TopoMeshDiag, nil
+	}
+	return TopoMesh, fmt.Errorf("arch: unknown topology %q (want mesh|torus|diag)", s)
+}
+
+// NumDirs returns how many link directions the topology uses per PE.
+func (t Topology) NumDirs() int {
+	if t == TopoMeshDiag {
+		return int(MaxDirs)
+	}
+	return int(NumDirs)
+}
+
+// Wraps reports whether links wrap around the array edges.
+func (t Topology) Wraps() bool { return t == TopoTorus }
+
+// MemPolicy selects which PEs carry a memory port (load/store capable).
+type MemPolicy uint8
+
+const (
+	// MemAll gives every PE a memory port — the idealized homogeneous
+	// array the paper's evaluation architecture assumes (§VI).
+	MemAll MemPolicy = iota
+	// MemBoundary restricts memory ports to the boundary columns
+	// (column 0 and column Cols-1) — the classic HyCUBE-style layout
+	// where only edge PEs reach the data memory banks.
+	MemBoundary
+	// MemNone removes memory ports entirely. It arises for interior
+	// tiles cut from a boundary-mem fabric and is only usable by
+	// kernels without memory operations.
+	MemNone
+)
+
+var memNames = [...]string{"all", "boundary", "none"}
+
+// String returns the CLI name of the policy.
+func (p MemPolicy) String() string {
+	if int(p) < len(memNames) {
+		return memNames[p]
+	}
+	return fmt.Sprintf("MemPolicy(%d)", uint8(p))
+}
+
+// ParseMemPolicy maps a CLI name to a MemPolicy.
+func ParseMemPolicy(s string) (MemPolicy, error) {
+	switch strings.ToLower(s) {
+	case "all", "":
+		return MemAll, nil
+	case "boundary":
+		return MemBoundary, nil
+	case "none":
+		return MemNone, nil
+	}
+	return MemAll, fmt.Errorf("arch: unknown memory policy %q (want all|boundary|none)", s)
+}
+
+// PECaps is the capability class of one PE.
+type PECaps uint8
+
+const (
+	// CapCompute marks an ALU-capable PE (every PE computes).
+	CapCompute PECaps = 1 << iota
+	// CapMemory marks a PE with a data-memory port (loads and stores).
+	CapMemory
+)
+
+// Has reports whether all capabilities in want are present.
+func (c PECaps) Has(want PECaps) bool { return c&want == want }
+
+// Link is one typed directed link of a fabric.
+type Link struct {
+	R, C     int // source PE
+	Dir      Dir // direction label (determines the output register used)
+	ToR, ToC int // destination PE
+}
+
+// Fabric is the full architecture model: the PE array parameters (CGRA)
+// plus the interconnect topology and the per-PE capability layout. The
+// zero Topology/Mem values reproduce the pre-Fabric model (mesh links,
+// every PE memory-capable), so Fabric{CGRA: cg} is a drop-in upgrade.
+//
+// Fabric is a comparable value type (no slices or maps) so it can key
+// memo tables and print deterministically with %+v.
+type Fabric struct {
+	CGRA
+	Topology Topology
+	Mem      MemPolicy
+}
+
+// DefaultFabric returns the evaluation architecture of §VI as a fabric:
+// mesh links, every PE memory-capable.
+func DefaultFabric(rows, cols int) Fabric {
+	return Fabric{CGRA: Default(rows, cols)}
+}
+
+// NumLinkDirs returns how many direction slots this fabric's PEs use.
+func (f Fabric) NumLinkDirs() int { return f.Topology.NumDirs() }
+
+// Caps returns the capability class of PE (r, c).
+func (f Fabric) Caps(r, c int) PECaps {
+	caps := CapCompute
+	if f.MemCapable(r, c) {
+		caps |= CapMemory
+	}
+	return caps
+}
+
+// MemCapable reports whether PE (r, c) has a memory port.
+func (f Fabric) MemCapable(r, c int) bool {
+	switch f.Mem {
+	case MemAll:
+		return true
+	case MemBoundary:
+		return c == 0 || c == f.Cols-1
+	}
+	return false
+}
+
+// Uniform reports whether every PE has the same capability class.
+func (f Fabric) Uniform() bool {
+	switch f.Mem {
+	case MemAll, MemNone:
+		return true
+	}
+	return f.Cols <= 2 // boundary columns cover the whole array
+}
+
+// NumMemPEs returns how many PEs carry a memory port.
+func (f Fabric) NumMemPEs() int {
+	switch f.Mem {
+	case MemAll:
+		return f.NumPEs()
+	case MemBoundary:
+		if f.Cols <= 2 {
+			return f.NumPEs()
+		}
+		return 2 * f.Rows
+	}
+	return 0
+}
+
+// MemPEs returns the memory-capable PE coordinates in row-major order.
+func (f Fabric) MemPEs() [][2]int {
+	var out [][2]int
+	for r := 0; r < f.Rows; r++ {
+		for c := 0; c < f.Cols; c++ {
+			if f.MemCapable(r, c) {
+				out = append(out, [2]int{r, c})
+			}
+		}
+	}
+	return out
+}
+
+// WrapCoord folds (r, c) back into the array for wrap-around
+// topologies; for bounded topologies it returns the coordinate
+// unchanged.
+func (f Fabric) WrapCoord(r, c int) (int, int) {
+	if !f.Topology.Wraps() {
+		return r, c
+	}
+	return mod(r, f.Rows), mod(c, f.Cols)
+}
+
+// LinkNeighbor returns the PE reached from (r, c) over the link in
+// direction d under this fabric's topology, and whether the link exists.
+// On a torus the coordinate wraps; self-links (wrap in a dimension of
+// size 1) are suppressed.
+func (f Fabric) LinkNeighbor(r, c int, d Dir) (nr, nc int, ok bool) {
+	if int(d) >= f.NumLinkDirs() {
+		return 0, 0, false
+	}
+	dr, dc := d.Delta()
+	nr, nc = r+dr, c+dc
+	if f.InBounds(nr, nc) {
+		return nr, nc, true
+	}
+	if !f.Topology.Wraps() {
+		return nr, nc, false
+	}
+	nr, nc = mod(nr, f.Rows), mod(nc, f.Cols)
+	if nr == r && nc == c {
+		return nr, nc, false // wrap in a size-1 dimension is a self-link
+	}
+	return nr, nc, true
+}
+
+// Links enumerates every typed directed link of the fabric in
+// deterministic (row, col, dir) order.
+func (f Fabric) Links() []Link {
+	var out []Link
+	nd := f.NumLinkDirs()
+	for r := 0; r < f.Rows; r++ {
+		for c := 0; c < f.Cols; c++ {
+			for d := 0; d < nd; d++ {
+				if nr, nc, ok := f.LinkNeighbor(r, c, Dir(d)); ok {
+					out = append(out, Link{R: r, C: c, Dir: Dir(d), ToR: nr, ToC: nc})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks the fabric parameters.
+func (f Fabric) Validate() error {
+	if err := f.CGRA.Validate(); err != nil {
+		return err
+	}
+	if int(f.Topology) >= len(topoNames) {
+		return fmt.Errorf("arch: bad topology %d", f.Topology)
+	}
+	if int(f.Mem) >= len(memNames) {
+		return fmt.Errorf("arch: bad memory policy %d", f.Mem)
+	}
+	return nil
+}
+
+// String renders the fabric. The default mesh/all-mem fabric renders
+// exactly like the bare array size ("8x8") so diagnostics and error
+// stamps are unchanged from the pre-Fabric model; other fabrics append
+// their topology and memory layout.
+func (f Fabric) String() string {
+	if f.Topology == TopoMesh && f.Mem == MemAll {
+		return f.CGRA.String()
+	}
+	return fmt.Sprintf("%s/%s/mem-%s", f.CGRA.String(), f.Topology, f.Mem)
+}
+
+func mod(a, n int) int {
+	a %= n
+	if a < 0 {
+		a += n
+	}
+	return a
+}

@@ -89,7 +89,7 @@ type Instr struct {
 	Op       ir.OpKind // OpNop or a compute kind
 	SrcA     Operand
 	SrcB     Operand
-	OutSel   [NumDirs]Operand // crossbar drive of the 4 output registers
+	OutSel   [MaxDirs]Operand // crossbar drive of the directional output registers
 	RegWr    []RegWrite
 	MemRead  MemOp
 	MemWrite MemOp
@@ -212,7 +212,7 @@ func (in *Instr) String() string {
 	} else {
 		b.WriteString("nop")
 	}
-	for d := Dir(0); d < NumDirs; d++ {
+	for d := Dir(0); d < MaxDirs; d++ {
 		if in.OutSel[d].Kind != OpdNone {
 			fmt.Fprintf(&b, " out%s=%s", d, in.OutSel[d])
 		}

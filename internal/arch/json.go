@@ -4,58 +4,111 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 )
 
 // configJSON is the serialized form of a mapping: the architecture, the
 // schedule, and the memory correlation metadata, with a format version
-// for forward compatibility.
+// for forward compatibility. Version 2 adds the fabric fields (topology,
+// mem_pes, caps); version 1 files (bare cgra, implicitly mesh/all-mem)
+// still decode.
 type configJSON struct {
-	Version int         `json:"version"`
-	CGRA    CGRA        `json:"cgra"`
-	II      int         `json:"ii"`
-	Slots   [][][]Instr `json:"slots"`
-	Loads   []IOSpec    `json:"loads,omitempty"`
-	Stores  []IOSpec    `json:"stores,omitempty"`
+	Version  int    `json:"version"`
+	CGRA     CGRA   `json:"cgra"`
+	Topology string `json:"topology,omitempty"`
+	MemPEs   string `json:"mem_pes,omitempty"`
+	// Caps renders the per-PE capability grid, one string per row,
+	// 'M' for memory-capable PEs and 'C' for compute-only ones. It is
+	// derived from mem_pes and validated against it on decode.
+	Caps   []string    `json:"caps,omitempty"`
+	II     int         `json:"ii"`
+	Slots  [][][]Instr `json:"slots"`
+	Loads  []IOSpec    `json:"loads,omitempty"`
+	Stores []IOSpec    `json:"stores,omitempty"`
 }
 
 // configFormatVersion is bumped on breaking schema changes.
-const configFormatVersion = 1
+const configFormatVersion = 2
+
+func capsGrid(f Fabric) []string {
+	out := make([]string, f.Rows)
+	var b strings.Builder
+	for r := 0; r < f.Rows; r++ {
+		b.Reset()
+		for c := 0; c < f.Cols; c++ {
+			if f.MemCapable(r, c) {
+				b.WriteByte('M')
+			} else {
+				b.WriteByte('C')
+			}
+		}
+		out[r] = b.String()
+	}
+	return out
+}
 
 // WriteJSON serializes the configuration.
 func (cfg *Config) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(configJSON{
-		Version: configFormatVersion,
-		CGRA:    cfg.CGRA,
-		II:      cfg.II,
-		Slots:   cfg.Slots,
-		Loads:   cfg.Loads,
-		Stores:  cfg.Stores,
+		Version:  configFormatVersion,
+		CGRA:     cfg.Fabric.CGRA,
+		Topology: cfg.Fabric.Topology.String(),
+		MemPEs:   cfg.Fabric.Mem.String(),
+		Caps:     capsGrid(cfg.Fabric),
+		II:       cfg.II,
+		Slots:    cfg.Slots,
+		Loads:    cfg.Loads,
+		Stores:   cfg.Stores,
 	})
 }
 
-// ReadJSON deserializes a configuration and validates it.
+// ReadJSON deserializes a configuration and validates it. Decoding is
+// strict: unknown fields are an error, not silently dropped.
 func ReadJSON(r io.Reader) (*Config, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
 	var cj configJSON
-	if err := json.NewDecoder(r).Decode(&cj); err != nil {
+	if err := dec.Decode(&cj); err != nil {
 		return nil, fmt.Errorf("arch: decoding configuration: %v", err)
 	}
-	if cj.Version != configFormatVersion {
-		return nil, fmt.Errorf("arch: configuration format version %d, want %d", cj.Version, configFormatVersion)
+	if cj.Version < 1 || cj.Version > configFormatVersion {
+		return nil, fmt.Errorf("arch: configuration format version %d, want 1..%d", cj.Version, configFormatVersion)
 	}
-	if err := cj.CGRA.Validate(); err != nil {
+	topo, err := ParseTopology(cj.Topology)
+	if err != nil {
 		return nil, err
+	}
+	mem, err := ParseMemPolicy(cj.MemPEs)
+	if err != nil {
+		return nil, err
+	}
+	fab := Fabric{CGRA: cj.CGRA, Topology: topo, Mem: mem}
+	if err := fab.Validate(); err != nil {
+		return nil, err
+	}
+	if cj.Caps != nil {
+		want := capsGrid(fab)
+		if len(cj.Caps) != len(want) {
+			return nil, fmt.Errorf("arch: caps grid has %d rows for a %d-row array", len(cj.Caps), fab.Rows)
+		}
+		for r := range want {
+			if cj.Caps[r] != want[r] {
+				return nil, fmt.Errorf("arch: caps row %d is %q, inconsistent with mem_pes=%s (%q)",
+					r, cj.Caps[r], mem, want[r])
+			}
+		}
 	}
 	if cj.II < 1 {
 		return nil, fmt.Errorf("arch: II = %d", cj.II)
 	}
-	if len(cj.Slots) != cj.CGRA.Rows {
-		return nil, fmt.Errorf("arch: %d slot rows for a %d-row array", len(cj.Slots), cj.CGRA.Rows)
+	if len(cj.Slots) != fab.Rows {
+		return nil, fmt.Errorf("arch: %d slot rows for a %d-row array", len(cj.Slots), fab.Rows)
 	}
 	for r, row := range cj.Slots {
-		if len(row) != cj.CGRA.Cols {
-			return nil, fmt.Errorf("arch: row %d has %d columns, want %d", r, len(row), cj.CGRA.Cols)
+		if len(row) != fab.Cols {
+			return nil, fmt.Errorf("arch: row %d has %d columns, want %d", r, len(row), fab.Cols)
 		}
 		for c, stream := range row {
 			if len(stream) != cj.II {
@@ -64,7 +117,7 @@ func ReadJSON(r io.Reader) (*Config, error) {
 		}
 	}
 	cfg := &Config{
-		CGRA:   cj.CGRA,
+		Fabric: fab,
 		II:     cj.II,
 		Slots:  cj.Slots,
 		Loads:  cj.Loads,

@@ -9,7 +9,7 @@ import (
 )
 
 func jsonSample() *Config {
-	cfg := NewConfig(Default(2, 2), 2)
+	cfg := NewConfig(DefaultFabric(2, 2), 2)
 	in := cfg.At(0, 0, 0)
 	in.Op = ir.OpMul
 	in.SrcA = FromIn(West)
@@ -32,7 +32,7 @@ func TestConfigJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.II != cfg.II || got.CGRA != cfg.CGRA {
+	if got.II != cfg.II || got.Fabric != cfg.Fabric {
 		t.Fatalf("header mismatch: %+v", got)
 	}
 	if got.At(0, 0, 0).String() != cfg.At(0, 0, 0).String() {
@@ -52,5 +52,81 @@ func TestReadJSONRejectsGarbage(t *testing.T) {
 	}
 	if _, err := ReadJSON(strings.NewReader(`{"version":1,"cgra":{"Rows":2,"Cols":2,"NumRegs":4,"RFReadPorts":2,"RFWritePorts":2,"ConfigDepth":32,"DataMemWords":64,"ClockMHz":510},"ii":2,"slots":[]}`)); err == nil {
 		t.Error("shape mismatch should fail")
+	}
+}
+
+// TestConfigJSONFabricRoundTrip pins the version-2 schema: topology,
+// memory policy, and the derived per-PE capability grid survive a
+// write/read cycle byte for byte, for every topology × policy pair.
+func TestConfigJSONFabricRoundTrip(t *testing.T) {
+	for _, topo := range []Topology{TopoMesh, TopoTorus, TopoMeshDiag} {
+		for _, mem := range []MemPolicy{MemAll, MemBoundary} {
+			fab := Fabric{CGRA: Default(2, 3), Topology: topo, Mem: mem}
+			cfg := NewConfig(fab, 1)
+			in := cfg.At(0, 0, 0)
+			in.Op = ir.OpAdd
+			in.SrcA = FromConst(1)
+			in.SrcB = FromConst(2)
+			var buf bytes.Buffer
+			if err := cfg.WriteJSON(&buf); err != nil {
+				t.Fatalf("%s: %v", fab, err)
+			}
+			first := buf.String()
+			got, err := ReadJSON(strings.NewReader(first))
+			if err != nil {
+				t.Fatalf("%s: %v", fab, err)
+			}
+			if got.Fabric != fab {
+				t.Fatalf("fabric mismatch: wrote %+v, read %+v", fab, got.Fabric)
+			}
+			var buf2 bytes.Buffer
+			if err := got.WriteJSON(&buf2); err != nil {
+				t.Fatalf("%s: %v", fab, err)
+			}
+			if buf2.String() != first {
+				t.Errorf("%s: re-encoding is not byte-identical", fab)
+			}
+		}
+	}
+}
+
+// TestReadJSONStrict pins the strict-decode contract: unknown fields and
+// capability grids inconsistent with the declared memory policy are
+// errors, not silent drops.
+func TestReadJSONStrict(t *testing.T) {
+	var buf bytes.Buffer
+	if err := jsonSample().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Inject an unknown top-level field.
+	s := strings.Replace(buf.String(), `"version"`, `"bogus_field": 1, "version"`, 1)
+	if _, err := ReadJSON(strings.NewReader(s)); err == nil || !strings.Contains(err.Error(), "bogus_field") {
+		t.Errorf("unknown field not rejected: %v", err)
+	}
+	// Corrupt the caps grid so it contradicts mem_pes.
+	fab := Fabric{CGRA: Default(2, 3), Mem: MemBoundary}
+	var buf2 bytes.Buffer
+	if err := NewConfig(fab, 1).WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	s2 := strings.Replace(buf2.String(), `"MCM"`, `"MMM"`, 1)
+	if s2 == buf2.String() {
+		t.Fatal("caps row MCM not found in encoding")
+	}
+	if _, err := ReadJSON(strings.NewReader(s2)); err == nil || !strings.Contains(err.Error(), "caps") {
+		t.Errorf("inconsistent caps grid not rejected: %v", err)
+	}
+}
+
+// TestReadJSONVersion1 pins backward compatibility: a version-1 file
+// (no fabric fields) decodes as the classic mesh/all-mem fabric.
+func TestReadJSONVersion1(t *testing.T) {
+	v1 := `{"version":1,"cgra":{"Rows":1,"Cols":1,"NumRegs":4,"RFReadPorts":2,"RFWritePorts":2,"ConfigDepth":32,"DataMemWords":64,"ClockMHz":510},"ii":1,"slots":[[[{"Op":0}]]]}`
+	cfg, err := ReadJSON(strings.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Fabric.Topology != TopoMesh || cfg.Fabric.Mem != MemAll {
+		t.Errorf("version-1 file decoded as %+v, want mesh/all-mem", cfg.Fabric)
 	}
 }

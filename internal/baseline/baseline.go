@@ -71,7 +71,8 @@ func (o Options) withDefaults() Options {
 // Result is a completed baseline mapping.
 type Result struct {
 	Kernel      *kernel.Kernel
-	CGRA        arch.CGRA
+	Fabric      arch.Fabric
+	CGRA        arch.CGRA // Fabric.CGRA, kept for callers predating Fabric
 	Block       []int
 	II          int
 	Config      *arch.Config
@@ -83,7 +84,7 @@ type Result struct {
 // Summary renders a one-line description.
 func (r *Result) Summary() string {
 	return fmt.Sprintf("%s on %s (baseline): block %v, II %d, U = %.1f%%",
-		r.Kernel.Name, r.CGRA, r.Block, r.II, r.Utilization*100)
+		r.Kernel.Name, r.Fabric, r.Block, r.II, r.Utilization*100)
 }
 
 // ErrTooLarge is returned when the DFG exceeds the scalability wall.
@@ -104,9 +105,20 @@ type place struct {
 	T, R, C int
 }
 
-// Compile maps the kernel's block DFG onto the CGRA.
+// Compile maps the kernel's block DFG onto the CGRA (mesh links, every
+// PE memory-capable). Use CompileFabric to target other fabrics.
 func Compile(k *kernel.Kernel, cg arch.CGRA, block []int, opts Options) (*Result, error) {
+	return CompileFabric(k, arch.Fabric{CGRA: cg}, block, opts)
+}
+
+// CompileFabric maps the kernel's block DFG onto the fabric: SA placement
+// (loads and stores restricted to memory-capable PEs) plus negotiated
+// routing over the fabric's link set.
+func CompileFabric(k *kernel.Kernel, cg arch.Fabric, block []int, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
+	if err := cg.Validate(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	deadline := time.Time{}
 	if opts.TimeBudget > 0 {
@@ -217,7 +229,7 @@ func Compile(k *kernel.Kernel, cg arch.CGRA, block []int, opts Options) (*Result
 		}
 		opts.Tracer.Emit(routeSpan)
 		return &Result{
-			Kernel: k, CGRA: cg, Block: block, II: ii,
+			Kernel: k, Fabric: cg, CGRA: cg.CGRA, Block: block, II: ii,
 			Config:      cfg,
 			Utilization: float64(ncomp) / float64(pes*ii),
 			Time:        time.Since(start),
@@ -255,10 +267,30 @@ func slotOf(n *ir.Node, p place, ii int) slotKey {
 // anneal performs simulated annealing over joint (time, PE) placements.
 // It returns a placement with zero hard violations (plus its total cost,
 // for best-of-N chain selection), or ok=false.
-func anneal(d *ir.DFG, cg arch.CGRA, ii, moves int, rng *rand.Rand, deadline time.Time) ([]place, bool, float64) {
+func anneal(d *ir.DFG, cg arch.Fabric, ii, moves int, rng *rand.Rand, deadline time.Time) ([]place, bool, float64) {
 	order, err := d.TopoOrder()
 	if err != nil {
 		return nil, false, 0
+	}
+	// On fabrics with restricted memory ports, loads and stores snap to
+	// the nearest memory-capable PE after each random proposal. The snap
+	// consumes no randomness and is a no-op on all-mem fabrics, so the
+	// classic mapper's rng sequence (and hence its output) is unchanged.
+	var memPEs [][2]int
+	if cg.Mem != arch.MemAll {
+		memPEs = cg.MemPEs()
+	}
+	snap := func(kind ir.OpKind, r, c int) (int, int) {
+		if memPEs == nil || (kind != ir.OpLoad && kind != ir.OpStore) || cg.MemCapable(r, c) {
+			return r, c
+		}
+		sr, sc, bd := r, c, int(^uint(0)>>1)
+		for _, pe := range memPEs {
+			if dd := absInt(pe[0]-r) + absInt(pe[1]-c); dd < bd {
+				bd, sr, sc = dd, pe[0], pe[1]
+			}
+		}
+		return sr, sc
 	}
 	// ASAP levels give the initial schedule and the move window.
 	asap := make([]int, len(d.Nodes))
@@ -288,6 +320,7 @@ func anneal(d *ir.DFG, cg arch.CGRA, ii, moves int, rng *rand.Rand, deadline tim
 			p := pl[d.Edges[ins[0]].From]
 			bestR, bestC = p.R, p.C
 		}
+		bestR, bestC = snap(n.Kind, bestR, bestC)
 		t := asap[id]
 		p := place{T: t, R: bestR, C: bestC}
 		for tries := 0; tries < 4*ii; tries++ {
@@ -345,10 +378,14 @@ func anneal(d *ir.DFG, cg arch.CGRA, ii, moves int, rng *rand.Rand, deadline tim
 	// feasibility would only polish wirelength).
 	feasible := func() bool {
 		for _, id := range order {
-			if occ[slotOf(d.Nodes[id], pl[id], ii)] > 1 {
+			n := d.Nodes[id]
+			if occ[slotOf(n, pl[id], ii)] > 1 {
 				return false
 			}
 			p := pl[id]
+			if (n.Kind == ir.OpLoad || n.Kind == ir.OpStore) && !cg.MemCapable(p.R, p.C) {
+				return false
+			}
 			for _, ei := range d.InEdges(id) {
 				e := d.Edges[ei]
 				pp := pl[e.From]
@@ -377,6 +414,7 @@ func anneal(d *ir.DFG, cg arch.CGRA, ii, moves int, rng *rand.Rand, deadline tim
 		oldCost := cost(id)
 		nt := asap[id] + rng.Intn(window-asap[id])
 		np := place{T: nt, R: rng.Intn(cg.Rows), C: rng.Intn(cg.Cols)}
+		np.R, np.C = snap(n.Kind, np.R, np.C)
 		occ[slotOf(n, old, ii)]--
 		pl[id] = np
 		occ[slotOf(n, np, ii)]++
@@ -401,7 +439,7 @@ func anneal(d *ir.DFG, cg arch.CGRA, ii, moves int, rng *rand.Rand, deadline tim
 
 // routeAndEmit performs detailed routing of every DFG edge over the MRRG
 // and emits the validated configuration.
-func routeAndEmit(d *ir.DFG, cg arch.CGRA, ii int, pl []place, rounds int) (*arch.Config, error) {
+func routeAndEmit(d *ir.DFG, cg arch.Fabric, ii int, pl []place, rounds int) (*arch.Config, error) {
 	g := mrrg.New(cg, ii)
 	placeNode := func(id int) mrrg.Node {
 		n := d.Nodes[id]

@@ -52,6 +52,10 @@ var (
 	// ErrConfigInvalid: the emitted configuration failed final
 	// validation.
 	ErrConfigInvalid = errors.New("configuration invalid")
+	// ErrMemPortInfeasible: the iteration graph demands more memory
+	// ports (loads/stores) than the fabric's memory-capable PEs provide
+	// within the candidate sub-CGRA shapes.
+	ErrMemPortInfeasible = errors.New("memory-port demand infeasible on fabric")
 )
 
 // StageError pins one failure class to its pipeline context: the stage
@@ -130,7 +134,7 @@ func Failf(class error, format string, args ...any) *StageError {
 var classes = []error{
 	ErrNoSubMapping, ErrSchemeInfeasible, ErrRouteCongested,
 	ErrBlockPinConflict, ErrBlockTooSmall, ErrPlacementInfeasible,
-	ErrReplicaConflict, ErrConfigInvalid,
+	ErrReplicaConflict, ErrConfigInvalid, ErrMemPortInfeasible,
 }
 
 // Classify coerces an arbitrary stage failure into a StageError: an error

@@ -99,7 +99,10 @@ func (o Options) withDefaults() Options {
 // Result is a complete HiMap mapping.
 type Result struct {
 	Kernel *kernel.Kernel
-	CGRA   arch.CGRA
+	Fabric arch.Fabric
+	// CGRA is the fabric's PE-array parameters, kept for callers that
+	// predate the fabric model.
+	CGRA arch.CGRA
 
 	Sub     *SubMapping
 	Scheme  systolic.Scheme
@@ -148,8 +151,15 @@ type Stats struct {
 // *CompileError aggregating the lowest-ranked attempt's failure and the
 // best-ranked failure per stage — deterministic for every Workers value.
 func Compile(k *kernel.Kernel, cg arch.CGRA, opts Options) (*Result, error) {
+	return CompileFabric(k, arch.Fabric{CGRA: cg}, opts)
+}
+
+// CompileFabric is Compile for an explicit fabric model (interconnect
+// topology + per-PE capability layout). Compile is the mesh/all-memory
+// special case.
+func CompileFabric(k *kernel.Kernel, fab arch.Fabric, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
-	if err := cg.Validate(); err != nil {
+	if err := fab.Validate(); err != nil {
 		return nil, err
 	}
 	if err := k.Validate(); err != nil {
@@ -157,9 +167,9 @@ func Compile(k *kernel.Kernel, cg arch.CGRA, opts Options) (*Result, error) {
 	}
 	start := time.Now()
 
-	front := newContext(k, cg, opts)
+	front := newContext(k, fab, opts)
 	if err := frontStages.Run(front); err != nil {
-		return nil, newCompileError(k.Name, cg.String(), 0, []error{err})
+		return nil, newCompileError(k.Name, fab.String(), 0, []error{err})
 	}
 	atts := front.Attempts
 
@@ -195,7 +205,7 @@ func Compile(k *kernel.Kernel, cg arch.CGRA, opts Options) (*Result, error) {
 			return res, nil
 		}
 	}
-	return nil, newCompileError(k.Name, cg.String(), len(atts), errs)
+	return nil, newCompileError(k.Name, fab.String(), len(atts), errs)
 }
 
 // candidateSchemes enumerates systolic schemes compatible with the VSA
@@ -261,6 +271,6 @@ func blockForScheme(k *kernel.Kernel, sch systolic.Scheme, vx, vy int, opts Opti
 // Summary renders a one-line result description.
 func (r *Result) Summary() string {
 	return fmt.Sprintf("%s on %s: block %v, sub-CGRA (%d,%d,%d), II_B %d, %d unique iters, U = %.1f%%",
-		r.Kernel.Name, r.CGRA, r.Block, r.Sub.S1, r.Sub.S2, r.Sub.Depth, r.IIB,
+		r.Kernel.Name, r.Fabric, r.Block, r.Sub.S1, r.Sub.S2, r.Sub.Depth, r.IIB,
 		r.UniqueIters, r.Utilization*100)
 }

@@ -100,13 +100,17 @@ func (m *Memo) IDFG(k *kernel.Kernel) (*ir.IDFG, error) {
 	return v.(*ir.IDFG), nil
 }
 
-// SubMappings returns the full MapIDFG result for the kernel on cg with
-// the given depth slack. Callers must not mutate the returned slice or
-// its entries; Compile copies the prefix it truncates.
-func (m *Memo) SubMappings(k *kernel.Kernel, f *ir.IDFG, cg arch.CGRA, depthSlack int) ([]*SubMapping, error) {
-	key := fmt.Sprintf("%s|%+v|slack%d", kernelKey(k), cg, depthSlack)
+// SubMappings returns the full MapIDFG result for the kernel on the
+// fabric with the given depth slack. Callers must not mutate the
+// returned slice or its entries; Compile copies the prefix it truncates.
+func (m *Memo) SubMappings(k *kernel.Kernel, f *ir.IDFG, fab arch.Fabric, depthSlack int) ([]*SubMapping, error) {
+	key := fmt.Sprintf("%s|%+v|slack%d", kernelKey(k), fab, depthSlack)
 	v, err := m.load(&m.subs, key, func() (any, error) {
-		return MapIDFG(f, cg, depthSlack), nil
+		subs, err := MapIDFG(f, fab, depthSlack)
+		if err != nil {
+			return nil, err
+		}
+		return subs, nil
 	})
 	if err != nil {
 		return nil, err

@@ -67,7 +67,7 @@ func (p Pipeline) Run(ctx *CompileContext) error {
 		}
 		if err != nil {
 			se := diag.Classify(err, st.Fallback)
-			se.Stamp(st.Name, ctx.Kernel.Name, ctx.CGRA.String(), ctx.Attempt)
+			se.Stamp(st.Name, ctx.Kernel.Name, ctx.Fab.String(), ctx.Attempt)
 			span.Err = se.Error()
 			ctx.Tracer.Emit(span)
 			return se
@@ -93,7 +93,7 @@ type attempt struct {
 // share them without copying.
 type CompileContext struct {
 	Kernel *kernel.Kernel
-	CGRA   arch.CGRA
+	Fab    arch.Fabric
 	Opts   Options
 	Memo   *Memo
 	Tracer diag.Tracer
@@ -129,9 +129,9 @@ type CompileContext struct {
 	counters map[string]int64
 }
 
-func newContext(k *kernel.Kernel, cg arch.CGRA, opts Options) *CompileContext {
+func newContext(k *kernel.Kernel, fab arch.Fabric, opts Options) *CompileContext {
 	return &CompileContext{
-		Kernel: k, CGRA: cg, Opts: opts,
+		Kernel: k, Fab: fab, Opts: opts,
 		Memo: opts.Memo, Tracer: opts.Tracer,
 		wall: map[string]time.Duration{},
 	}
@@ -141,7 +141,7 @@ func newContext(k *kernel.Kernel, cg arch.CGRA, opts Options) *CompileContext {
 // sharing the read-only front artifacts.
 func (c *CompileContext) forAttempt(a attempt, rank, wave int) *CompileContext {
 	return &CompileContext{
-		Kernel: c.Kernel, CGRA: c.CGRA, Opts: c.Opts,
+		Kernel: c.Kernel, Fab: c.Fab, Opts: c.Opts,
 		Memo: c.Memo, Tracer: c.Tracer,
 		IDFG: c.IDFG, Subs: c.Subs, Deps: c.Deps,
 		Attempt: rank, Wave: wave,
@@ -184,7 +184,7 @@ func runIDFGMap(c *CompileContext) error {
 		return err
 	}
 	c.IDFG = f
-	subs, err := c.Memo.SubMappings(c.Kernel, f, c.CGRA, c.Opts.DepthSlack)
+	subs, err := c.Memo.SubMappings(c.Kernel, f, c.Fab, c.Opts.DepthSlack)
 	if err != nil {
 		return err
 	}
@@ -203,8 +203,17 @@ func runIDFGMap(c *CompileContext) error {
 // and materializes the deterministic attempt ranking.
 func runSchemeSearch(c *CompileContext) error {
 	c.Deps = c.Kernel.DistanceVectors()
+	var tileErr error
 	for _, sub := range c.Subs {
-		vx, vy := c.CGRA.Rows/sub.S1, c.CGRA.Cols/sub.S2
+		// A sub-CGRA block must tile the fabric evenly; anything else
+		// would cluster the VSA out of bounds (non-square arrays with
+		// square c×c blocks were silently mis-clustered before this
+		// check existed).
+		if err := systolic.CheckTile(c.Fab.Rows, c.Fab.Cols, sub.S1, sub.S2); err != nil {
+			tileErr = diag.Fail(diag.ErrSchemeInfeasible, err)
+			continue
+		}
+		vx, vy := c.Fab.Rows/sub.S1, c.Fab.Cols/sub.S2
 		schemes, err := c.Memo.Schemes(c.Kernel, c.Deps, vx, vy, c.Opts)
 		if err != nil {
 			return err
@@ -215,6 +224,9 @@ func runSchemeSearch(c *CompileContext) error {
 	}
 	c.Count("attempts", int64(len(c.Attempts)))
 	if len(c.Attempts) == 0 {
+		if tileErr != nil {
+			return tileErr
+		}
 		return diag.Failf(diag.ErrSchemeInfeasible, "no valid systolic scheme")
 	}
 	return nil
@@ -319,7 +331,7 @@ func runUnique(c *CompileContext) error {
 // producer) — under negotiated congestion.
 func runRoute(c *CompileContext) error {
 	c.lay = &layout{
-		cg: c.CGRA, g: c.ISDG, cp: c.CP, sub: c.Sub, iib: c.IIB,
+		cg: c.Fab, g: c.ISDG, cp: c.CP, sub: c.Sub, iib: c.IIB,
 		classes: c.Classes, byClust: c.ByCluster,
 		ix:     buildNodeIndex(c.ISDG),
 		policy: c.Opts.RelayPolicy,
@@ -357,9 +369,9 @@ func runValidate(c *CompileContext) error {
 // buildResult assembles the Result of a successful attempt, deriving the
 // per-step Stats from the pipeline's stage wall times.
 func (c *CompileContext) buildResult() *Result {
-	util := float64(c.DFG.NumCompute()) / float64(c.CGRA.NumPEs()*c.IIB)
+	util := float64(c.DFG.NumCompute()) / float64(c.Fab.NumPEs()*c.IIB)
 	return &Result{
-		Kernel: c.Kernel, CGRA: c.CGRA,
+		Kernel: c.Kernel, Fabric: c.Fab, CGRA: c.Fab.CGRA,
 		Sub: c.Sub, Scheme: c.Scheme, Mapping: c.Mapping,
 		Block: c.Block, IIB: c.IIB,
 		DFG: c.DFG, ISDG: c.ISDG, CP: c.CP,

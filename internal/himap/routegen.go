@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"himap/internal/arch"
+	"himap/internal/diag"
 	"himap/internal/ir"
 	"himap/internal/mrrg"
 	"himap/internal/route"
@@ -13,7 +14,7 @@ import (
 // layout bundles everything step 3 needs: the placed ISDG, the sub-CGRA
 // mapping, and the derived geometry.
 type layout struct {
-	cg      arch.CGRA
+	cg      arch.Fabric
 	g       *ir.ISDG
 	cp      *ClusterPlace
 	sub     *SubMapping
@@ -103,10 +104,13 @@ func (l *layout) pinAbs(id int) (mrrg.Node, bool) {
 		return l.loadAbs(prod)
 	}
 	bt, br, bc := l.regionBase(ci)
+	// Crossbar pins of clusters at the array edge reach across a wrap
+	// link on a torus; fold the coordinate so routing targets the real PE.
+	pr, pc := l.cg.WrapCoord(br+pin.R, bc+pin.C)
 	if pin.Out {
-		return mrrg.Node{T: bt + pin.T, R: br + pin.R, C: bc + pin.C, Class: mrrg.ClassOut, Idx: uint8(pin.Dir)}, true
+		return mrrg.Node{T: bt + pin.T, R: pr, C: pc, Class: mrrg.ClassOut, Idx: uint8(pin.Dir)}, true
 	}
-	return mrrg.Node{T: bt + pin.T, R: br + pin.R, C: bc + pin.C, Class: mrrg.ClassReg, Idx: pin.Reg}, true
+	return mrrg.Node{T: bt + pin.T, R: pr, C: pc, Class: mrrg.ClassReg, Idx: pin.Reg}, true
 }
 
 // computePins chooses the relay register of every route node class:
@@ -200,9 +204,10 @@ func (l *layout) choosePin(rep *ir.Cluster, id int, anchor RelPlace, reg uint8) 
 		return regPin // same-PE time dependence: hold in the RF
 	}
 	// The neighbor must exist on the array for the representative (and by
-	// signature equality, for every member).
+	// signature equality, for every member). On a wrap-around topology
+	// every translated neighbor exists, so only bounded fabrics bail out.
 	_, br, bc := l.regionBase(rep.ID)
-	if !l.cg.InBounds(br+nR, bc+nC) {
+	if !l.cg.Topology.Wraps() && !l.cg.InBounds(br+nR, bc+nC) {
 		return regPin
 	}
 	return RelPlaceReg{T: anchor.T - 1, R: nR, C: nC, Out: true, Dir: dir}
@@ -328,6 +333,12 @@ func (l *layout) routeCanonical(maxRounds int) ([][]canonNet, RouteStats, error)
 // coordinates) that stays on-array under every member's translation: a
 // canonical path confined to it can be replicated verbatim everywhere.
 func (l *layout) classEnvelope(cl *UniqueClass) (rMin, rMax, cMin, cMax int) {
+	if l.cg.Topology.Wraps() {
+		// Wrap-around links make every translation a graph automorphism:
+		// a path that leaves one edge re-enters the opposite one, so the
+		// canonical route replicates verbatim from anywhere on the array.
+		return 0, l.cg.Rows - 1, 0, l.cg.Cols - 1
+	}
 	bt, br, bc := l.regionBase(cl.Rep)
 	_ = bt
 	drMin, drMax, dcMin, dcMax := 0, 0, 0, 0
@@ -436,6 +447,10 @@ func (l *layout) routeClass(ses *route.Session, g *mrrg.Graph, classIdx int, cl 
 				targets = []mrrg.Node{pin}
 			case to.Kind == ir.OpStore:
 				targets = filterTargets(l.storeTargets(g, e.To, src.T))
+				if len(targets) == 0 && l.cg.Mem != arch.MemAll {
+					return nil, diag.Failf(diag.ErrMemPortInfeasible,
+						"himap: no memory-write port reachable for store %s within its region on the %s fabric", to.Name, l.cg)
+				}
 			default:
 				return nil, fmt.Errorf("himap: bad consumer kind %v", to.Kind)
 			}
@@ -472,6 +487,9 @@ func (l *layout) storeTargets(g *mrrg.Graph, id int, fromT int) []mrrg.Node {
 	for t := lo; t < lo+2*l.sub.Depth; t++ {
 		for r := br; r < br+l.sub.S1; r++ {
 			for c := bc; c < bc+l.sub.S2; c++ {
+				if !l.cg.MemCapable(r, c) {
+					continue
+				}
 				out = append(out, g.MemWriteNode(t, r, c))
 			}
 		}
@@ -516,17 +534,44 @@ func (l *layout) chooseBoundaryLoad(ses *route.Session, classIdx, id int) error 
 	// Negative real cycles wrap into the previous schedule period — in
 	// steady state the load simply issues during the preceding block's
 	// window (classic software pipelining).
-	for back := slack; back < 3*l.sub.Depth; back++ {
-		t := consT - back
-		mr := mrrg.Node{T: t, R: consR, C: consC, Class: mrrg.ClassMemRead}
-		if ses.Occ(mr) > 0 {
+	if l.cg.MemCapable(consR, consC) {
+		for back := slack; back < 3*l.sub.Depth; back++ {
+			t := consT - back
+			mr := mrrg.Node{T: t, R: consR, C: consC, Class: mrrg.ClassMemRead}
+			if ses.Occ(mr) > 0 {
+				continue
+			}
+			ses.Reserve(mr)
+			l.loadRel[classIdx][n.BodyOp] = RelPlace{T: t - bt, R: consR - br, C: consC - bc, Kind: PlaceMemRead}
+			return nil
+		}
+		return fmt.Errorf("himap: no memory-read slot for boundary load %v", n)
+	}
+	// The consumer sits on a compute-only PE: issue the load on the
+	// nearest memory-capable PE of the cluster's region, early enough for
+	// the value to cover the Manhattan distance to the consumer.
+	for _, pe := range memPEsByDist(l.cg, consR, consC) {
+		r, c := pe[0], pe[1]
+		if r < br || r >= br+l.sub.S1 || c < bc || c >= bc+l.sub.S2 {
 			continue
 		}
-		ses.Reserve(mr)
-		l.loadRel[classIdx][n.BodyOp] = RelPlace{T: t - bt, R: consR - br, C: consC - bc, Kind: PlaceMemRead}
-		return nil
+		lo := absInt(r-consR) + absInt(c-consC)
+		if slack > lo {
+			lo = slack
+		}
+		for back := lo; back < 3*l.sub.Depth; back++ {
+			t := consT - back
+			mr := mrrg.Node{T: t, R: r, C: c, Class: mrrg.ClassMemRead}
+			if ses.Occ(mr) > 0 {
+				continue
+			}
+			ses.Reserve(mr)
+			l.loadRel[classIdx][n.BodyOp] = RelPlace{T: t - bt, R: r - br, C: c - bc, Kind: PlaceMemRead}
+			return nil
+		}
 	}
-	return fmt.Errorf("himap: no memory-read slot for boundary load %v", n)
+	return diag.Failf(diag.ErrMemPortInfeasible,
+		"himap: no memory-read slot for boundary load %v on the %s fabric", n, l.cg)
 }
 
 // replicate stamps every class's canonical placements and routes onto all
@@ -592,7 +637,11 @@ func (l *layout) replicate(plans [][]canonNet) (*arch.Config, error) {
 				for _, sink := range cn.Sinks {
 					shifted := make(route.Path, len(sink.Path))
 					for i, pn := range sink.Path {
-						shifted[i] = pn.Shifted(dt, dr, dc)
+						sn := pn.Shifted(dt, dr, dc)
+						// On a torus the translate of an edge-crossing path
+						// re-enters the array; fold it onto the real PEs.
+						sn.R, sn.C = l.cg.WrapCoord(sn.R, sn.C)
+						shifted[i] = sn
 					}
 					consID, ok := l.ix.Find(sink.ConsumerBody, rep.Iter.Add(dIter).Add(sink.ConsumerDIter))
 					if !ok {

@@ -12,7 +12,7 @@ import (
 
 // buildLayout compiles the front half of the pipeline (through unique
 // identification) for white-box tests of step 3's geometry.
-func buildLayout(t *testing.T, k *kernel.Kernel, cg arch.CGRA, block []int, sch systolic.Scheme, sub *SubMapping) *layout {
+func buildLayout(t *testing.T, k *kernel.Kernel, cg arch.Fabric, block []int, sch systolic.Scheme, sub *SubMapping) *layout {
 	t.Helper()
 	_, isdg, err := k.BuildISDG(block)
 	if err != nil {
@@ -38,8 +38,11 @@ func bicgLayout(t *testing.T) *layout {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cg := arch.Default(4, 4)
-	subs := MapIDFG(f, cg, 1)
+	cg := arch.DefaultFabric(4, 4)
+	subs, err := MapIDFG(f, cg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(subs) == 0 {
 		t.Fatal("no submapping")
 	}

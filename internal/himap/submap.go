@@ -13,10 +13,12 @@
 package himap
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"himap/internal/arch"
+	"himap/internal/diag"
 	"himap/internal/ir"
 	"himap/internal/mrrg"
 	"himap/internal/route"
@@ -71,27 +73,55 @@ func divisors(n int) []int {
 // minimum; the lower-utilization mappings it produces are the fallbacks
 // step 3 reaches for when routing the highest-utilization mapping
 // congests (§VI's ADI/BiCG/FW discussion).
-func MapIDFG(f *ir.IDFG, cg arch.CGRA, depthSlack int) []*SubMapping {
+//
+// On heterogeneous fabrics two extra constraints apply: every s1×s2 tile
+// of the fabric must carry an identical capability footprint (otherwise
+// replicating the canonical iteration across clusters would land memory
+// ops on compute-only PEs), and the tile must offer enough memory-port
+// slots for the iteration's loads. When every candidate shape fails for
+// one of these reasons the returned error wraps
+// diag.ErrMemPortInfeasible.
+func MapIDFG(f *ir.IDFG, fab arch.Fabric, depthSlack int) ([]*SubMapping, error) {
 	ncomp := f.NumCompute()
 	if ncomp == 0 {
-		return nil
+		return nil, nil
 	}
+	needsMem := idfgNeedsMem(f)
+	nloads := numClusterLoads(f)
 	var out []*SubMapping
-	for _, s1 := range divisors(cg.Rows) {
+	memRejects := 0
+	for _, s1 := range divisors(fab.Rows) {
 		if s1 > ncomp {
 			continue
 		}
-		for _, s2 := range divisors(cg.Cols) {
-			if s1*s2 > ncomp {
+		for _, s2 := range divisors(fab.Cols) {
+			// Shapes with more PEs than ops can never reach 100% utilization,
+			// so on homogeneous fabrics they are dominated and skipped. On a
+			// heterogeneous fabric they can be the only capability-uniform
+			// tiles (e.g. boundary memory forces full-width tiles), so memory
+			// kernels keep them as lower-utilization candidates.
+			if s1*s2 > ncomp && (!needsMem || fab.Uniform()) {
 				continue
 			}
+			if needsMem && !tileCapsUniform(fab, s1, s2) {
+				memRejects++
+				continue
+			}
+			sub := subFabric(fab, s1, s2)
 			t0 := (ncomp + s1*s2 - 1) / (s1 * s2)
 			for t := t0; t <= t0+depthSlack; t++ {
-				if t > cg.ConfigDepth {
+				if t > fab.ConfigDepth {
 					break
 				}
-				m, err := tryPlaceIDFG(f, cg, s1, s2, t)
+				if nloads > sub.NumMemPEs()*t {
+					memRejects++
+					continue
+				}
+				m, err := tryPlaceIDFG(f, fab, s1, s2, t)
 				if err != nil {
+					if errors.Is(err, diag.ErrMemPortInfeasible) {
+						memRejects++
+					}
 					continue
 				}
 				out = append(out, m)
@@ -111,14 +141,74 @@ func MapIDFG(f *ir.IDFG, cg arch.CGRA, depthSlack int) []*SubMapping {
 		}
 		return a.S1 < b.S1
 	})
-	return out
+	if len(out) == 0 && memRejects > 0 {
+		return nil, diag.Failf(diag.ErrMemPortInfeasible,
+			"IDFG demands %d memory loads per iteration; no sub-CGRA shape of the %s fabric provides matching memory ports",
+			nloads, fab)
+	}
+	return out, nil
 }
 
-// subArch builds the sub-CGRA architecture G” of §IV.
-func subArch(cg arch.CGRA, s1, s2 int) arch.CGRA {
-	a := cg
-	a.Rows, a.Cols = s1, s2
-	return a
+// idfgNeedsMem reports whether the iteration body touches memory.
+func idfgNeedsMem(f *ir.IDFG) bool {
+	for _, n := range f.DFG.Nodes {
+		if n.Kind == ir.OpLoad || n.Kind == ir.OpStore {
+			return true
+		}
+	}
+	return false
+}
+
+// numClusterLoads counts the loads the sub-CGRA mapping itself must place
+// (loads inside the cluster; boundary loads are routed in step 3).
+func numClusterLoads(f *ir.IDFG) int {
+	n := 0
+	for _, id := range f.Comp {
+		if f.DFG.Nodes[id].Kind == ir.OpLoad {
+			n++
+		}
+	}
+	return n
+}
+
+// tileCapsUniform reports whether every s1×s2 tile of the fabric carries
+// the same per-PE capability footprint — the legality condition for
+// replicating one canonical iteration mapping across all clusters.
+// Capabilities depend only on the column under the supported policies, so
+// tiles are compared column-wise.
+func tileCapsUniform(fab arch.Fabric, s1, s2 int) bool {
+	for c := 0; c < s2; c++ {
+		want := fab.MemCapable(0, c)
+		for off := s2; off < fab.Cols; off += s2 {
+			if fab.MemCapable(0, c+off) != want {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// subFabric builds the sub-CGRA fabric G” of §IV: the tile anchored at
+// the array origin. Torus wrap links only survive when the tile spans the
+// full dimension; a boundary-memory layout survives only when the tile
+// spans all columns (otherwise interior tiles have no memory ports, and
+// the capability-uniformity check restricts such shapes to memory-free
+// kernels anyway).
+func subFabric(fab arch.Fabric, s1, s2 int) arch.Fabric {
+	sub := fab
+	sub.Rows, sub.Cols = s1, s2
+	if fab.Topology == arch.TopoTorus && (s1 != fab.Rows || s2 != fab.Cols) {
+		sub.Topology = arch.TopoMesh
+	}
+	switch fab.Mem {
+	case arch.MemAll:
+		// every tile PE keeps its port
+	case arch.MemBoundary:
+		if s2 != fab.Cols {
+			sub.Mem = arch.MemNone
+		}
+	}
+	return sub
 }
 
 // tryPlaceIDFG attempts the heuristic placement-and-routing of the IDFG
@@ -126,8 +216,8 @@ func subArch(cg arch.CGRA, s1, s2 int) arch.CGRA {
 // least accumulated routing cost from their placed parents, loads on
 // memory read ports adjacent to their consumers, with SPR-style cost
 // escalation rounds until no resource is oversubscribed.
-func tryPlaceIDFG(f *ir.IDFG, cg arch.CGRA, s1, s2, depth int) (*SubMapping, error) {
-	sub := subArch(cg, s1, s2)
+func tryPlaceIDFG(f *ir.IDFG, fab arch.Fabric, s1, s2, depth int) (*SubMapping, error) {
+	sub := subFabric(fab, s1, s2)
 	g := mrrg.NewAcyclic(sub, depth)
 	ses := route.NewSession(g)
 	ses.MaxVisits = 20000
@@ -308,22 +398,52 @@ func tryPlaceIDFG(f *ir.IDFG, cg arch.CGRA, s1, s2, depth int) (*SubMapping, err
 			cons = g.FUNode(0, 0, 0)
 		}
 		placedLoad := false
-		for back := 0; back < depth; back++ {
-			tt := cons.T - back
-			if tt < 0 {
+		if sub.MemCapable(cons.R, cons.C) {
+			// Consumer's own memory port, backing off in time — the
+			// homogeneous-fabric fast path (kept verbatim: it decides
+			// the bit-exact placements of the default fabric).
+			for back := 0; back < depth; back++ {
+				tt := cons.T - back
+				if tt < 0 {
+					break
+				}
+				mr := g.MemReadNode(tt, cons.R, cons.C)
+				if ses.Occ(mr) > 0 {
+					continue
+				}
+				ses.Reserve(mr)
+				place[id] = mr
+				placedLoad = true
 				break
 			}
-			mr := g.MemReadNode(tt, cons.R, cons.C)
-			if ses.Occ(mr) > 0 {
-				continue
+		} else {
+			// Compute-only consumer: pick the nearest memory-capable PE
+			// (deterministic distance → row → col order) at a cycle early
+			// enough for the value to hop over.
+			for _, pe := range memPEsByDist(sub, cons.R, cons.C) {
+				dist := absInt(pe[0]-cons.R) + absInt(pe[1]-cons.C)
+				for back := dist; back < depth; back++ {
+					tt := cons.T - back
+					if tt < 0 {
+						break
+					}
+					mr := g.MemReadNode(tt, pe[0], pe[1])
+					if ses.Occ(mr) > 0 {
+						continue
+					}
+					ses.Reserve(mr)
+					place[id] = mr
+					placedLoad = true
+					break
+				}
+				if placedLoad {
+					break
+				}
 			}
-			ses.Reserve(mr)
-			place[id] = mr
-			placedLoad = true
-			break
 		}
 		if !placedLoad {
-			return nil, fmt.Errorf("himap: no memory read slot for %v on (%d,%d,%d)", n, s1, s2, depth)
+			return nil, diag.Failf(diag.ErrMemPortInfeasible,
+				"himap: no memory read slot for %v on (%d,%d,%d) of the %s fabric", n, s1, s2, depth, fab)
 		}
 	}
 	// Route load → consumer edges.
@@ -446,6 +566,24 @@ func topoInside(f *ir.IDFG) []int {
 		queue = append(queue, next...)
 	}
 	return order
+}
+
+// memPEsByDist lists the fabric's memory-capable PEs sorted by Manhattan
+// distance from (r, c), ties broken by row then column.
+func memPEsByDist(fab arch.Fabric, r, c int) [][2]int {
+	pes := fab.MemPEs()
+	sort.SliceStable(pes, func(i, j int) bool {
+		di := absInt(pes[i][0]-r) + absInt(pes[i][1]-c)
+		dj := absInt(pes[j][0]-r) + absInt(pes[j][1]-c)
+		if di != dj {
+			return di < dj
+		}
+		if pes[i][0] != pes[j][0] {
+			return pes[i][0] < pes[j][0]
+		}
+		return pes[i][1] < pes[j][1]
+	})
+	return pes
 }
 
 func absInt(x int) int {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"himap/internal/arch"
+	"himap/internal/ir"
 	"himap/internal/kernel"
 )
 
@@ -16,7 +17,10 @@ func TestMapIDFGAllKernels(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", k.Name, err)
 		}
-		maps := MapIDFG(f, arch.Default(8, 8), 2)
+		maps, err := MapIDFG(f, arch.DefaultFabric(8, 8), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(maps) == 0 {
 			t.Errorf("%s: no sub-CGRA mappings", k.Name)
 			continue
@@ -37,7 +41,10 @@ func TestMapIDFGSortedByUtilization(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	maps := MapIDFG(f, arch.Default(8, 8), 3)
+	maps, err := MapIDFG(f, arch.DefaultFabric(8, 8), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 1; i < len(maps); i++ {
 		if maps[i].Util > maps[i-1].Util+1e-9 {
 			t.Errorf("mappings not sorted: %v before %v", maps[i-1], maps[i])
@@ -50,7 +57,10 @@ func TestMapIDFGShapesDivideArray(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	maps := MapIDFG(f, arch.Default(6, 6), 2)
+	maps, err := MapIDFG(f, arch.DefaultFabric(6, 6), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, m := range maps {
 		if 6%m.S1 != 0 || 6%m.S2 != 0 {
 			t.Errorf("sub-CGRA %v does not evenly cluster a 6x6 array", m)
@@ -64,7 +74,7 @@ func TestMapIDFGRelPlacementsInBounds(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, m := range MapIDFG(f, arch.Default(4, 4), 2) {
+		for _, m := range mustMapIDFG(t, f, arch.DefaultFabric(4, 4), 2) {
 			for bodyOp, rel := range m.Rel {
 				if rel.T < 0 || rel.T >= m.Depth || rel.R < 0 || rel.R >= m.S1 || rel.C < 0 || rel.C >= m.S2 {
 					t.Errorf("%s: body op %d placed at %+v outside (%d,%d,%d)",
@@ -81,7 +91,10 @@ func TestMapIDFGPlacesAllComputesAndLoads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	maps := MapIDFG(f, arch.Default(8, 8), 1)
+	maps, err := MapIDFG(f, arch.DefaultFabric(8, 8), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(maps) == 0 {
 		t.Fatal("no mappings")
 	}
@@ -109,9 +122,19 @@ func TestMapIDFGDepthSlackYieldsFallbacks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	noSlack := MapIDFG(f, arch.Default(4, 4), 0)
-	slack := MapIDFG(f, arch.Default(4, 4), 3)
+	noSlack := mustMapIDFG(t, f, arch.DefaultFabric(4, 4), 0)
+	slack := mustMapIDFG(t, f, arch.DefaultFabric(4, 4), 3)
 	if len(slack) <= len(noSlack) {
 		t.Errorf("depth slack should add fallback mappings: %d vs %d", len(slack), len(noSlack))
 	}
+}
+
+// mustMapIDFG is a test helper asserting MapIDFG succeeds.
+func mustMapIDFG(t *testing.T, f *ir.IDFG, fab arch.Fabric, slack int) []*SubMapping {
+	t.Helper()
+	subs, err := MapIDFG(f, fab, slack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return subs
 }

@@ -78,22 +78,29 @@ func (n Node) Shifted(dt, dr, dc int) Node {
 	return Node{T: n.T + dt, R: n.R + dr, C: n.C + dc, Class: n.Class, Idx: n.Idx}
 }
 
-// Graph is an implicit time-extended routing resource graph.
+// Graph is an implicit time-extended routing resource graph. Routing
+// nodes are derived from the fabric's enumerated links: the per-PE
+// output-register set matches the fabric's link directions, neighbor
+// adjacency follows Fabric.LinkNeighbor (wrapping on a torus), and
+// memory-port nodes exist only on memory-capable PEs.
 type Graph struct {
-	Arch arch.CGRA
+	Fab arch.Fabric
 	// II is the wrap period when Wrap is set; otherwise the time depth of
 	// a non-modular time extension (used for sub-CGRA feasibility checks).
 	II   int
 	Wrap bool
 }
 
-// New returns the MRRG of the array, time-extended to ii cycles with
+// New returns the MRRG of the fabric, time-extended to ii cycles with
 // modulo wrap-around for resource accounting (H_II of §IV).
-func New(a arch.CGRA, ii int) *Graph { return &Graph{Arch: a, II: ii, Wrap: true} }
+func New(f arch.Fabric, ii int) *Graph { return &Graph{Fab: f, II: ii, Wrap: true} }
 
 // NewAcyclic returns a non-wrapping time extension of depth cycles (used
 // for IDFG → sub-CGRA mapping, H” of §IV).
-func NewAcyclic(a arch.CGRA, depth int) *Graph { return &Graph{Arch: a, II: depth, Wrap: false} }
+func NewAcyclic(f arch.Fabric, depth int) *Graph { return &Graph{Fab: f, II: depth, Wrap: false} }
+
+// NumDirs returns the per-PE link-direction (output register) count.
+func (g *Graph) NumDirs() int { return g.Fab.NumLinkDirs() }
 
 // WrapTime folds a real cycle into the occupancy period [0, II).
 func (g *Graph) WrapTime(t int) int {
@@ -109,9 +116,11 @@ func (g *Graph) ValidTime(t int) bool {
 	return t >= 0 && t < g.II
 }
 
-// Key packs the node into an occupancy key; real time is folded modulo II.
+// Key packs the node into an occupancy key; real time is folded modulo
+// II and, on wrap-around topologies, space is folded into the array.
 func (g *Graph) Key(n Node) uint64 {
-	return ((uint64(g.WrapTime(n.T))*uint64(g.Arch.Rows)+uint64(n.R))*uint64(g.Arch.Cols)+uint64(n.C))*64 +
+	r, c := g.Fab.WrapCoord(n.R, n.C)
+	return ((uint64(g.WrapTime(n.T))*uint64(g.Fab.Rows)+uint64(r))*uint64(g.Fab.Cols)+uint64(c))*64 +
 		uint64(n.Class)*8 + uint64(n.Idx)
 }
 
@@ -123,71 +132,77 @@ func RealKey(n Node) uint64 {
 }
 
 // SlotsPerPE returns the number of distinct resource slots one PE holds
-// per cycle: the FU, the four directional output registers, the RF
+// per cycle: the FU, the fabric's directional output registers, the RF
 // read/write ports, the two memory ports, and NumRegs register-file
-// entries. It is the stride of the dense key space.
-func (g *Graph) SlotsPerPE() int { return 9 + g.Arch.NumRegs }
+// entries. It is the stride of the dense key space (9 + NumRegs on
+// 4-direction fabrics, matching the pre-Fabric layout exactly).
+func (g *Graph) SlotsPerPE() int { return 5 + g.NumDirs() + g.Fab.NumRegs }
 
 // SlotIndex packs a (class, idx) resource into a dense per-PE slot in
 // [0, SlotsPerPE()) — unlike the sparse class*8+idx packing of Key and
 // RealKey, the dense slot space has no holes, so occupancy and search
 // scratch state can live in flat arrays instead of maps.
 func (g *Graph) SlotIndex(c Class, idx uint8) int {
+	nd := g.NumDirs()
 	switch c {
 	case ClassFU:
 		return 0
 	case ClassOut:
-		return 1 + int(idx) // 4 directions
+		return 1 + int(idx) // one slot per fabric link direction
 	case ClassRFWrite:
-		return 5
+		return 1 + nd
 	case ClassRFRead:
-		return 6
+		return 2 + nd
 	case ClassMemRead:
-		return 7
+		return 3 + nd
 	case ClassMemWrite:
-		return 8
+		return 4 + nd
 	default: // ClassReg
-		return 9 + int(idx)
+		return 5 + nd + int(idx)
 	}
 }
 
 // SlotResource inverts SlotIndex.
 func (g *Graph) SlotResource(slot int) (Class, uint8) {
+	nd := g.NumDirs()
 	switch {
 	case slot == 0:
 		return ClassFU, 0
-	case slot < 5:
+	case slot < 1+nd:
 		return ClassOut, uint8(slot - 1)
-	case slot == 5:
+	case slot == 1+nd:
 		return ClassRFWrite, 0
-	case slot == 6:
+	case slot == 2+nd:
 		return ClassRFRead, 0
-	case slot == 7:
+	case slot == 3+nd:
 		return ClassMemRead, 0
-	case slot == 8:
+	case slot == 4+nd:
 		return ClassMemWrite, 0
 	default:
-		return ClassReg, uint8(slot - 9)
+		return ClassReg, uint8(slot - 5 - nd)
 	}
 }
 
 // DenseKey packs the node into a dense occupancy index in
-// [0, NumDenseKeys()); real time is folded modulo II exactly as in Key.
+// [0, NumDenseKeys()); real time is folded modulo II exactly as in Key,
+// and space wraps on wrap-around topologies (a translated route charges
+// the folded resource — translation is a graph automorphism there).
 func (g *Graph) DenseKey(n Node) int {
-	return (g.WrapTime(n.T)*g.Arch.NumPEs()+n.R*g.Arch.Cols+n.C)*g.SlotsPerPE() +
+	r, c := g.Fab.WrapCoord(n.R, n.C)
+	return (g.WrapTime(n.T)*g.Fab.NumPEs()+r*g.Fab.Cols+c)*g.SlotsPerPE() +
 		g.SlotIndex(n.Class, n.Idx)
 }
 
 // NumDenseKeys returns the size of the dense occupancy key space.
-func (g *Graph) NumDenseKeys() int { return g.II * g.Arch.NumPEs() * g.SlotsPerPE() }
+func (g *Graph) NumDenseKeys() int { return g.II * g.Fab.NumPEs() * g.SlotsPerPE() }
 
 // Capacity returns the occupancy capacity of a node class.
 func (g *Graph) Capacity(c Class) int {
 	switch c {
 	case ClassRFRead:
-		return g.Arch.RFReadPorts
+		return g.Fab.RFReadPorts
 	case ClassRFWrite:
-		return g.Arch.RFWritePorts
+		return g.Fab.RFWritePorts
 	default:
 		return 1
 	}
@@ -203,46 +218,53 @@ func (g *Graph) Succ(n Node, fn func(Node)) {
 		}
 		fn(Node{T: t, R: r, C: c, Class: cl, Idx: idx})
 	}
+	nd := arch.Dir(g.NumDirs())
 	switch n.Class {
 	case ClassFU, ClassMemRead:
 		// Freshly produced (computed or loaded) value: fan out through the
 		// crossbar to output registers, the RF write port, or the store port.
-		for d := arch.Dir(0); d < arch.NumDirs; d++ {
-			if _, _, ok := g.Arch.Neighbor(n.R, n.C, d); ok {
+		for d := arch.Dir(0); d < nd; d++ {
+			if _, _, ok := g.Fab.LinkNeighbor(n.R, n.C, d); ok {
 				emit(n.T, n.R, n.C, ClassOut, uint8(d))
 			}
 		}
 		emit(n.T, n.R, n.C, ClassRFWrite, 0)
-		emit(n.T, n.R, n.C, ClassMemWrite, 0)
+		if g.Fab.MemCapable(n.R, n.C) {
+			emit(n.T, n.R, n.C, ClassMemWrite, 0)
+		}
 	case ClassOut:
 		d := arch.Dir(n.Idx)
-		if nr, nc, ok := g.Arch.Neighbor(n.R, n.C, d); ok {
+		if nr, nc, ok := g.Fab.LinkNeighbor(n.R, n.C, d); ok {
 			// Arrives at the neighbor next cycle: may be re-routed onward,
 			// written to its RF, or stored.
-			for d2 := arch.Dir(0); d2 < arch.NumDirs; d2++ {
-				if _, _, ok2 := g.Arch.Neighbor(nr, nc, d2); ok2 {
+			for d2 := arch.Dir(0); d2 < nd; d2++ {
+				if _, _, ok2 := g.Fab.LinkNeighbor(nr, nc, d2); ok2 {
 					emit(n.T+1, nr, nc, ClassOut, uint8(d2))
 				}
 			}
 			emit(n.T+1, nr, nc, ClassRFWrite, 0)
-			emit(n.T+1, nr, nc, ClassMemWrite, 0)
+			if g.Fab.MemCapable(nr, nc) {
+				emit(n.T+1, nr, nc, ClassMemWrite, 0)
+			}
 		}
 		// The output register may hold its value another cycle.
 		emit(n.T+1, n.R, n.C, ClassOut, n.Idx)
 	case ClassRFWrite:
-		for k := 0; k < g.Arch.NumRegs; k++ {
+		for k := 0; k < g.Fab.NumRegs; k++ {
 			emit(n.T+1, n.R, n.C, ClassReg, uint8(k))
 		}
 	case ClassReg:
 		emit(n.T+1, n.R, n.C, ClassReg, n.Idx) // hold
 		emit(n.T, n.R, n.C, ClassRFRead, 0)    // read this cycle
 	case ClassRFRead:
-		for d := arch.Dir(0); d < arch.NumDirs; d++ {
-			if _, _, ok := g.Arch.Neighbor(n.R, n.C, d); ok {
+		for d := arch.Dir(0); d < nd; d++ {
+			if _, _, ok := g.Fab.LinkNeighbor(n.R, n.C, d); ok {
 				emit(n.T, n.R, n.C, ClassOut, uint8(d))
 			}
 		}
-		emit(n.T, n.R, n.C, ClassMemWrite, 0)
+		if g.Fab.MemCapable(n.R, n.C) {
+			emit(n.T, n.R, n.C, ClassMemWrite, 0)
+		}
 	case ClassMemWrite:
 		// Pure sink.
 	}
@@ -268,8 +290,8 @@ func (g *Graph) MemWriteNode(t, r, c int) Node {
 // memory read port at t (the producer is a load scheduled right here).
 func (g *Graph) OperandTargets(t, r, c int) []Node {
 	var out []Node
-	for d := arch.Dir(0); d < arch.NumDirs; d++ {
-		nr, nc, ok := g.Arch.Neighbor(r, c, d)
+	for d := arch.Dir(0); d < arch.Dir(g.NumDirs()); d++ {
+		nr, nc, ok := g.Fab.LinkNeighbor(r, c, d)
 		if !ok {
 			continue
 		}
@@ -278,9 +300,10 @@ func (g *Graph) OperandTargets(t, r, c int) []Node {
 		}
 	}
 	if g.ValidTime(t) {
-		out = append(out,
-			Node{T: t, R: r, C: c, Class: ClassRFRead},
-			Node{T: t, R: r, C: c, Class: ClassMemRead})
+		out = append(out, Node{T: t, R: r, C: c, Class: ClassRFRead})
+		if g.Fab.MemCapable(r, c) {
+			out = append(out, Node{T: t, R: r, C: c, Class: ClassMemRead})
+		}
 	}
 	return out
 }
@@ -291,8 +314,8 @@ func (g *Graph) OperandTargets(t, r, c int) []Node {
 // register of this PE at t.
 func (g *Graph) RelayTargets(t, r, c int) []Node {
 	var out []Node
-	for d := arch.Dir(0); d < arch.NumDirs; d++ {
-		nr, nc, ok := g.Arch.Neighbor(r, c, d)
+	for d := arch.Dir(0); d < arch.Dir(g.NumDirs()); d++ {
+		nr, nc, ok := g.Fab.LinkNeighbor(r, c, d)
 		if !ok {
 			continue
 		}
@@ -301,7 +324,7 @@ func (g *Graph) RelayTargets(t, r, c int) []Node {
 		}
 	}
 	if g.ValidTime(t) {
-		for k := 0; k < g.Arch.NumRegs; k++ {
+		for k := 0; k < g.Fab.NumRegs; k++ {
 			out = append(out, Node{T: t, R: r, C: c, Class: ClassReg, Idx: uint8(k)})
 		}
 	}
@@ -311,6 +334,7 @@ func (g *Graph) RelayTargets(t, r, c int) []Node {
 // NumVirtualNodes returns the total node count of the time extension —
 // reported for scalability statistics, never allocated.
 func (g *Graph) NumVirtualNodes() int64 {
-	perPE := int64(1 /*FU*/ + 4 /*Out*/ + g.Arch.NumRegs + 2 /*RF ports*/ + 2 /*mem ports*/)
-	return int64(g.II) * int64(g.Arch.NumPEs()) * perPE
+	perPE := int64(1 /*FU*/ + g.NumDirs() /*Out*/ + g.Fab.NumRegs + 2 /*RF ports*/)
+	n := int64(g.Fab.NumPEs())*perPE + 2*int64(g.Fab.NumMemPEs()) /*mem ports*/
+	return int64(g.II) * n
 }

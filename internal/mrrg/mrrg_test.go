@@ -13,7 +13,7 @@ func collectSucc(g *Graph, n Node) []Node {
 }
 
 func TestWrapAndValidTime(t *testing.T) {
-	g := New(arch.Default(4, 4), 5)
+	g := New(arch.DefaultFabric(4, 4), 5)
 	if got := g.WrapTime(7); got != 2 {
 		t.Errorf("WrapTime(7) = %d", got)
 	}
@@ -23,7 +23,7 @@ func TestWrapAndValidTime(t *testing.T) {
 	if !g.ValidTime(1000) {
 		t.Error("modular graph accepts any non-negative real time")
 	}
-	ga := NewAcyclic(arch.Default(4, 4), 5)
+	ga := NewAcyclic(arch.DefaultFabric(4, 4), 5)
 	if ga.ValidTime(5) {
 		t.Error("acyclic graph must reject t beyond depth")
 	}
@@ -33,7 +33,7 @@ func TestWrapAndValidTime(t *testing.T) {
 }
 
 func TestKeyFoldsModulo(t *testing.T) {
-	g := New(arch.Default(2, 2), 3)
+	g := New(arch.DefaultFabric(2, 2), 3)
 	a := Node{T: 1, R: 0, C: 1, Class: ClassOut, Idx: 2}
 	b := Node{T: 4, R: 0, C: 1, Class: ClassOut, Idx: 2}
 	if g.Key(a) != g.Key(b) {
@@ -53,7 +53,7 @@ func TestShifted(t *testing.T) {
 }
 
 func TestKeyUniqueness(t *testing.T) {
-	g := New(arch.Default(3, 3), 4)
+	g := New(arch.DefaultFabric(3, 3), 4)
 	seen := map[uint64]Node{}
 	for tt := 0; tt < 4; tt++ {
 		for r := 0; r < 3; r++ {
@@ -84,7 +84,7 @@ func TestKeyUniqueness(t *testing.T) {
 }
 
 func TestFUSuccessors(t *testing.T) {
-	g := New(arch.Default(3, 3), 4)
+	g := New(arch.DefaultFabric(3, 3), 4)
 	succ := collectSucc(g, Node{T: 1, R: 1, C: 1, Class: ClassFU})
 	// Interior PE: 4 out regs + RF write + mem write.
 	if len(succ) != 6 {
@@ -98,7 +98,7 @@ func TestFUSuccessors(t *testing.T) {
 }
 
 func TestOutSuccessorsCrossPEAndWrap(t *testing.T) {
-	g := New(arch.Default(2, 2), 3)
+	g := New(arch.DefaultFabric(2, 2), 3)
 	// Out East of (0,0) at the last cycle of the period: arrives at (0,1)
 	// at real cycle 3, whose occupancy key folds onto cycle 0.
 	succ := collectSucc(g, Node{T: 2, R: 0, C: 0, Class: ClassOut, Idx: uint8(arch.East)})
@@ -124,7 +124,7 @@ func TestOutSuccessorsCrossPEAndWrap(t *testing.T) {
 }
 
 func TestRegisterHoldChain(t *testing.T) {
-	g := New(arch.Default(2, 2), 4)
+	g := New(arch.DefaultFabric(2, 2), 4)
 	succ := collectSucc(g, Node{T: 1, R: 0, C: 0, Class: ClassReg, Idx: 2})
 	var hold, read bool
 	for _, m := range succ {
@@ -141,7 +141,7 @@ func TestRegisterHoldChain(t *testing.T) {
 }
 
 func TestRFWriteFansOutToRegisters(t *testing.T) {
-	g := New(arch.Default(2, 2), 4)
+	g := New(arch.DefaultFabric(2, 2), 4)
 	succ := collectSucc(g, Node{T: 0, R: 1, C: 1, Class: ClassRFWrite})
 	if len(succ) != 4 {
 		t.Fatalf("RF write successors = %d, want 4 registers", len(succ))
@@ -154,14 +154,14 @@ func TestRFWriteFansOutToRegisters(t *testing.T) {
 }
 
 func TestMemWriteIsSink(t *testing.T) {
-	g := New(arch.Default(2, 2), 4)
+	g := New(arch.DefaultFabric(2, 2), 4)
 	if succ := collectSucc(g, Node{T: 0, R: 0, C: 0, Class: ClassMemWrite}); len(succ) != 0 {
 		t.Errorf("mem write must be a sink, got %v", succ)
 	}
 }
 
 func TestAcyclicGraphStopsAtDepth(t *testing.T) {
-	g := NewAcyclic(arch.Default(2, 2), 2)
+	g := NewAcyclic(arch.DefaultFabric(2, 2), 2)
 	// Out at the last cycle has nowhere to go (no wrap).
 	succ := collectSucc(g, Node{T: 1, R: 0, C: 0, Class: ClassOut, Idx: uint8(arch.East)})
 	if len(succ) != 0 {
@@ -170,7 +170,7 @@ func TestAcyclicGraphStopsAtDepth(t *testing.T) {
 }
 
 func TestRelayTargets(t *testing.T) {
-	g := New(arch.Default(3, 3), 4)
+	g := New(arch.DefaultFabric(3, 3), 4)
 	targets := g.RelayTargets(2, 1, 1)
 	// Interior PE: 4 neighbor out regs + 4 registers.
 	if len(targets) != 8 {
@@ -191,7 +191,7 @@ func TestRelayTargets(t *testing.T) {
 }
 
 func TestOperandTargets(t *testing.T) {
-	g := New(arch.Default(3, 3), 4)
+	g := New(arch.DefaultFabric(3, 3), 4)
 	targets := g.OperandTargets(2, 1, 1)
 	// Interior consumer: 4 neighbor out regs + RF read + mem read.
 	if len(targets) != 6 {
@@ -204,7 +204,7 @@ func TestOperandTargets(t *testing.T) {
 				t.Errorf("out target at t=%d, want 1", m.T)
 			}
 			// The out register must point back at (1,1).
-			nr, nc, ok := g.Arch.Neighbor(m.R, m.C, arch.Dir(m.Idx))
+			nr, nc, ok := g.Fab.LinkNeighbor(m.R, m.C, arch.Dir(m.Idx))
 			if !ok || nr != 1 || nc != 1 {
 				t.Errorf("out target %v does not deliver to (1,1)", m)
 			}
@@ -219,7 +219,7 @@ func TestOperandTargets(t *testing.T) {
 }
 
 func TestCapacity(t *testing.T) {
-	g := New(arch.Default(2, 2), 2)
+	g := New(arch.DefaultFabric(2, 2), 2)
 	if g.Capacity(ClassFU) != 1 || g.Capacity(ClassOut) != 1 || g.Capacity(ClassReg) != 1 {
 		t.Error("unit capacities wrong")
 	}
@@ -229,7 +229,7 @@ func TestCapacity(t *testing.T) {
 }
 
 func TestNumVirtualNodes(t *testing.T) {
-	g := New(arch.Default(64, 64), 128)
+	g := New(arch.DefaultFabric(64, 64), 128)
 	// 64*64 PEs * 128 cycles * 13 resources/PE — millions of nodes, never allocated.
 	if got := g.NumVirtualNodes(); got != int64(64*64*128*13) {
 		t.Errorf("NumVirtualNodes = %d", got)
@@ -237,13 +237,13 @@ func TestNumVirtualNodes(t *testing.T) {
 }
 
 func TestSuccessorsStayInBoundsAndMonotone(t *testing.T) {
-	g := New(arch.Default(2, 2), 3)
+	g := New(arch.DefaultFabric(2, 2), 3)
 	check := func(n Node) {
 		g.Succ(n, func(m Node) {
 			if m.T < n.T || m.T > n.T+1 {
 				t.Errorf("non-monotone successor %v of %v", m, n)
 			}
-			if !g.Arch.InBounds(m.R, m.C) {
+			if !g.Fab.InBounds(m.R, m.C) {
 				t.Errorf("out-of-bounds successor %v of %v", m, n)
 			}
 		})

@@ -53,7 +53,8 @@ type Activity struct {
 
 // MeasureActivity extracts activity factors from a configuration.
 func MeasureActivity(cfg *arch.Config) Activity {
-	a := cfg.CGRA
+	a := cfg.Fabric
+	ndirs := arch.Dir(a.NumLinkDirs())
 	var fu, routes, rfports, mem int
 	for r := 0; r < a.Rows; r++ {
 		for c := 0; c < a.Cols; c++ {
@@ -62,7 +63,7 @@ func MeasureActivity(cfg *arch.Config) Activity {
 				if in.Op.IsCompute() {
 					fu++
 				}
-				for d := arch.Dir(0); d < arch.NumDirs; d++ {
+				for d := arch.Dir(0); d < ndirs; d++ {
 					if in.OutSel[d].Kind != arch.OpdNone {
 						routes++
 					}
@@ -75,7 +76,7 @@ func MeasureActivity(cfg *arch.Config) Activity {
 				}
 				note(in.SrcA)
 				note(in.SrcB)
-				for d := arch.Dir(0); d < arch.NumDirs; d++ {
+				for d := arch.Dir(0); d < ndirs; d++ {
 					note(in.OutSel[d])
 				}
 				rfports += len(reads) + len(in.RegWr)
@@ -91,7 +92,7 @@ func MeasureActivity(cfg *arch.Config) Activity {
 	slots := float64(a.NumPEs() * cfg.II)
 	return Activity{
 		FU:    float64(fu) / slots,
-		Route: float64(routes) / (slots * float64(arch.NumDirs)),
+		Route: float64(routes) / (slots * float64(ndirs)),
 		RF:    float64(rfports) / (slots * float64(a.RFReadPorts+a.RFWritePorts)),
 		Mem:   float64(mem) / (slots * 2),
 	}
@@ -108,10 +109,10 @@ func (m Model) PerformanceMOPS(cfg *arch.Config) float64 {
 // configuration.
 func (m Model) PowerMW(cfg *arch.Config) float64 {
 	act := MeasureActivity(cfg)
-	pes := float64(cfg.CGRA.NumPEs())
+	pes := float64(cfg.Fabric.NumPEs())
 	perPE := m.StaticMW +
 		act.FU*m.FUMW +
-		act.Route*float64(arch.NumDirs)*m.RouteMW +
+		act.Route*float64(cfg.Fabric.NumLinkDirs())*m.RouteMW +
 		act.RF*m.RFMW +
 		act.Mem*m.MemMW
 	return pes * perPE

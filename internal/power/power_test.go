@@ -45,7 +45,7 @@ func TestActivityBounds(t *testing.T) {
 }
 
 func TestIdleArrayBurnsOnlyStatic(t *testing.T) {
-	cfg := arch.NewConfig(arch.Default(4, 4), 4)
+	cfg := arch.NewConfig(arch.DefaultFabric(4, 4), 4)
 	m := Default40nm()
 	want := 16 * m.StaticMW
 	if got := m.PowerMW(cfg); got != want {
@@ -60,8 +60,8 @@ func TestEfficiencyFavorsUtilization(t *testing.T) {
 	// A half-utilized configuration on the same array must be less power
 	// efficient than a fully utilized one — the static share dominates.
 	m := Default40nm()
-	full := arch.NewConfig(arch.Default(2, 2), 2)
-	half := arch.NewConfig(arch.Default(2, 2), 2)
+	full := arch.NewConfig(arch.DefaultFabric(2, 2), 2)
+	half := arch.NewConfig(arch.DefaultFabric(2, 2), 2)
 	mk := func(cfg *arch.Config, every int) {
 		i := 0
 		for r := 0; r < 2; r++ {
@@ -89,8 +89,8 @@ func TestEfficiencyFavorsUtilization(t *testing.T) {
 
 func TestPowerMonotoneInActivity(t *testing.T) {
 	m := Default40nm()
-	idle := arch.NewConfig(arch.Default(2, 2), 1)
-	busy := arch.NewConfig(arch.Default(2, 2), 1)
+	idle := arch.NewConfig(arch.DefaultFabric(2, 2), 1)
+	busy := arch.NewConfig(arch.DefaultFabric(2, 2), 1)
 	for r := 0; r < 2; r++ {
 		for c := 0; c < 2; c++ {
 			in := busy.At(r, c, 0)
@@ -107,7 +107,7 @@ func TestPowerMonotoneInActivity(t *testing.T) {
 
 func TestEfficiencyZeroPowerGuard(t *testing.T) {
 	m := Model{ClockMHz: 510}
-	cfg := arch.NewConfig(arch.Default(1, 1), 1)
+	cfg := arch.NewConfig(arch.DefaultFabric(1, 1), 1)
 	if got := m.EfficiencyMOPSPerMW(cfg); got != 0 {
 		t.Errorf("zero-power efficiency = %v", got)
 	}
@@ -124,7 +124,7 @@ func TestHiMapBeatsBaselineEfficiencyShape(t *testing.T) {
 	m := Default40nm()
 	effHi := m.EfficiencyMOPSPerMW(res.Config)
 	// Build an artificial low-utilization config of the same size.
-	low := arch.NewConfig(arch.Default(8, 8), 8)
+	low := arch.NewConfig(arch.DefaultFabric(8, 8), 8)
 	in := low.At(0, 0, 0)
 	in.Op = ir.OpAdd
 	in.SrcA = arch.FromConst(1)

@@ -60,14 +60,14 @@ const (
 	resMWR
 	resSrc0
 	resSrc1
-	resOut0                // +direction (4)
-	resReg0  = resOut0 + 4 // +register index (up to 16)
+	resOut0                // +direction (up to arch.MaxDirs)
+	resReg0  = resOut0 + 8 // +register index (up to 16)
 	resRegW  = resReg0 + 16
 	resKinds = resRegW + 16
 )
 
 func (e *Emitter) resKey(kind, r, c, t int) uint64 {
-	a := e.Cfg.CGRA
+	a := e.Cfg.Fabric
 	return ((uint64(kind)*uint64(a.Rows)+uint64(r))*uint64(a.Cols)+uint64(c))*uint64(e.Cfg.II) + uint64(e.wrapT(t))
 }
 

@@ -328,8 +328,8 @@ func (s *Session) RouteSink(net *Net, targets []mrrg.Node) (Path, float64, error
 		}
 	}
 
-	pes := s.G.Arch.NumPEs()
-	cols := s.G.Arch.Cols
+	pes := s.G.Fab.NumPEs()
+	cols := s.G.Fab.Cols
 	slots := s.G.SlotsPerPE()
 	sc := &s.sc
 	sc.begin((maxT - tBase + 1) * pes * slots)

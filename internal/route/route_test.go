@@ -11,7 +11,7 @@ import (
 func fu(t, r, c int) mrrg.Node { return mrrg.Node{T: t, R: r, C: c, Class: mrrg.ClassFU} }
 
 func TestRouteNeighborSingleHop(t *testing.T) {
-	g := mrrg.New(arch.Default(2, 2), 4)
+	g := mrrg.New(arch.DefaultFabric(2, 2), 4)
 	s := NewSession(g)
 	src := fu(0, 0, 0)
 	s.Reserve(src)
@@ -34,7 +34,7 @@ func TestRouteNeighborSingleHop(t *testing.T) {
 }
 
 func TestRouteSamePELaterCycleUsesRF(t *testing.T) {
-	g := mrrg.New(arch.Default(1, 1), 4)
+	g := mrrg.New(arch.DefaultFabric(1, 1), 4)
 	s := NewSession(g)
 	src := fu(0, 0, 0)
 	s.Reserve(src)
@@ -59,7 +59,7 @@ func TestRouteSamePELaterCycleUsesRF(t *testing.T) {
 }
 
 func TestRouteWrapsModulo(t *testing.T) {
-	g := mrrg.New(arch.Default(2, 1), 3)
+	g := mrrg.New(arch.DefaultFabric(2, 1), 3)
 	s := NewSession(g)
 	src := fu(2, 0, 0)
 	s.Reserve(src)
@@ -77,7 +77,7 @@ func TestRouteWrapsModulo(t *testing.T) {
 }
 
 func TestNetFanoutSharesPrefix(t *testing.T) {
-	g := mrrg.New(arch.Default(1, 3), 8)
+	g := mrrg.New(arch.DefaultFabric(1, 3), 8)
 	s := NewSession(g)
 	src := fu(0, 0, 0)
 	s.Reserve(src)
@@ -103,7 +103,7 @@ func TestCongestionAvoidance(t *testing.T) {
 	// (1,1)t2 port A/B. Both shortest routes want OUT nodes of distinct
 	// PEs, so no conflict; instead test direct oversubscription: two nets
 	// forced through the same out register.
-	g := mrrg.New(arch.Default(1, 2), 2)
+	g := mrrg.New(arch.DefaultFabric(1, 2), 2)
 	s := NewSession(g)
 	srcA := fu(0, 0, 0)
 	s.Reserve(srcA)
@@ -139,7 +139,7 @@ func TestCongestionAvoidance(t *testing.T) {
 }
 
 func TestReleaseRestoresOccupancy(t *testing.T) {
-	g := mrrg.New(arch.Default(2, 2), 4)
+	g := mrrg.New(arch.DefaultFabric(2, 2), 4)
 	s := NewSession(g)
 	src := fu(0, 0, 0)
 	s.Reserve(src)
@@ -162,7 +162,7 @@ func TestReleaseRestoresOccupancy(t *testing.T) {
 
 func TestDeterministicRouting(t *testing.T) {
 	for trial := 0; trial < 3; trial++ {
-		g := mrrg.New(arch.Default(3, 3), 6)
+		g := mrrg.New(arch.DefaultFabric(3, 3), 6)
 		s := NewSession(g)
 		src := fu(0, 0, 0)
 		s.Reserve(src)
@@ -171,7 +171,7 @@ func TestDeterministicRouting(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		g2 := mrrg.New(arch.Default(3, 3), 6)
+		g2 := mrrg.New(arch.DefaultFabric(3, 3), 6)
 		s2 := NewSession(g2)
 		s2.Reserve(src)
 		net2 := s2.NewNet(src)
@@ -191,7 +191,7 @@ func TestDeterministicRouting(t *testing.T) {
 }
 
 func TestEmitterSingleHop(t *testing.T) {
-	g := mrrg.New(arch.Default(1, 2), 2)
+	g := mrrg.New(arch.DefaultFabric(1, 2), 2)
 	s := NewSession(g)
 	src := fu(0, 0, 0)
 	s.Reserve(src)
@@ -201,7 +201,7 @@ func TestEmitterSingleHop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := arch.NewConfig(arch.Default(1, 2), 2)
+	cfg := arch.NewConfig(arch.DefaultFabric(1, 2), 2)
 	e := NewEmitter(cfg)
 	if err := e.PlaceOp(src, ir.OpMul, "prod"); err != nil {
 		t.Fatal(err)
@@ -229,7 +229,7 @@ func TestEmitterSingleHop(t *testing.T) {
 }
 
 func TestEmitterDetectsConflicts(t *testing.T) {
-	cfg := arch.NewConfig(arch.Default(1, 2), 2)
+	cfg := arch.NewConfig(arch.DefaultFabric(1, 2), 2)
 	e := NewEmitter(cfg)
 	n := fu(0, 0, 0)
 	if err := e.PlaceOp(n, ir.OpMul, "a"); err != nil {
@@ -244,7 +244,7 @@ func TestEmitterDetectsConflicts(t *testing.T) {
 }
 
 func TestEmitterRegisterPath(t *testing.T) {
-	g := mrrg.New(arch.Default(1, 1), 4)
+	g := mrrg.New(arch.DefaultFabric(1, 1), 4)
 	s := NewSession(g)
 	src := fu(0, 0, 0)
 	s.Reserve(src)
@@ -254,7 +254,7 @@ func TestEmitterRegisterPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := arch.NewConfig(arch.Default(1, 1), 4)
+	cfg := arch.NewConfig(arch.DefaultFabric(1, 1), 4)
 	e := NewEmitter(cfg)
 	if err := e.PlaceOp(src, ir.OpMul, "p"); err != nil {
 		t.Fatal(err)
@@ -292,7 +292,7 @@ func TestEmitterRegisterPath(t *testing.T) {
 // never off by a multiple of II (which would silently deliver a value
 // from the wrong block initiation).
 func TestPathLatencyEqualsScheduleDistance(t *testing.T) {
-	g := mrrg.New(arch.Default(3, 3), 4)
+	g := mrrg.New(arch.DefaultFabric(3, 3), 4)
 	s := NewSession(g)
 	for _, tc := range []struct{ srcT, dstT, dr, dc int }{
 		{0, 1, 0, 1}, // one hop, one cycle
@@ -333,7 +333,7 @@ func TestPathLatencyEqualsScheduleDistance(t *testing.T) {
 // TestRouteImpossibleTiming: a consumer earlier than any reachable time
 // must fail rather than wrap around.
 func TestRouteImpossibleTiming(t *testing.T) {
-	g := mrrg.New(arch.Default(2, 2), 8)
+	g := mrrg.New(arch.DefaultFabric(2, 2), 8)
 	s := NewSession(g)
 	src := fu(5, 0, 0)
 	s.Reserve(src)
@@ -346,7 +346,7 @@ func TestRouteImpossibleTiming(t *testing.T) {
 
 // TestResetKeepHistoryPreservesEscalation.
 func TestResetKeepHistoryPreservesEscalation(t *testing.T) {
-	g := mrrg.New(arch.Default(1, 2), 2)
+	g := mrrg.New(arch.DefaultFabric(1, 2), 2)
 	s := NewSession(g)
 	src := fu(0, 0, 0)
 	s.Reserve(src)
@@ -376,7 +376,7 @@ func TestResetKeepHistoryPreservesEscalation(t *testing.T) {
 // TestNetOutRegisterHoldPath: long same-direction delays can ride the
 // output register's hold.
 func TestNetOutRegisterHoldPath(t *testing.T) {
-	g := mrrg.New(arch.Default(1, 2), 6)
+	g := mrrg.New(arch.DefaultFabric(1, 2), 6)
 	s := NewSession(g)
 	src := fu(0, 0, 0)
 	s.Reserve(src)

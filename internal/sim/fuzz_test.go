@@ -131,3 +131,47 @@ func TestFuzzRandomKernels(t *testing.T) {
 		t.Error("no random kernel compiled; generator or mapper too restrictive")
 	}
 }
+
+// TestFuzzRandomKernelsFabrics re-runs the randomized-kernel pipeline
+// probe on the non-default fabrics: the torus link provider and the
+// boundary-column memory layout. As with the mesh fuzz, kernels whose
+// structure admits no mapping may fail compilation, but everything that
+// compiles must pass cycle-accurate validation — loads and stores
+// included, which on the boundary fabric exercises the memory-capability
+// constraint through placement, routing, replication, and the simulator.
+func TestFuzzRandomKernelsFabrics(t *testing.T) {
+	fabrics := []arch.Fabric{
+		{CGRA: arch.Default(4, 4), Topology: arch.TopoTorus},
+		{CGRA: arch.Default(4, 4), Topology: arch.TopoTorus, Mem: arch.MemBoundary},
+	}
+	for _, fab := range fabrics {
+		fab := fab
+		t.Run(fab.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(20260806))
+			compiled, failed := 0, 0
+			n := 12
+			if testing.Short() {
+				n = 5
+			}
+			for i := 0; i < n; i++ {
+				k := randomKernel(rng, i)
+				if err := k.Validate(); err != nil {
+					t.Fatalf("%s: generator produced invalid spec: %v", k.Name, err)
+				}
+				res, err := himap.CompileFabric(k, fab, himap.Options{})
+				if err != nil {
+					failed++
+					continue
+				}
+				compiled++
+				if err := Validate(res.Config, k, res.Block, 2, int64(2000+i)); err != nil {
+					t.Errorf("%s: compiled but failed validation on %s: %v\n  %s", k.Name, fab, err, res.Summary())
+				}
+			}
+			t.Logf("fuzz on %s: %d compiled+validated, %d had no valid mapping", fab, compiled, failed)
+			if compiled == 0 {
+				t.Errorf("no random kernel compiled on %s; fabric constraints too restrictive", fab)
+			}
+		})
+	}
+}

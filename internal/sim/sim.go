@@ -44,7 +44,7 @@ func New(cfg *arch.Config) *Machine {
 		feedPos:  map[portKey]int{},
 		storeLog: map[portKey][]int64{},
 	}
-	a := cfg.CGRA
+	a := cfg.Fabric
 	alloc := func(depth int) [][][]int64 {
 		out := make([][][]int64, a.Rows)
 		for r := range out {
@@ -56,8 +56,8 @@ func New(cfg *arch.Config) *Machine {
 		return out
 	}
 	m.regs = alloc(a.NumRegs)
-	m.outRegs = alloc(int(arch.NumDirs))
-	m.inLatch = alloc(int(arch.NumDirs))
+	m.outRegs = alloc(int(arch.MaxDirs))
+	m.inLatch = alloc(int(arch.MaxDirs))
 	return m
 }
 
@@ -79,14 +79,16 @@ func (m *Machine) Cycle() int { return m.cycle }
 
 // Step executes one cycle.
 func (m *Machine) Step() error {
-	a := m.Cfg.CGRA
+	a := m.Cfg.Fabric
 	slot := m.cycle % m.Cfg.II
 
-	// Latch neighbor outputs from the end of the previous cycle.
+	// Latch neighbor outputs from the end of the previous cycle; links
+	// follow the fabric topology (wrap-around on a torus, diagonals on
+	// mesh+diag), so a missing link latches zero.
 	for r := 0; r < a.Rows; r++ {
 		for c := 0; c < a.Cols; c++ {
-			for d := arch.Dir(0); d < arch.NumDirs; d++ {
-				nr, nc, ok := a.Neighbor(r, c, d)
+			for d := arch.Dir(0); d < arch.MaxDirs; d++ {
+				nr, nc, ok := a.LinkNeighbor(r, c, d)
 				if !ok {
 					m.inLatch[r][c][d] = 0
 					continue
@@ -100,8 +102,8 @@ func (m *Machine) Step() error {
 
 	type commit struct {
 		r, c    int
-		outs    [arch.NumDirs]int64
-		outOK   [arch.NumDirs]bool
+		outs    [arch.MaxDirs]int64
+		outOK   [arch.MaxDirs]bool
 		regWr   []arch.RegWrite
 		regVals []int64
 	}
@@ -111,6 +113,9 @@ func (m *Machine) Step() error {
 		for c := 0; c < a.Cols; c++ {
 			in := &m.Cfg.Slots[r][c][slot]
 			var memVal int64
+			if (in.MemRead.Active || in.MemWrite.Active) && !a.MemCapable(r, c) {
+				return fmt.Errorf("sim: PE(%d,%d) slot %d: memory access on compute-only PE", r, c, slot)
+			}
 			if in.MemRead.Active {
 				k := portKey{r, c, slot}
 				pos := m.feedPos[k]
@@ -162,7 +167,7 @@ func (m *Machine) Step() error {
 			}
 
 			cm := commit{r: r, c: c}
-			for d := arch.Dir(0); d < arch.NumDirs; d++ {
+			for d := arch.Dir(0); d < arch.MaxDirs; d++ {
 				sel := in.OutSel[d]
 				switch sel.Kind {
 				case arch.OpdNone, arch.OpdHold:
@@ -198,7 +203,7 @@ func (m *Machine) Step() error {
 
 	// End-of-cycle commit.
 	for _, cm := range commits {
-		for d := 0; d < int(arch.NumDirs); d++ {
+		for d := 0; d < int(arch.MaxDirs); d++ {
 			if cm.outOK[d] {
 				m.outRegs[cm.r][cm.c][d] = cm.outs[d]
 			}

@@ -10,7 +10,7 @@ import (
 // TestMachineNeighborLatency: a value sent through an output register at
 // cycle t is visible on the neighbor's input latch at t+1.
 func TestMachineNeighborLatency(t *testing.T) {
-	cfg := arch.NewConfig(arch.Default(1, 2), 2)
+	cfg := arch.NewConfig(arch.DefaultFabric(1, 2), 2)
 	// PE(0,0) slot 0: load a value from memory, send east.
 	in := cfg.At(0, 0, 0)
 	in.MemRead = arch.MemOp{Active: true, Tag: "A@0"}
@@ -36,7 +36,7 @@ func TestMachineNeighborLatency(t *testing.T) {
 // TestMachineRegisterFile: a value written to a register at cycle t is
 // readable from t+1 and holds until overwritten.
 func TestMachineRegisterFile(t *testing.T) {
-	cfg := arch.NewConfig(arch.Default(1, 1), 4)
+	cfg := arch.NewConfig(arch.DefaultFabric(1, 1), 4)
 	in := cfg.At(0, 0, 0)
 	in.MemRead = arch.MemOp{Active: true, Tag: "A@0"}
 	in.RegWr = []arch.RegWrite{{Reg: 2, Src: arch.FromMem()}}
@@ -61,7 +61,7 @@ func TestMachineRegisterFile(t *testing.T) {
 // cycle as a write observes the pre-write value (write commits at end of
 // cycle).
 func TestMachineSameCycleRegReadGetsOldValue(t *testing.T) {
-	cfg := arch.NewConfig(arch.Default(1, 1), 2)
+	cfg := arch.NewConfig(arch.DefaultFabric(1, 1), 2)
 	in := cfg.At(0, 0, 0)
 	in.MemRead = arch.MemOp{Active: true, Tag: "A@0"}
 	in.Op = ir.OpAdd
@@ -84,7 +84,7 @@ func TestMachineSameCycleRegReadGetsOldValue(t *testing.T) {
 // TestMachineOutputRegisterHold: an undriven output register keeps its
 // value; Hold() is explicit retention.
 func TestMachineOutputRegisterHold(t *testing.T) {
-	cfg := arch.NewConfig(arch.Default(1, 2), 3)
+	cfg := arch.NewConfig(arch.DefaultFabric(1, 2), 3)
 	in := cfg.At(0, 0, 0)
 	in.MemRead = arch.MemOp{Active: true, Tag: "A@0"}
 	in.OutSel[arch.East] = arch.FromMem()
@@ -109,7 +109,7 @@ func TestMachineOutputRegisterHold(t *testing.T) {
 // TestMachineALUOperandErrors: tapping the ALU without a compute op is a
 // simulation error (and is also rejected by config validation).
 func TestMachineALUOperandErrors(t *testing.T) {
-	cfg := arch.NewConfig(arch.Default(1, 1), 1)
+	cfg := arch.NewConfig(arch.DefaultFabric(1, 1), 1)
 	in := cfg.At(0, 0, 0)
 	in.MemWrite = arch.MemOp{Active: true, Src: arch.FromALU(), Tag: "O@0"}
 	m := New(cfg)
@@ -120,7 +120,7 @@ func TestMachineALUOperandErrors(t *testing.T) {
 
 // TestMachineMemOperandWithoutRead errors.
 func TestMachineMemOperandWithoutRead(t *testing.T) {
-	cfg := arch.NewConfig(arch.Default(1, 1), 1)
+	cfg := arch.NewConfig(arch.DefaultFabric(1, 1), 1)
 	in := cfg.At(0, 0, 0)
 	in.Op = ir.OpAdd
 	in.SrcA = arch.FromMem()
@@ -133,7 +133,7 @@ func TestMachineMemOperandWithoutRead(t *testing.T) {
 
 // TestMachineExhaustedFeedReadsZero: pops beyond the stream read zero.
 func TestMachineExhaustedFeedReadsZero(t *testing.T) {
-	cfg := arch.NewConfig(arch.Default(1, 1), 1)
+	cfg := arch.NewConfig(arch.DefaultFabric(1, 1), 1)
 	in := cfg.At(0, 0, 0)
 	in.MemRead = arch.MemOp{Active: true, Tag: "A@0"}
 	in.MemWrite = arch.MemOp{Active: true, Src: arch.FromMem(), Tag: "O@0"}
@@ -149,7 +149,7 @@ func TestMachineExhaustedFeedReadsZero(t *testing.T) {
 
 // TestMachineCycleCount.
 func TestMachineCycleCount(t *testing.T) {
-	cfg := arch.NewConfig(arch.Default(2, 2), 3)
+	cfg := arch.NewConfig(arch.DefaultFabric(2, 2), 3)
 	m := New(cfg)
 	if err := m.Run(7); err != nil {
 		t.Fatal(err)
@@ -162,7 +162,7 @@ func TestMachineCycleCount(t *testing.T) {
 // TestMachineBorderInputsAreZero: input latches on the array border read
 // zero rather than garbage.
 func TestMachineBorderInputsAreZero(t *testing.T) {
-	cfg := arch.NewConfig(arch.Default(1, 1), 1)
+	cfg := arch.NewConfig(arch.DefaultFabric(1, 1), 1)
 	in := cfg.At(0, 0, 0)
 	in.Op = ir.OpAdd
 	in.SrcA = arch.FromIn(arch.North)

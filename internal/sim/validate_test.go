@@ -173,7 +173,7 @@ func TestBitstreamRoundTripExecutes(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("bitstream: %d bytes total, max %d words/PE", bs.TotalBytes(), bs.MaxWordsPerPE())
-	dec, err := bs.Decode(res.Config.CGRA)
+	dec, err := bs.Decode(res.Config.Fabric)
 	if err != nil {
 		t.Fatal(err)
 	}

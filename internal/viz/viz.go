@@ -23,7 +23,7 @@ func cellOf(in *arch.Instr) string {
 	case in.MemWrite.Active:
 		return "st"
 	}
-	for d := arch.Dir(0); d < arch.NumDirs; d++ {
+	for d := arch.Dir(0); d < arch.MaxDirs; d++ {
 		if in.OutSel[d].Kind != arch.OpdNone && in.OutSel[d].Kind != arch.OpdHold {
 			return "rt"
 		}
@@ -43,8 +43,8 @@ func ScheduleGrid(cfg *arch.Config) string {
 	width := 5
 	for t := 0; t < cfg.II; t++ {
 		fmt.Fprintf(&b, "cycle %d (of II=%d)\n", t, cfg.II)
-		for r := 0; r < cfg.CGRA.Rows; r++ {
-			for c := 0; c < cfg.CGRA.Cols; c++ {
+		for r := 0; r < cfg.Fabric.Rows; r++ {
+			for c := 0; c < cfg.Fabric.Cols; c++ {
 				cell := cellOf(&cfg.Slots[r][c][t])
 				if len(cell) > width-1 {
 					cell = cell[:width-1]
@@ -75,8 +75,8 @@ func PEProgram(cfg *arch.Config, r, c int) string {
 // UtilizationMap renders per-PE FU utilization as a percentage grid.
 func UtilizationMap(cfg *arch.Config) string {
 	var b strings.Builder
-	for r := 0; r < cfg.CGRA.Rows; r++ {
-		for c := 0; c < cfg.CGRA.Cols; c++ {
+	for r := 0; r < cfg.Fabric.Rows; r++ {
+		for c := 0; c < cfg.Fabric.Cols; c++ {
 			busy := 0
 			for t := 0; t < cfg.II; t++ {
 				if cfg.Slots[r][c][t].Op.IsCompute() {
@@ -93,8 +93,8 @@ func UtilizationMap(cfg *arch.Config) string {
 // OpHistogram counts configured operations by kind.
 func OpHistogram(cfg *arch.Config) map[ir.OpKind]int {
 	out := map[ir.OpKind]int{}
-	for r := 0; r < cfg.CGRA.Rows; r++ {
-		for c := 0; c < cfg.CGRA.Cols; c++ {
+	for r := 0; r < cfg.Fabric.Rows; r++ {
+		for c := 0; c < cfg.Fabric.Cols; c++ {
 			for t := 0; t < cfg.II; t++ {
 				op := cfg.Slots[r][c][t].Op
 				if op != ir.OpNop {

@@ -26,8 +26,8 @@ func TestScheduleGridShape(t *testing.T) {
 		t.Errorf("grid has %d cycle headers, want %d", got, cfg.II)
 	}
 	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
-	if len(lines) != cfg.II*(1+cfg.CGRA.Rows) {
-		t.Errorf("grid has %d lines, want %d", len(lines), cfg.II*(1+cfg.CGRA.Rows))
+	if len(lines) != cfg.II*(1+cfg.Fabric.Rows) {
+		t.Errorf("grid has %d lines, want %d", len(lines), cfg.II*(1+cfg.Fabric.Rows))
 	}
 	if !strings.Contains(s, "mul") || !strings.Contains(s, "add") {
 		t.Error("GEMM grid should show mul and add cells")

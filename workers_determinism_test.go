@@ -126,3 +126,50 @@ func TestBaselineChainsReproducible(t *testing.T) {
 		t.Fatal("baseline multi-chain run is not reproducible for a fixed seed")
 	}
 }
+
+// TestWorkersDeterminismFabrics extends the determinism contract to the
+// non-default fabrics: torus links and the boundary-column memory layout
+// must also be pure functions of (kernel, fabric, Options minus Workers),
+// on both the cold and the memoized path.
+func TestWorkersDeterminismFabrics(t *testing.T) {
+	cases := []struct {
+		kernel string
+		fab    himap.Fabric
+	}{
+		{"GEMM", himap.Fabric{CGRA: himap.DefaultCGRA(8, 8), Topology: himap.TopoTorus}},
+		{"ATAX", himap.Fabric{CGRA: himap.DefaultCGRA(8, 8), Topology: himap.TopoTorus}},
+		{"FW", himap.Fabric{CGRA: himap.DefaultCGRA(8, 8), Topology: himap.TopoTorus, Mem: himap.MemBoundary}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.kernel+"/"+tc.fab.String(), func(t *testing.T) {
+			k, err := himap.KernelByName(tc.kernel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r1, err := himap.CompileFabric(k, tc.fab, himap.Options{Workers: 1, Memo: himap.NewMemo()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			j1 := configJSON(t, r1)
+
+			check := func(label string, opts himap.Options) {
+				r, err := himap.CompileFabric(k, tc.fab, opts)
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				if !bytes.Equal(j1, configJSON(t, r)) {
+					t.Fatalf("%s produced a different configuration than Workers=1", label)
+				}
+			}
+			check("Workers=4 cold", himap.Options{Workers: 4, Memo: himap.NewMemo()})
+
+			warm := himap.NewMemo()
+			if _, err := himap.CompileFabric(k, tc.fab, himap.Options{Workers: 1, Memo: warm}); err != nil {
+				t.Fatal(err)
+			}
+			check("Workers=1 memoized", himap.Options{Workers: 1, Memo: warm})
+			check("Workers=4 memoized", himap.Options{Workers: 4, Memo: warm})
+		})
+	}
+}
