@@ -398,15 +398,20 @@ func BenchmarkAblationRelayPolicy(b *testing.B) {
 // kept) between iterations — the exact reuse pattern of the routing
 // rounds in step 3. allocs/op is the hot-path discipline metric: the
 // generation-stamped scratch arrays keep steady-state Dijkstra runs free
-// of per-search map and heap-interface allocations.
+// of per-search map and heap-interface allocations. The benchmark is
+// also the regression gate: after timing, it measures steady-state
+// allocations on the warmed session and fails outright if they exceed
+// the floor recorded when the lean hot path landed (PR 1) — 29 per
+// 3-sink net (net bookkeeping, per-sink Path, OperandTargets slices),
+// with zero coming from the Dijkstra search itself.
+const routeSinkAllocFloor = 29
+
 func BenchmarkRouteSinkHotPath(b *testing.B) {
 	g := mrrg.New(arch.DefaultFabric(8, 8), 8)
 	s := route.NewSession(g)
 	src := mrrg.Node{T: 0, R: 0, C: 0, Class: mrrg.ClassFU}
 	sinks := [][3]int{{4, 2, 2}, {8, 4, 4}, {14, 7, 7}}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	iter := func() {
 		s.ResetKeepHistory()
 		s.Reserve(src)
 		net := s.NewNet(src)
@@ -415,6 +420,15 @@ func BenchmarkRouteSinkHotPath(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		iter()
+	}
+	b.StopTimer()
+	if allocs := testing.AllocsPerRun(10, iter); allocs > routeSinkAllocFloor {
+		b.Fatalf("router hot path regressed: %.0f allocs per routed net, floor is %d", allocs, routeSinkAllocFloor)
 	}
 }
 

@@ -1,0 +1,132 @@
+// Command himaplint runs the repository's custom static-analysis suite
+// (internal/analysis): four stdlib-only go/ast + go/types analyzers that
+// enforce the invariants the compiler cannot — mapping determinism,
+// typed-error discipline, the //himap:noalloc hot-path contract, and
+// sync-primitive hygiene.
+//
+// Usage:
+//
+//	go run ./cmd/himaplint ./...            # whole module (the CI gate)
+//	go run ./cmd/himaplint ./internal/route # one package
+//	go run ./cmd/himaplint -json ./...      # machine-readable findings
+//
+// Exit status: 0 when clean, 1 when any analyzer reports an unsuppressed
+// diagnostic, 2 on load or type-check failure. Suppress an accepted
+// exception in place with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on (or directly above) the flagged line; the reason is mandatory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"himap/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: himaplint [-json] <packages>\n\npatterns: ./... for the whole module, or package directories\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	prog, err := analysis.Load(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "himaplint: %v\n", err)
+		os.Exit(2)
+	}
+
+	match, err := packageFilter(prog, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "himaplint: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := analysis.Run(prog, analysis.All(), analysis.DefaultScope())
+	kept := diags[:0]
+	for _, d := range diags {
+		if match(d.Pos.Filename) {
+			kept = append(kept, d)
+		}
+	}
+	diags = kept
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "himaplint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			rel := d
+			if r, err := filepath.Rel(prog.Root, d.Pos.Filename); err == nil {
+				rel.Pos.Filename = r
+			}
+			fmt.Println(rel)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "himaplint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}
+
+// packageFilter resolves CLI patterns to a filename predicate. "./..."
+// (or "...") accepts everything; "./dir/..." accepts the subtree; a bare
+// directory accepts files directly inside it.
+func packageFilter(prog *analysis.Program, patterns []string) (func(string) bool, error) {
+	type rule struct {
+		dir     string
+		subtree bool
+	}
+	var rules []rule
+	for _, pat := range patterns {
+		subtree := false
+		if strings.HasSuffix(pat, "/...") {
+			subtree = true
+			pat = strings.TrimSuffix(pat, "/...")
+			if pat == "." || pat == "" {
+				return func(string) bool { return true }, nil
+			}
+		}
+		abs, err := filepath.Abs(pat)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := os.Stat(abs); err != nil {
+			return nil, fmt.Errorf("pattern %q: %w", pat, err)
+		}
+		rules = append(rules, rule{dir: abs, subtree: subtree})
+	}
+	return func(file string) bool {
+		dir := filepath.Dir(file)
+		for _, r := range rules {
+			if dir == r.dir {
+				return true
+			}
+			if r.subtree && strings.HasPrefix(dir, r.dir+string(filepath.Separator)) {
+				return true
+			}
+		}
+		return false
+	}, nil
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"himap"
 )
@@ -169,6 +170,82 @@ func TestKernelPinBelowMinimumRejected(t *testing.T) {
 	_, err := himap.Compile(&k, himap.DefaultCGRA(8, 8), freshOpts())
 	if !errors.Is(err, himap.ErrBlockPinConflict) {
 		t.Fatalf("Compile: want ErrBlockPinConflict, got %v", err)
+	}
+}
+
+// TestErrConfigInvalidFromLoadConfig: every rejection in the JSON config
+// decoder — malformed syntax, unknown fields, bad version, bad topology,
+// inconsistent caps grid — carries ErrConfigInvalid, so callers dispatch
+// on the class without parsing messages.
+func TestErrConfigInvalidFromLoadConfig(t *testing.T) {
+	cases := map[string]string{
+		"malformed":   `{"version": 1,`,
+		"unknown":     `{"version": 1, "bogus_field": true}`,
+		"bad version": `{"version": 99}`,
+		"topology":    `{"version": 2, "rows": 4, "cols": 4, "topology": "hypercube"}`,
+		"mem policy":  `{"version": 2, "rows": 4, "cols": 4, "mem_policy": "everywhere-but-corners"}`,
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := himap.LoadConfig(strings.NewReader(in))
+			if err == nil {
+				t.Fatal("expected decode failure")
+			}
+			if !errors.Is(err, himap.ErrConfigInvalid) {
+				t.Fatalf("want ErrConfigInvalid, got %v", err)
+			}
+		})
+	}
+}
+
+// TestErrConfigInvalidFromParsers: the string parsers reject unknown
+// names with the same class as the decoder.
+func TestErrConfigInvalidFromParsers(t *testing.T) {
+	if _, err := himap.ParseTopology("hypercube"); !errors.Is(err, himap.ErrConfigInvalid) {
+		t.Errorf("ParseTopology: want ErrConfigInvalid, got %v", err)
+	}
+	if _, err := himap.ParseMemPolicy("everywhere-but-corners"); !errors.Is(err, himap.ErrConfigInvalid) {
+		t.Errorf("ParseMemPolicy: want ErrConfigInvalid, got %v", err)
+	}
+}
+
+// TestErrConfigInvalidFromValidate: the simulator's precondition checks
+// are typed too — a non-positive block count is a caller bug surfaced as
+// ErrConfigInvalid, not a panic or an anonymous error.
+func TestErrConfigInvalidFromValidate(t *testing.T) {
+	res, err := himap.Compile(himap.KernelGEMM(), himap.DefaultCGRA(4, 4), freshOpts())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if verr := himap.Validate(res, 0, 7); !errors.Is(verr, himap.ErrConfigInvalid) {
+		t.Fatalf("Validate(nblocks=0): want ErrConfigInvalid, got %v", verr)
+	}
+}
+
+// TestBaselineTypedErrors: the conventional mapper's failure modes are
+// recoverable through the public aliases — the scalability wall and the
+// wall-clock budget each surface as a typed struct via errors.As.
+func TestBaselineTypedErrors(t *testing.T) {
+	k := himap.KernelGEMM()
+	cg := himap.DefaultCGRA(4, 4)
+	block := []int{2, 2, 2}
+
+	_, err := himap.CompileBaseline(k, cg, block, himap.BaselineOptions{MaxNodes: 1})
+	var tooLarge himap.BaselineTooLargeError
+	if !errors.As(err, &tooLarge) {
+		t.Fatalf("want BaselineTooLargeError, got %v", err)
+	}
+	if tooLarge.Max != 1 {
+		t.Errorf("wall not carried: %+v", tooLarge)
+	}
+
+	_, err = himap.CompileBaseline(k, cg, block, himap.BaselineOptions{TimeBudget: time.Nanosecond})
+	var timeout himap.BaselineTimeoutError
+	if !errors.As(err, &timeout) {
+		t.Fatalf("want BaselineTimeoutError, got %v", err)
+	}
+	if timeout.Budget != time.Nanosecond {
+		t.Errorf("budget not carried: %+v", timeout)
 	}
 }
 

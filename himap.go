@@ -69,6 +69,12 @@ type (
 	BaselineOptions = baseline.Options
 	// BaselineResult is a completed conventional mapping.
 	BaselineResult = baseline.Result
+	// BaselineTooLargeError reports a DFG past the conventional mapper's
+	// scalability wall (BaselineOptions.MaxNodes); match with errors.As.
+	BaselineTooLargeError = baseline.ErrTooLarge
+	// BaselineTimeoutError reports an exhausted
+	// BaselineOptions.TimeBudget; match with errors.As.
+	BaselineTimeoutError = baseline.ErrTimeout
 	// PowerModel converts configurations to MOPS and mW.
 	PowerModel = power.Model
 	// Scheme is a block-size-independent systolic space-time template.

@@ -1,0 +1,167 @@
+// Package analysis is the repo's custom static-analysis layer: a small
+// stdlib-only (go/parser + go/ast + go/types, no x/tools) driver plus
+// four project-specific analyzers that guard invariants no Go compiler
+// checks but the rest of the repository depends on:
+//
+//   - determinism: the mapping a compile emits must be a pure function of
+//     (kernel, fabric, options minus Workers). Wall-clock reads, globally
+//     seeded randomness, and map-iteration order reaching slices, output,
+//     or candidate selection all break that silently.
+//   - errdiscipline: every failure escaping an internal package must be
+//     typed — wrapping a diag sentinel or a package-level sentinel with
+//     %w — so errors.Is/As dispatch keeps working through the public API.
+//   - noalloc: functions annotated //himap:noalloc (the router's Dijkstra
+//     scratch / heap hot path) must not contain allocating constructs.
+//   - lockcheck: mutexes must not be copied, and goroutines must not
+//     capture loop variables by reference.
+//
+// The driver (Load + Run) parses and type-checks every package of the
+// module from source, runs each analyzer over its configured package
+// scope, and filters diagnostics through //lint:ignore suppressions.
+// cmd/himaplint is the CLI; the fixture harness in fixture.go backs the
+// golden tests under testdata/.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one analyzer finding at one source position.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"pos"`
+	Message  string         `json:"message"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass is one analyzer run over one type-checked package. Run functions
+// report findings through Reportf; the driver applies suppression and
+// ordering afterwards.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// NoAlloc is the module-wide annotation fact set: every function
+	// object carrying a //himap:noalloc annotation, keyed by its
+	// *types.Func. The noalloc analyzer uses it to enforce that annotated
+	// functions only call other annotated functions (or builtins).
+	NoAlloc map[*types.Func]bool
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named check. Run inspects the Pass's package and
+// reports findings; it must not retain the Pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All returns the four project analyzers in catalogue order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, ErrDiscipline, NoAlloc, LockCheck}
+}
+
+// Scope maps an analyzer name to the module package paths it runs on.
+// A nil entry (or missing key) means "every package of the module".
+// Paths are import paths; an entry applies to the exact package.
+type Scope map[string][]string
+
+// DefaultScope is the repository's enforcement configuration:
+//
+//   - determinism runs on the compile-path packages, where mapping
+//     decisions are made (the paper pipeline, the router, the systolic
+//     search, the baseline mapper, and the MRRG).
+//   - errdiscipline runs on the compile-path packages plus the
+//     architecture model and the simulator — the packages whose failures
+//     escape through the public API and must stay errors.Is-able.
+//   - noalloc and lockcheck are annotation/type driven and run module-wide.
+func DefaultScope() Scope {
+	compilePath := []string{
+		"himap/internal/himap",
+		"himap/internal/route",
+		"himap/internal/systolic",
+		"himap/internal/baseline",
+		"himap/internal/mrrg",
+	}
+	return Scope{
+		Determinism.Name:   compilePath,
+		ErrDiscipline.Name: append(append([]string(nil), compilePath...), "himap/internal/arch", "himap/internal/sim"),
+		NoAlloc.Name:       nil,
+		LockCheck.Name:     nil,
+	}
+}
+
+func (s Scope) includes(analyzer, pkgPath string) bool {
+	paths, ok := s[analyzer]
+	if !ok || paths == nil {
+		return true
+	}
+	for _, p := range paths {
+		if p == pkgPath {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the analyzers over every package of the program within
+// the scope, applies //lint:ignore suppression, and returns the
+// surviving diagnostics sorted by position.
+func Run(prog *Program, analyzers []*Analyzer, scope Scope) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			if !scope.includes(a.Name, pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     prog.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				NoAlloc:  prog.NoAlloc,
+			}
+			a.Run(pass)
+			pkgDiags = append(pkgDiags, pass.diags...)
+		}
+		out = append(out, filterSuppressed(prog.Fset, pkg.Files, pkgDiags)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}

@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Determinism guards the repo's reproducibility contract: a mapping is a
+// pure function of (kernel, fabric, options minus Workers), bit-identical
+// across runs and worker counts. In the compile-path packages it flags
+// the three ways that contract silently erodes:
+//
+//  1. time.Now — wall-clock reads feeding mapping decisions.
+//  2. Globally seeded randomness — package-level math/rand functions draw
+//     from a process-global, randomly seeded source. Explicitly seeded
+//     generators (rand.New(rand.NewSource(seed))) are deterministic and
+//     stay allowed.
+//  3. Map iteration order escaping — a `for range m` over a map whose
+//     body appends to an outer slice (without a subsequent sort of that
+//     slice), writes output, or selects a candidate into an outer
+//     variable emits Go's randomized map order into the mapping.
+//
+// Wall-clock reads that only feed tracing spans or opt-in wall-time
+// budgets are suppressed at the use site with //lint:ignore determinism,
+// keeping the exception list explicit and reviewed.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flags wall-clock reads, global randomness, and map-iteration-order leaks in the compile path",
+	Run:  runDeterminism,
+}
+
+// seededRandConstructors are the math/rand entry points that build
+// explicitly seeded generators; everything else at package level draws
+// from the global source.
+var seededRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runDeterminism(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil {
+				return true
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			pkgLevel := sig != nil && sig.Recv() == nil
+			switch funcPkgPath(fn) {
+			case "time":
+				if fn.Name() == "Now" {
+					p.Reportf(call.Pos(), "time.Now in the compile path: wall-clock reads break mapping reproducibility")
+				}
+			case "math/rand", "math/rand/v2":
+				if pkgLevel && !seededRandConstructors[fn.Name()] {
+					p.Reportf(call.Pos(), "globally seeded rand.%s: use rand.New(rand.NewSource(seed)) so results are reproducible", fn.Name())
+				}
+			}
+			return true
+		})
+		eachStmtList(f, func(list []ast.Stmt) {
+			for i, st := range list {
+				if rs, ok := st.(*ast.RangeStmt); ok {
+					checkMapRange(p, rs, list[i+1:])
+				}
+			}
+		})
+	}
+}
+
+// checkMapRange analyzes one range statement; rest is the statement tail
+// of the enclosing block (where a post-loop sort may appear).
+func checkMapRange(p *Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	tv, ok := p.Info.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+
+	// The loop's key/value objects: anything derived from them carries
+	// iteration order.
+	iterVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := p.Info.Defs[id]; obj != nil {
+				iterVars[obj] = true
+			} else if obj := p.Info.Uses[id]; obj != nil {
+				iterVars[obj] = true
+			}
+		}
+	}
+
+	// appendTargets maps an outer variable receiving `x = append(x, ...)`
+	// to the position of the first such append; cleared if a subsequent
+	// sort re-establishes a canonical order.
+	appendTargets := map[types.Object]token.Pos{}
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if writesOutput(p.Info, n) {
+				p.Reportf(n.Pos(), "map iteration order reaches output: iterate sorted keys instead")
+			}
+		case *ast.AssignStmt:
+			checkMapRangeAssign(p, rs, n, iterVars, appendTargets)
+		}
+		return true
+	})
+
+	for obj, pos := range appendTargets {
+		if sortedAfter(p.Info, rest, obj) {
+			continue
+		}
+		p.Reportf(pos, "appends to %s in map iteration order without a subsequent sort: order is randomized per run", obj.Name())
+	}
+}
+
+// checkMapRangeAssign classifies one assignment inside a map-range body.
+func checkMapRangeAssign(p *Pass, rs *ast.RangeStmt, as *ast.AssignStmt, iterVars map[types.Object]bool, appendTargets map[types.Object]token.Pos) {
+	if as.Tok == token.DEFINE {
+		return // fresh locals die with the iteration
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue // indexed/field stores are keyed writes, not ordered emission
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil || declaredWithin(obj, rs) {
+			continue // loop-local state
+		}
+		var rhs ast.Expr
+		if i < len(as.Rhs) {
+			rhs = as.Rhs[i]
+		} else if len(as.Rhs) == 1 {
+			rhs = as.Rhs[0]
+		}
+		if as.Tok == token.ASSIGN {
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && calleeBuiltin(p.Info, call) == "append" {
+				if base, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && p.Info.Uses[base] == obj {
+					if _, seen := appendTargets[obj]; !seen {
+						appendTargets[obj] = as.Pos()
+					}
+					continue
+				}
+			}
+			if usesObject(p.Info, rhs, iterVars) {
+				p.Reportf(as.Pos(), "assigns %s from map iteration state: candidate selection depends on randomized order (sort the keys first)", id.Name)
+			}
+			continue
+		}
+		// Compound assignment: commutative integer reductions (+=, *=,
+		// |=, &=, ^=) are order-independent; float and string reductions
+		// are not.
+		t := obj.Type()
+		if (isStringType(t) || !isIntegerType(t)) && usesObject(p.Info, rhs, iterVars) {
+			p.Reportf(as.Pos(), "non-commutative reduction into %s over map iteration order", id.Name)
+		}
+	}
+}
+
+// writesOutput reports whether the call prints or writes — fmt print
+// family or a Write/WriteString/WriteByte method.
+func writesOutput(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	name := fn.Name()
+	if funcPkgPath(fn) == "fmt" {
+		switch name {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return true
+		}
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		switch name {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			return true
+		}
+	}
+	return false
+}
+
+// sortedAfter reports whether any statement of the tail sorts obj (a
+// sort.* or slices.Sort* call mentioning it).
+func sortedAfter(info *types.Info, rest []ast.Stmt, obj types.Object) bool {
+	target := map[types.Object]bool{obj: true}
+	for _, st := range rest {
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil {
+				return true
+			}
+			switch funcPkgPath(fn) {
+			case "sort", "slices":
+				if usesObject(info, call, target) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ErrDiscipline enforces the typed-error contract of PR 2: every failure
+// escaping an internal package wraps a diag sentinel (or a package-level
+// sentinel that the pipeline classifies) so callers dispatch with
+// errors.Is/As through the public API. Inside function bodies of the
+// scoped packages it flags:
+//
+//   - fmt.Errorf calls whose format string carries no %w verb — the
+//     constructed error starts a fresh, untyped chain;
+//   - errors.New calls — dynamic sentinels that nothing can errors.Is
+//     against.
+//
+// Package-level `var ErrX = errors.New(...)` sentinels (and package-level
+// fmt.Errorf chains) are the approved pattern and stay unflagged: they
+// are identity-comparable, so errors.Is reaches them. The check is
+// intraprocedural and assumes any constructed error may escape an
+// exported function — helpers propagate their returns, so the
+// construction site is the choke point.
+var ErrDiscipline = &Analyzer{
+	Name: "errdiscipline",
+	Doc:  "flags untyped error construction (fmt.Errorf without %w, dynamic errors.New) in internal packages",
+	Run:  runErrDiscipline,
+}
+
+func runErrDiscipline(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(p.Info, call)
+				if fn == nil {
+					return true
+				}
+				switch funcPkgPath(fn) + "." + fn.Name() {
+				case "errors.New":
+					p.Reportf(call.Pos(), "dynamic errors.New: wrap a diag sentinel or package sentinel with %%w so errors.Is works through the API")
+				case "fmt.Errorf":
+					if len(call.Args) == 0 {
+						return true
+					}
+					lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						return true // non-literal format: cannot judge statically
+					}
+					if !strings.Contains(lit.Value, "%w") {
+						p.Reportf(call.Pos(), "fmt.Errorf without %%w: the error escapes untyped; wrap a diag sentinel or package sentinel")
+					}
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// LoadDir parses and type-checks one standalone directory as a single
+// package (imports resolve against the standard library only) — the
+// fixture loader behind the testdata golden tests. The //himap:noalloc
+// fact set is collected from the fixture package itself.
+func LoadDir(dir string) (*Program, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	path := filepath.Base(dir)
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking fixture %s: %w", dir, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	prog := &Program{
+		Fset:    fset,
+		Module:  path,
+		Root:    dir,
+		Pkgs:    []*Package{pkg},
+		NoAlloc: map[*types.Func]bool{},
+		byPath:  map[string]*Package{path: pkg},
+	}
+	collectNoAllocFacts(pkg, prog.NoAlloc)
+	return prog, nil
+}
+
+// Expectation is one `// want "regexp"` annotation in a fixture file.
+type Expectation struct {
+	File    string
+	Line    int
+	Pattern *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// Expectations extracts every `// want "..."` comment of the program's
+// files. The pattern is a regexp matched against diagnostic messages
+// reported on the same line.
+func (p *Program) Expectations() ([]Expectation, error) {
+	var out []Expectation
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pat, err := regexp.Compile(strings.ReplaceAll(m[1], `\"`, `"`))
+					if err != nil {
+						return nil, fmt.Errorf("analysis: bad want pattern %q: %w", m[1], err)
+					}
+					pos := p.Fset.Position(c.Pos())
+					out = append(out, Expectation{File: pos.Filename, Line: pos.Line, Pattern: pat})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// CheckFixture runs the analyzer over the fixture program and verifies
+// the diagnostics against the // want annotations: every want must match
+// a diagnostic on its line, and every diagnostic must be wanted. It
+// returns a list of mismatch descriptions (empty when the fixture is
+// green).
+func CheckFixture(prog *Program, a *Analyzer) ([]string, error) {
+	wants, err := prog.Expectations()
+	if err != nil {
+		return nil, err
+	}
+	diags := Run(prog, []*Analyzer{a}, nil)
+	var problems []string
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if matched[i] || d.Pos.Filename != w.File || d.Pos.Line != w.Line {
+				continue
+			}
+			if w.Pattern.MatchString(d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matching %q", filepath.Base(w.File), w.Line, w.Pattern))
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	return problems, nil
+}

@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockCheck guards the concurrency substrate: sync primitives must never
+// be copied after first use, and worker goroutines must take loop state
+// as explicit parameters instead of capturing loop variables. It flags:
+//
+//   - mutex copies — parameters, results, value receivers, assignments,
+//     range values, and call arguments whose type (transitively, by
+//     value) contains a sync.Mutex, sync.RWMutex, sync.WaitGroup,
+//     sync.Once, or sync.Cond;
+//   - goroutine closures referencing an enclosing loop's iteration
+//     variable. Go ≥ 1.22 makes the capture per-iteration, but the
+//     repo's worker-pool idiom (internal/par) passes loop state as
+//     arguments so the data flow is explicit and index-addressed result
+//     slots stay obviously race-free.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "flags copied sync primitives and goroutine closures capturing loop variables",
+	Run:  runLockCheck,
+}
+
+var syncLockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true, "Cond": true,
+}
+
+// containsLock reports whether t holds a sync primitive by value.
+func containsLock(t types.Type) bool {
+	switch u := t.(type) {
+	case *types.Named:
+		if obj := u.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncLockTypes[obj.Name()] {
+			return true
+		}
+		return containsLock(u.Underlying())
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem())
+	}
+	return false
+}
+
+func runLockCheck(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkLockSignature(p, fd)
+			if fd.Body != nil {
+				checkLockBody(p, fd)
+				checkLoopCapture(p, fd)
+			}
+		}
+	}
+}
+
+func checkLockSignature(p *Pass, fd *ast.FuncDecl) {
+	fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil && containsLock(recv.Type()) {
+		p.Reportf(fd.Recv.Pos(), "method %s has a value receiver containing a sync primitive: use a pointer receiver", fd.Name.Name)
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if v := sig.Params().At(i); containsLock(v.Type()) {
+			p.Reportf(fd.Type.Params.Pos(), "parameter %s of %s copies a sync primitive: pass a pointer", v.Name(), fd.Name.Name)
+		}
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if v := sig.Results().At(i); containsLock(v.Type()) {
+			p.Reportf(fd.Type.Results.Pos(), "result of %s returns a sync primitive by value", fd.Name.Name)
+		}
+	}
+}
+
+func checkLockBody(p *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if copiesLockValue(p.Info, rhs) {
+					p.Reportf(n.Pos(), "assignment copies a value containing a sync primitive")
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if t := exprOrDefType(p.Info, n.Value); t != nil && containsLock(t) {
+					p.Reportf(n.Value.Pos(), "range value copies an element containing a sync primitive: range over indices or pointers")
+				}
+			}
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if copiesLockValue(p.Info, arg) {
+					p.Reportf(arg.Pos(), "call argument copies a value containing a sync primitive")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// exprOrDefType resolves the type of e, falling back to the defined
+// object for idents introduced by := (range clauses record those in
+// Defs, not Types).
+func exprOrDefType(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// copiesLockValue reports whether evaluating e copies an existing value
+// holding a sync primitive. Fresh composite literals and address-taking
+// do not copy prior state and pass.
+func copiesLockValue(info *types.Info, e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.CompositeLit, *ast.UnaryExpr, *ast.CallExpr, *ast.FuncLit:
+		return false
+	}
+	tv, ok := info.Types[ast.Unparen(e)]
+	return ok && tv.Type != nil && containsLock(tv.Type)
+}
+
+// checkLoopCapture flags goroutine closures that reference an enclosing
+// loop's iteration variables.
+func checkLoopCapture(p *Pass, fd *ast.FuncDecl) {
+	// Collect every loop variable together with its loop's source range.
+	type loopVar struct {
+		obj  types.Object
+		loop ast.Node
+	}
+	var vars []loopVar
+	addDefs := func(loop ast.Node, exprs ...ast.Expr) {
+		for _, e := range exprs {
+			id, ok := e.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			if obj := p.Info.Defs[id]; obj != nil {
+				vars = append(vars, loopVar{obj, loop})
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			addDefs(n, n.Key, n.Value)
+		case *ast.ForStmt:
+			if as, ok := n.Init.(*ast.AssignStmt); ok {
+				addDefs(n, as.Lhs...)
+			}
+		}
+		return true
+	})
+	if len(vars) == 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			use := p.Info.Uses[id]
+			if use == nil {
+				return true
+			}
+			for _, lv := range vars {
+				if use == lv.obj && gs.Pos() >= lv.loop.Pos() && gs.End() <= lv.loop.End() {
+					p.Reportf(id.Pos(), "goroutine captures loop variable %s: pass it as an argument to the closure", id.Name)
+				}
+			}
+			return true
+		})
+		return true
+	})
+}

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression grammar:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The comment suppresses diagnostics of the named analyzer (or of every
+// analyzer, for the name "all") on the line it sits on and on the line
+// directly below — so it works both as an end-of-line annotation and as
+// a standalone comment above the flagged statement. A reason is
+// mandatory: an ignore without one suppresses nothing, so every accepted
+// exception documents why it is sound.
+type ignoreDirective struct {
+	analyzer string
+	line     int
+}
+
+// collectIgnores scans the files' comments for //lint:ignore directives,
+// returning one entry per covered line, keyed by filename.
+func collectIgnores(fset *token.FileSet, files []*ast.File) map[string][]ignoreDirective {
+	out := map[string][]ignoreDirective{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 { // analyzer name plus a non-empty reason
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				out[pos.Filename] = append(out[pos.Filename],
+					ignoreDirective{analyzer: fields[0], line: pos.Line},
+					ignoreDirective{analyzer: fields[0], line: pos.Line + 1})
+			}
+		}
+	}
+	return out
+}
+
+// filterSuppressed drops diagnostics covered by an ignore directive for
+// their analyzer (or "all").
+func filterSuppressed(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	if len(diags) == 0 {
+		return nil
+	}
+	ignores := collectIgnores(fset, files)
+	var out []Diagnostic
+	for _, d := range diags {
+		if !suppressed(ignores[d.Pos.Filename], d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func suppressed(dirs []ignoreDirective, d Diagnostic) bool {
+	for _, dir := range dirs {
+		if dir.line == d.Pos.Line && (dir.analyzer == "all" || dir.analyzer == d.Analyzer) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,84 @@
+// Package determinism is the golden fixture for the determinism
+// analyzer: wall-clock reads, globally seeded randomness, and map
+// iteration order escaping into slices, output, or candidate selection.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now in the compile path"
+}
+
+func globalRand() int {
+	return rand.Intn(8) // want "globally seeded rand.Intn"
+}
+
+// seededRand is the approved pattern: an explicitly seeded generator is
+// reproducible, so nothing is flagged.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(8)
+}
+
+func leakOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "appends to keys in map iteration order without a subsequent sort"
+	}
+	return keys
+}
+
+// sortedKeys re-establishes a canonical order after the loop, so the
+// append is allowed.
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func printOrder(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "map iteration order reaches output"
+	}
+}
+
+func pickCandidate(m map[string]int) string {
+	best := ""
+	for k := range m {
+		best = k // want "assigns best from map iteration state"
+	}
+	return best
+}
+
+// sumInts is a commutative integer reduction: order-independent, allowed.
+func sumInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func sumFloats(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want "non-commutative reduction into total"
+	}
+	return total
+}
+
+// keyedWrite stores under the iteration key — a keyed write is
+// order-independent, so nothing is flagged.
+func keyedWrite(m map[string]int, out map[string]int) {
+	for k, v := range m {
+		out[k] = v + 1
+	}
+}

@@ -1,0 +1,36 @@
+// Package errdiscipline is the golden fixture for the errdiscipline
+// analyzer: untyped error construction inside function bodies is
+// flagged; package-level sentinels and %w-wrapped chains are approved.
+package errdiscipline
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is the approved sentinel pattern: package-level errors.New is
+// identity-comparable, so errors.Is reaches it.
+var ErrBad = errors.New("bad input")
+
+func untypedNew() error {
+	return errors.New("boom") // want "dynamic errors.New"
+}
+
+func untypedErrorf(n int) error {
+	return fmt.Errorf("n out of range: %d", n) // want "fmt.Errorf without %w"
+}
+
+// wrapped ties the failure to the sentinel: errors.Is(err, ErrBad) holds.
+func wrapped(n int) error {
+	return fmt.Errorf("n out of range: %d: %w", n, ErrBad)
+}
+
+// rewrap keeps an upstream typed chain intact.
+func rewrap(err error) error {
+	return fmt.Errorf("decode: %w", err)
+}
+
+// dynamicFormat cannot be judged statically, so it is not flagged.
+func dynamicFormat(format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}

@@ -1,0 +1,57 @@
+// Package lockcheck is the golden fixture for the lockcheck analyzer:
+// copied sync primitives (receivers, parameters, assignments, range
+// values) and goroutine closures capturing loop variables.
+package lockcheck
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c counter) bump() { // want "value receiver containing a sync primitive"
+	c.n++
+}
+
+// ok uses a pointer receiver: the mutex is shared, not copied.
+func (c *counter) ok() { c.n++ }
+
+func copyParam(c counter) {} // want "parameter c of copyParam copies a sync primitive"
+
+func copyAssign(c *counter) {
+	d := *c // want "assignment copies a value containing a sync primitive"
+	_ = d.n
+}
+
+func rangeCopy(cs []counter) {
+	for _, c := range cs { // want "range value copies an element containing a sync primitive"
+		_ = c.n
+	}
+}
+
+func loopCapture(items []int) {
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = items[i] // want "goroutine captures loop variable i"
+		}()
+	}
+	wg.Wait()
+}
+
+// loopParam passes the loop variable as an argument — the repo's worker
+// idiom — so nothing is flagged.
+func loopParam(items []int) {
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_ = items[i]
+		}(i)
+	}
+	wg.Wait()
+}

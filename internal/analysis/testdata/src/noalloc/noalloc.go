@@ -1,0 +1,68 @@
+// Package noalloc is the golden fixture for the noalloc analyzer: inside
+// a //himap:noalloc function every allocating construct is flagged, the
+// annotation is transitive across calls, and append into persistent
+// scratch stays allowed as amortized warm-up growth.
+package noalloc
+
+//himap:noalloc
+func helper(x int) int { return x + 1 }
+
+func cold() int { return 0 }
+
+//himap:noalloc
+func sink(v any) { _ = v }
+
+type heap []int
+
+// push appends through the pointer deref — persistent scratch, allowed.
+//
+//himap:noalloc
+func (h *heap) push(v int) {
+	q := append(*h, v)
+	*h = q
+}
+
+//himap:noalloc
+func hot(xs []int, scratch *[]int) int {
+	s := 0
+	for _, x := range xs {
+		s += helper(x)
+	}
+	*scratch = append(*scratch, s)
+	m := make([]int, 4) // want "builtin make allocates in noalloc function hot"
+	_ = m
+	var local []int
+	local = append(local, s) // want "append grows function-local slice local"
+	_ = local
+	return s
+}
+
+//himap:noalloc
+func callsCold() int {
+	return cold() // want "which is not marked //himap:noalloc"
+}
+
+//himap:noalloc
+func callsSink(v int) {
+	sink(v) // want "boxes int into interface"
+}
+
+//himap:noalloc
+func badConstructs(n int, f func() int) {
+	g := func() int { return n } // want "closure in noalloc function badConstructs"
+	_ = g
+	_ = f()           // want "indirect call in noalloc function badConstructs"
+	xs := []int{1, 2} // want "slice literal allocates"
+	_ = xs
+	defer helper(n) // want "defer in noalloc"
+}
+
+//himap:noalloc
+func concat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+// unannotated may allocate freely: nothing here is flagged.
+func unannotated() []int {
+	return make([]int, 8)
+}

@@ -1,0 +1,26 @@
+// Package suppress is the golden fixture for //lint:ignore handling: a
+// directive with a reason silences its own line and the line below for
+// the named analyzer (or "all"); a wrong analyzer name or a missing
+// reason suppresses nothing.
+package suppress
+
+import "time"
+
+func traced() int64 {
+	//lint:ignore determinism fixture-sanctioned wall-clock read
+	return time.Now().UnixNano()
+}
+
+func wrongAnalyzer() int64 {
+	//lint:ignore noalloc wrong analyzer name does not cover determinism
+	return time.Now().UnixNano() // want "time.Now in the compile path"
+}
+
+func missingReason() int64 {
+	//lint:ignore determinism
+	return time.Now().UnixNano() // want "time.Now in the compile path"
+}
+
+func blanket() int64 {
+	return time.Now().UnixNano() //lint:ignore all end-of-line blanket waiver with reason
+}

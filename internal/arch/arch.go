@@ -12,7 +12,11 @@
 // executes.
 package arch
 
-import "fmt"
+import (
+	"fmt"
+
+	"himap/internal/diag"
+)
 
 // Dir is a link direction. The first four (N/S/E/W) are the classic mesh
 // directions; the remaining four are the diagonal links some fabrics add
@@ -120,6 +124,8 @@ func Default(rows, cols int) CGRA {
 }
 
 // NumPEs returns the PE count.
+//
+//himap:noalloc
 func (c CGRA) NumPEs() int { return c.Rows * c.Cols }
 
 // InBounds reports whether (r, cc) is a valid PE coordinate.
@@ -139,15 +145,15 @@ func (c CGRA) Neighbor(r, cc int, d Dir) (nr, nc int, ok bool) {
 func (c CGRA) Validate() error {
 	switch {
 	case c.Rows < 1 || c.Cols < 1:
-		return fmt.Errorf("arch: array %dx%d", c.Rows, c.Cols)
+		return fmt.Errorf("arch: array %dx%d: %w", c.Rows, c.Cols, diag.ErrConfigInvalid)
 	case c.NumRegs < 1:
-		return fmt.Errorf("arch: %d registers", c.NumRegs)
+		return fmt.Errorf("arch: %d registers: %w", c.NumRegs, diag.ErrConfigInvalid)
 	case c.RFReadPorts < 1 || c.RFWritePorts < 1:
-		return fmt.Errorf("arch: RF ports %dr/%dw", c.RFReadPorts, c.RFWritePorts)
+		return fmt.Errorf("arch: RF ports %dr/%dw: %w", c.RFReadPorts, c.RFWritePorts, diag.ErrConfigInvalid)
 	case c.ConfigDepth < 1:
-		return fmt.Errorf("arch: config depth %d", c.ConfigDepth)
+		return fmt.Errorf("arch: config depth %d: %w", c.ConfigDepth, diag.ErrConfigInvalid)
 	case c.ClockMHz <= 0:
-		return fmt.Errorf("arch: clock %v MHz", c.ClockMHz)
+		return fmt.Errorf("arch: clock %v MHz: %w", c.ClockMHz, diag.ErrConfigInvalid)
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package arch
 import (
 	"encoding/binary"
 	"fmt"
+	"himap/internal/diag"
 
 	"himap/internal/ir"
 )
@@ -72,7 +73,7 @@ func encodeSel(o Operand) (byte, *int64, error) {
 	case OpdHold:
 		return selHold << 5, nil, nil
 	}
-	return 0, nil, fmt.Errorf("arch: unencodable operand %v", o)
+	return 0, nil, fmt.Errorf("arch: unencodable operand %v: %w", o, diag.ErrConfigInvalid)
 }
 
 func decodeSel(b byte, imm int64) Operand {
@@ -96,11 +97,11 @@ func decodeSel(b byte, imm int64) Operand {
 // EncodeInstr packs one instruction into a WordSize(ndirs)-long slice.
 func EncodeInstr(in *Instr, ndirs int) ([]byte, error) {
 	if ndirs < int(NumDirs) || ndirs > int(MaxDirs) {
-		return nil, fmt.Errorf("arch: %d link directions not encodable", ndirs)
+		return nil, fmt.Errorf("arch: %d link directions not encodable: %w", ndirs, diag.ErrConfigInvalid)
 	}
 	for d := ndirs; d < int(MaxDirs); d++ {
 		if in.OutSel[d].Kind != OpdNone {
-			return nil, fmt.Errorf("arch: OutSel %s set but word has %d direction slots", Dir(d), ndirs)
+			return nil, fmt.Errorf("arch: OutSel %s set but word has %d direction slots: %w", Dir(d), ndirs, diag.ErrConfigInvalid)
 		}
 	}
 	w := make([]byte, WordSize(ndirs))
@@ -112,7 +113,7 @@ func EncodeInstr(in *Instr, ndirs int) ([]byte, error) {
 		}
 		if v != nil {
 			if imm != nil && *imm != *v {
-				return 0, fmt.Errorf("arch: instruction needs two immediates (%d, %d); one field available", *imm, *v)
+				return 0, fmt.Errorf("arch: instruction needs two immediates (%d, %d); one field available: %w", *imm, *v, diag.ErrConfigInvalid)
 			}
 			imm = v
 		}
@@ -132,7 +133,7 @@ func EncodeInstr(in *Instr, ndirs int) ([]byte, error) {
 	}
 	rw0, mem, immOff := 3+ndirs, 5+ndirs, 6+ndirs
 	if len(in.RegWr) > 2 {
-		return nil, fmt.Errorf("arch: %d register writes exceed the 2 encodable ports", len(in.RegWr))
+		return nil, fmt.Errorf("arch: %d register writes exceed the 2 encodable ports: %w", len(in.RegWr), diag.ErrConfigInvalid)
 	}
 	for i, rw := range in.RegWr {
 		sel, err2 := note(encodeSel(rw.Src))
@@ -170,10 +171,10 @@ func EncodeInstr(in *Instr, ndirs int) ([]byte, error) {
 // empty.
 func DecodeInstr(w []byte, ndirs int) (*Instr, error) {
 	if ndirs < int(NumDirs) || ndirs > int(MaxDirs) {
-		return nil, fmt.Errorf("arch: %d link directions not decodable", ndirs)
+		return nil, fmt.Errorf("arch: %d link directions not decodable: %w", ndirs, diag.ErrConfigInvalid)
 	}
 	if len(w) != WordSize(ndirs) {
-		return nil, fmt.Errorf("arch: word length %d, want %d", len(w), WordSize(ndirs))
+		return nil, fmt.Errorf("arch: word length %d, want %d: %w", len(w), WordSize(ndirs), diag.ErrConfigInvalid)
 	}
 	rw0, mem, immOff := 3+ndirs, 5+ndirs, 6+ndirs
 	imm := int64(int16(binary.LittleEndian.Uint16(w[immOff:])))
@@ -234,7 +235,7 @@ func Encode(cfg *Config) (*Bitstream, error) {
 			for t := 0; t < cfg.II; t++ {
 				w, err := EncodeInstr(&cfg.Slots[r][c][t], ndirs)
 				if err != nil {
-					return nil, fmt.Errorf("PE(%d,%d) slot %d: %v", r, c, t, err)
+					return nil, fmt.Errorf("PE(%d,%d) slot %d: %v: %w", r, c, t, err, diag.ErrConfigInvalid)
 				}
 				key := string(w)
 				idx, ok := index[key]
@@ -246,8 +247,8 @@ func Encode(cfg *Config) (*Bitstream, error) {
 				bs.Schedule[r][c][t] = idx
 			}
 			if len(bs.Words[r][c]) > a.ConfigDepth {
-				return nil, fmt.Errorf("PE(%d,%d): %d words exceed configuration depth %d",
-					r, c, len(bs.Words[r][c]), a.ConfigDepth)
+				return nil, fmt.Errorf("PE(%d,%d): %d words exceed configuration depth %d: %w",
+					r, c, len(bs.Words[r][c]), a.ConfigDepth, diag.ErrConfigInvalid)
 			}
 		}
 	}

@@ -2,6 +2,7 @@ package arch
 
 import (
 	"fmt"
+	"himap/internal/diag"
 )
 
 // IOSpec correlates one configured memory access with a logical tensor
@@ -63,21 +64,21 @@ func (cfg *Config) Validate() error {
 			for t := 0; t < cfg.II; t++ {
 				in := &cfg.Slots[r][c][t]
 				if err := in.Validate(cfg.Fabric.CGRA); err != nil {
-					return fmt.Errorf("PE(%d,%d) slot %d: %v", r, c, t, err)
+					return fmt.Errorf("PE(%d,%d) slot %d: %v: %w", r, c, t, err, diag.ErrConfigInvalid)
 				}
 				for d := ndirs; d < int(MaxDirs); d++ {
 					if in.OutSel[d].Kind != OpdNone {
-						return fmt.Errorf("PE(%d,%d) slot %d: OutSel %s but fabric has %d link directions",
-							r, c, t, Dir(d), ndirs)
+						return fmt.Errorf("PE(%d,%d) slot %d: OutSel %s but fabric has %d link directions: %w",
+							r, c, t, Dir(d), ndirs, diag.ErrConfigInvalid)
 					}
 				}
 				if (in.MemRead.Active || in.MemWrite.Active) && !cfg.Fabric.MemCapable(r, c) {
-					return fmt.Errorf("PE(%d,%d) slot %d: memory access on compute-only PE", r, c, t)
+					return fmt.Errorf("PE(%d,%d) slot %d: memory access on compute-only PE: %w", r, c, t, diag.ErrConfigInvalid)
 				}
 			}
 			if n := cfg.UniqueInstrs(r, c); n > cfg.Fabric.ConfigDepth {
-				return fmt.Errorf("PE(%d,%d): %d unique instructions exceed configuration memory depth %d",
-					r, c, n, cfg.Fabric.ConfigDepth)
+				return fmt.Errorf("PE(%d,%d): %d unique instructions exceed configuration memory depth %d: %w",
+					r, c, n, cfg.Fabric.ConfigDepth, diag.ErrConfigInvalid)
 			}
 		}
 	}
@@ -146,8 +147,8 @@ func (cfg *Config) CheckDataMemory() error {
 	var err error
 	cfg.eachDataMemNeed(func(r, c, need int) {
 		if err == nil && need > cfg.Fabric.DataMemWords {
-			err = fmt.Errorf("PE(%d,%d): steady-state streaming needs %d data-memory words, have %d",
-				r, c, need, cfg.Fabric.DataMemWords)
+			err = fmt.Errorf("PE(%d,%d): steady-state streaming needs %d data-memory words, have %d: %w",
+				r, c, need, cfg.Fabric.DataMemWords, diag.ErrConfigInvalid)
 		}
 	})
 	return err

@@ -2,6 +2,7 @@ package arch
 
 import (
 	"fmt"
+	"himap/internal/diag"
 	"strings"
 )
 
@@ -44,10 +45,12 @@ func ParseTopology(s string) (Topology, error) {
 	case "diag", "mesh+diag", "meshdiag":
 		return TopoMeshDiag, nil
 	}
-	return TopoMesh, fmt.Errorf("arch: unknown topology %q (want mesh|torus|diag)", s)
+	return TopoMesh, fmt.Errorf("arch: unknown topology %q (want mesh|torus|diag): %w", s, diag.ErrConfigInvalid)
 }
 
 // NumDirs returns how many link directions the topology uses per PE.
+//
+//himap:noalloc
 func (t Topology) NumDirs() int {
 	if t == TopoMeshDiag {
 		return int(MaxDirs)
@@ -56,6 +59,8 @@ func (t Topology) NumDirs() int {
 }
 
 // Wraps reports whether links wrap around the array edges.
+//
+//himap:noalloc
 func (t Topology) Wraps() bool { return t == TopoTorus }
 
 // MemPolicy selects which PEs carry a memory port (load/store capable).
@@ -95,7 +100,7 @@ func ParseMemPolicy(s string) (MemPolicy, error) {
 	case "none":
 		return MemNone, nil
 	}
-	return MemAll, fmt.Errorf("arch: unknown memory policy %q (want all|boundary|none)", s)
+	return MemAll, fmt.Errorf("arch: unknown memory policy %q (want all|boundary|none): %w", s, diag.ErrConfigInvalid)
 }
 
 // PECaps is the capability class of one PE.
@@ -138,6 +143,8 @@ func DefaultFabric(rows, cols int) Fabric {
 }
 
 // NumLinkDirs returns how many direction slots this fabric's PEs use.
+//
+//himap:noalloc
 func (f Fabric) NumLinkDirs() int { return f.Topology.NumDirs() }
 
 // Caps returns the capability class of PE (r, c).
@@ -199,6 +206,8 @@ func (f Fabric) MemPEs() [][2]int {
 // WrapCoord folds (r, c) back into the array for wrap-around
 // topologies; for bounded topologies it returns the coordinate
 // unchanged.
+//
+//himap:noalloc
 func (f Fabric) WrapCoord(r, c int) (int, int) {
 	if !f.Topology.Wraps() {
 		return r, c
@@ -252,10 +261,10 @@ func (f Fabric) Validate() error {
 		return err
 	}
 	if int(f.Topology) >= len(topoNames) {
-		return fmt.Errorf("arch: bad topology %d", f.Topology)
+		return fmt.Errorf("arch: bad topology %d: %w", f.Topology, diag.ErrConfigInvalid)
 	}
 	if int(f.Mem) >= len(memNames) {
-		return fmt.Errorf("arch: bad memory policy %d", f.Mem)
+		return fmt.Errorf("arch: bad memory policy %d: %w", f.Mem, diag.ErrConfigInvalid)
 	}
 	return nil
 }
@@ -271,6 +280,7 @@ func (f Fabric) String() string {
 	return fmt.Sprintf("%s/%s/mem-%s", f.CGRA.String(), f.Topology, f.Mem)
 }
 
+//himap:noalloc
 func mod(a, n int) int {
 	a %= n
 	if a < 0 {

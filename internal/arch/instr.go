@@ -2,6 +2,7 @@ package arch
 
 import (
 	"fmt"
+	"himap/internal/diag"
 	"strings"
 
 	"himap/internal/ir"
@@ -137,54 +138,54 @@ func (in *Instr) regReads() map[int]bool {
 func (in *Instr) Validate(c CGRA) error {
 	reads := in.regReads()
 	if len(reads) > c.RFReadPorts {
-		return fmt.Errorf("arch: instruction reads %d registers, %d read ports", len(reads), c.RFReadPorts)
+		return fmt.Errorf("arch: instruction reads %d registers, %d read ports: %w", len(reads), c.RFReadPorts, diag.ErrConfigInvalid)
 	}
 	for r := range reads {
 		if r < 0 || r >= c.NumRegs {
-			return fmt.Errorf("arch: register read index %d out of %d", r, c.NumRegs)
+			return fmt.Errorf("arch: register read index %d out of %d: %w", r, c.NumRegs, diag.ErrConfigInvalid)
 		}
 	}
 	if len(in.RegWr) > c.RFWritePorts {
-		return fmt.Errorf("arch: instruction writes %d registers, %d write ports", len(in.RegWr), c.RFWritePorts)
+		return fmt.Errorf("arch: instruction writes %d registers, %d write ports: %w", len(in.RegWr), c.RFWritePorts, diag.ErrConfigInvalid)
 	}
 	seenW := map[int]bool{}
 	for _, w := range in.RegWr {
 		if w.Reg < 0 || w.Reg >= c.NumRegs {
-			return fmt.Errorf("arch: register write index %d out of %d", w.Reg, c.NumRegs)
+			return fmt.Errorf("arch: register write index %d out of %d: %w", w.Reg, c.NumRegs, diag.ErrConfigInvalid)
 		}
 		if seenW[w.Reg] {
-			return fmt.Errorf("arch: register %d written twice in one cycle", w.Reg)
+			return fmt.Errorf("arch: register %d written twice in one cycle: %w", w.Reg, diag.ErrConfigInvalid)
 		}
 		seenW[w.Reg] = true
 		if w.Src.Kind == OpdNone || w.Src.Kind == OpdHold {
-			return fmt.Errorf("arch: register write from %v", w.Src)
+			return fmt.Errorf("arch: register write from %v: %w", w.Src, diag.ErrConfigInvalid)
 		}
 	}
 	if in.Op.IsCompute() {
 		if in.SrcA.Kind == OpdNone || in.SrcA.Kind == OpdHold {
-			return fmt.Errorf("arch: compute %v with source A %v", in.Op, in.SrcA)
+			return fmt.Errorf("arch: compute %v with source A %v: %w", in.Op, in.SrcA, diag.ErrConfigInvalid)
 		}
 		if in.Op.Arity() > 1 && (in.SrcB.Kind == OpdNone || in.SrcB.Kind == OpdHold) {
-			return fmt.Errorf("arch: compute %v with source B %v", in.Op, in.SrcB)
+			return fmt.Errorf("arch: compute %v with source B %v: %w", in.Op, in.SrcB, diag.ErrConfigInvalid)
 		}
 	}
 	usesALU := func(o Operand) bool { return o.Kind == OpdALU }
 	if !in.Op.IsCompute() {
 		if usesALU(in.SrcA) || usesALU(in.SrcB) {
-			return fmt.Errorf("arch: non-compute instruction with ALU source operand")
+			return fmt.Errorf("arch: non-compute instruction with ALU source operand: %w", diag.ErrConfigInvalid)
 		}
 		for _, o := range in.OutSel {
 			if usesALU(o) {
-				return fmt.Errorf("arch: OutSel taps ALU but no compute op this cycle")
+				return fmt.Errorf("arch: OutSel taps ALU but no compute op this cycle: %w", diag.ErrConfigInvalid)
 			}
 		}
 		for _, w := range in.RegWr {
 			if usesALU(w.Src) {
-				return fmt.Errorf("arch: RegWr taps ALU but no compute op this cycle")
+				return fmt.Errorf("arch: RegWr taps ALU but no compute op this cycle: %w", diag.ErrConfigInvalid)
 			}
 		}
 		if in.MemWrite.Active && usesALU(in.MemWrite.Src) {
-			return fmt.Errorf("arch: MemWrite taps ALU but no compute op this cycle")
+			return fmt.Errorf("arch: MemWrite taps ALU but no compute op this cycle: %w", diag.ErrConfigInvalid)
 		}
 	}
 	usesMem := func(o Operand) bool { return o.Kind == OpdMem }
@@ -199,7 +200,7 @@ func (in *Instr) Validate(c CGRA) error {
 		memUsed = true
 	}
 	if memUsed && !in.MemRead.Active {
-		return fmt.Errorf("arch: mem operand used but no memory read configured")
+		return fmt.Errorf("arch: mem operand used but no memory read configured: %w", diag.ErrConfigInvalid)
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package arch
 import (
 	"encoding/json"
 	"fmt"
+	"himap/internal/diag"
 	"io"
 	"strings"
 )
@@ -29,6 +30,12 @@ type configJSON struct {
 
 // configFormatVersion is bumped on breaking schema changes.
 const configFormatVersion = 2
+
+// maxConfigDim bounds decoded array dimensions and register counts so a
+// hostile or corrupt file cannot make the decoder allocate gigabytes
+// (capsGrid and validation materialize per-PE state) before validation
+// rejects it. Real fabrics are orders of magnitude below this.
+const maxConfigDim = 4096
 
 func capsGrid(f Fabric) []string {
 	out := make([]string, f.Rows)
@@ -71,10 +78,19 @@ func ReadJSON(r io.Reader) (*Config, error) {
 	dec.DisallowUnknownFields()
 	var cj configJSON
 	if err := dec.Decode(&cj); err != nil {
-		return nil, fmt.Errorf("arch: decoding configuration: %v", err)
+		return nil, fmt.Errorf("arch: decoding configuration: %v: %w", err, diag.ErrConfigInvalid)
 	}
 	if cj.Version < 1 || cj.Version > configFormatVersion {
-		return nil, fmt.Errorf("arch: configuration format version %d, want 1..%d", cj.Version, configFormatVersion)
+		return nil, fmt.Errorf("arch: configuration format version %d, want 1..%d: %w", cj.Version, configFormatVersion, diag.ErrConfigInvalid)
+	}
+	if cj.CGRA.Rows > maxConfigDim || cj.CGRA.Cols > maxConfigDim {
+		return nil, fmt.Errorf("arch: array %dx%d exceeds the %d-per-side decode bound: %w", cj.CGRA.Rows, cj.CGRA.Cols, maxConfigDim, diag.ErrConfigInvalid)
+	}
+	if cj.CGRA.NumRegs > maxConfigDim || cj.CGRA.ConfigDepth > maxConfigDim {
+		return nil, fmt.Errorf("arch: %d registers / depth %d exceed the %d decode bound: %w", cj.CGRA.NumRegs, cj.CGRA.ConfigDepth, maxConfigDim, diag.ErrConfigInvalid)
+	}
+	if cj.II > maxConfigDim {
+		return nil, fmt.Errorf("arch: II = %d exceeds the %d decode bound: %w", cj.II, maxConfigDim, diag.ErrConfigInvalid)
 	}
 	topo, err := ParseTopology(cj.Topology)
 	if err != nil {
@@ -91,28 +107,28 @@ func ReadJSON(r io.Reader) (*Config, error) {
 	if cj.Caps != nil {
 		want := capsGrid(fab)
 		if len(cj.Caps) != len(want) {
-			return nil, fmt.Errorf("arch: caps grid has %d rows for a %d-row array", len(cj.Caps), fab.Rows)
+			return nil, fmt.Errorf("arch: caps grid has %d rows for a %d-row array: %w", len(cj.Caps), fab.Rows, diag.ErrConfigInvalid)
 		}
 		for r := range want {
 			if cj.Caps[r] != want[r] {
-				return nil, fmt.Errorf("arch: caps row %d is %q, inconsistent with mem_pes=%s (%q)",
-					r, cj.Caps[r], mem, want[r])
+				return nil, fmt.Errorf("arch: caps row %d is %q, inconsistent with mem_pes=%s (%q): %w",
+					r, cj.Caps[r], mem, want[r], diag.ErrConfigInvalid)
 			}
 		}
 	}
 	if cj.II < 1 {
-		return nil, fmt.Errorf("arch: II = %d", cj.II)
+		return nil, fmt.Errorf("arch: II = %d: %w", cj.II, diag.ErrConfigInvalid)
 	}
 	if len(cj.Slots) != fab.Rows {
-		return nil, fmt.Errorf("arch: %d slot rows for a %d-row array", len(cj.Slots), fab.Rows)
+		return nil, fmt.Errorf("arch: %d slot rows for a %d-row array: %w", len(cj.Slots), fab.Rows, diag.ErrConfigInvalid)
 	}
 	for r, row := range cj.Slots {
 		if len(row) != fab.Cols {
-			return nil, fmt.Errorf("arch: row %d has %d columns, want %d", r, len(row), fab.Cols)
+			return nil, fmt.Errorf("arch: row %d has %d columns, want %d: %w", r, len(row), fab.Cols, diag.ErrConfigInvalid)
 		}
 		for c, stream := range row {
 			if len(stream) != cj.II {
-				return nil, fmt.Errorf("arch: PE(%d,%d) stream length %d, want II %d", r, c, len(stream), cj.II)
+				return nil, fmt.Errorf("arch: PE(%d,%d) stream length %d, want II %d: %w", r, c, len(stream), cj.II, diag.ErrConfigInvalid)
 			}
 		}
 	}

@@ -119,7 +119,7 @@ func CompileFabric(k *kernel.Kernel, cg arch.Fabric, block []int, opts Options) 
 	if err := cg.Validate(); err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := time.Now() //lint:ignore determinism wall-clock span timing only; does not influence mapping
 	deadline := time.Time{}
 	if opts.TimeBudget > 0 {
 		deadline = start.Add(opts.TimeBudget)
@@ -131,7 +131,7 @@ func CompileFabric(k *kernel.Kernel, cg arch.Fabric, block []int, opts Options) 
 	if lower := ir.BoxSize(block) * len(k.Body); lower > opts.MaxNodes {
 		return nil, ErrTooLarge{Nodes: lower, Max: opts.MaxNodes}
 	}
-	buildStart := time.Now()
+	buildStart := time.Now() //lint:ignore determinism wall-clock span timing only; does not influence mapping
 	d, err := k.BuildDFG(block)
 	if err != nil {
 		return nil, err
@@ -173,7 +173,7 @@ func CompileFabric(k *kernel.Kernel, cg arch.Fabric, block []int, opts Options) 
 	totalMoves := 0
 	var lastErr error
 	for ii := mii; ii <= opts.MaxII; ii++ {
-		if !deadline.IsZero() && time.Now().After(deadline) {
+		if !deadline.IsZero() && time.Now().After(deadline) { //lint:ignore determinism opt-in TimeBudget deadline; documented nondeterminism when set
 			return nil, ErrTimeout{Budget: opts.TimeBudget}
 		}
 		moves := opts.SAMoves
@@ -188,7 +188,7 @@ func CompileFabric(k *kernel.Kernel, cg arch.Fabric, block []int, opts Options) 
 			cost float64
 		}
 		outs := make([]chainOut, opts.Workers)
-		placeStart := time.Now()
+		placeStart := time.Now() //lint:ignore determinism wall-clock span timing only; does not influence mapping
 		par.ForEach(opts.Workers, opts.Workers, func(ci int) {
 			r := rng
 			if ci > 0 {
@@ -217,7 +217,7 @@ func CompileFabric(k *kernel.Kernel, cg arch.Fabric, block []int, opts Options) 
 		}
 		opts.Tracer.Emit(placeSpan)
 		pl := outs[best].pl
-		routeStart := time.Now()
+		routeStart := time.Now() //lint:ignore determinism wall-clock span timing only; does not influence mapping
 		cfg, err := routeAndEmit(d, cg, ii, pl, opts.RouteRound)
 		routeSpan := diag.Span{Stage: "route", Attempt: ii, Wall: time.Since(routeStart)}
 		if err != nil {
@@ -236,7 +236,7 @@ func CompileFabric(k *kernel.Kernel, cg arch.Fabric, block []int, opts Options) 
 			SAMoves:     totalMoves,
 		}, nil
 	}
-	if !deadline.IsZero() && time.Now().After(deadline) {
+	if !deadline.IsZero() && time.Now().After(deadline) { //lint:ignore determinism opt-in TimeBudget deadline; documented nondeterminism when set
 		return nil, ErrTimeout{Budget: opts.TimeBudget}
 	}
 	if lastErr == nil {
@@ -405,7 +405,7 @@ func anneal(d *ir.DFG, cg arch.Fabric, ii, moves int, rng *rand.Rand, deadline t
 	temp := 60.0
 	decay := math.Pow(0.02/temp, 1/float64(moves+1))
 	for mv := 0; mv < moves; mv++ {
-		if mv%4096 == 0 && !deadline.IsZero() && time.Now().After(deadline) {
+		if mv%4096 == 0 && !deadline.IsZero() && time.Now().After(deadline) { //lint:ignore determinism opt-in TimeBudget deadline; documented nondeterminism when set
 			return nil, false, 0
 		}
 		id := rng.Intn(len(d.Nodes))

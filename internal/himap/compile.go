@@ -165,7 +165,7 @@ func CompileFabric(k *kernel.Kernel, fab arch.Fabric, opts Options) (*Result, er
 	if err := k.Validate(); err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start := time.Now() //lint:ignore determinism wall-clock span timing only; does not influence mapping
 
 	front := newContext(k, fab, opts)
 	if err := frontStages.Run(front); err != nil {

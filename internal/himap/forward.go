@@ -2,6 +2,7 @@ package himap
 
 import (
 	"fmt"
+	"himap/internal/diag"
 
 	"himap/internal/ir"
 	"himap/internal/systolic"
@@ -28,7 +29,7 @@ func ApplyForwarding(d *ir.DFG, g *ir.ISDG, m *systolic.Mapping) (*ir.DFG, error
 		case systolic.DepForward:
 			needs = true
 		case systolic.DepInvalid:
-			return nil, fmt.Errorf("himap: dependence %v invalid under %v", dv, m)
+			return nil, fmt.Errorf("himap: dependence %v invalid under %v: %w", dv, m, diag.ErrSchemeInfeasible)
 		}
 	}
 	if !needs {
@@ -99,7 +100,7 @@ func ApplyForwarding(d *ir.DFG, g *ir.ISDG, m *systolic.Mapping) (*ir.DFG, error
 		nd.AddEdge(prev, idMap[edge.To], edge.ToPort)
 	}
 	if err := nd.Validate(); err != nil {
-		return nil, fmt.Errorf("himap: forwarding transform produced invalid DFG: %v", err)
+		return nil, fmt.Errorf("himap: forwarding transform produced invalid DFG: %v: %w", err, diag.ErrSchemeInfeasible)
 	}
 	return nd, nil
 }

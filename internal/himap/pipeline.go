@@ -57,7 +57,7 @@ type Pipeline []Stage
 func (p Pipeline) Run(ctx *CompileContext) error {
 	for _, st := range p {
 		ctx.counters = nil
-		start := time.Now()
+		start := time.Now() //lint:ignore determinism wall-clock span timing only; does not influence mapping
 		err := st.Run(ctx)
 		wall := time.Since(start)
 		ctx.wall[st.Name] += wall

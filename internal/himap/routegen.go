@@ -277,7 +277,7 @@ func (l *layout) routeCanonical(maxRounds int) ([][]canonNet, RouteStats, error)
 		for classIdx, cl := range l.classes {
 			nets, err := l.routeClass(ses, g, classIdx, cl)
 			if err != nil {
-				roundErr = fmt.Errorf("class %d (rep %v): %v", classIdx, l.g.Clusters[cl.Rep].Iter, err)
+				roundErr = fmt.Errorf("class %d (rep %v): %w", classIdx, l.g.Clusters[cl.Rep].Iter, err)
 				break
 			}
 			plans = append(plans, nets)
@@ -315,7 +315,7 @@ func (l *layout) routeCanonical(maxRounds int) ([][]canonNet, RouteStats, error)
 			if len(show) > 4 {
 				show = show[:4]
 			}
-			roundErr = fmt.Errorf("himap: %d resources oversubscribed (e.g. %v)", len(over), show)
+			roundErr = fmt.Errorf("himap: %d resources oversubscribed (e.g. %v): %w", len(over), show, diag.ErrRouteCongested)
 			continue
 		}
 		break
@@ -411,12 +411,12 @@ func (l *layout) routeClass(ses *route.Session, g *mrrg.Graph, classIdx int, cl 
 			} else if abs, ok := l.loadAbs(id); ok {
 				src = abs
 			} else {
-				return nil, fmt.Errorf("himap: load %v has no placement", n)
+				return nil, fmt.Errorf("himap: load %v has no placement: %w", n, diag.ErrPlacementInfeasible)
 			}
 		case n.Kind == ir.OpRoute:
 			pin, ok := l.pinAbs(id)
 			if !ok {
-				return nil, fmt.Errorf("himap: route %v has no pin", n)
+				return nil, fmt.Errorf("himap: route %v has no pin: %w", n, diag.ErrPlacementInfeasible)
 			}
 			src = pin
 		default:
@@ -436,13 +436,13 @@ func (l *layout) routeClass(ses *route.Session, g *mrrg.Graph, classIdx int, cl 
 			case to.Kind.IsCompute():
 				abs, ok := l.nodeAbs(e.To)
 				if !ok {
-					return nil, fmt.Errorf("himap: consumer %v unplaced", to)
+					return nil, fmt.Errorf("himap: consumer %v unplaced: %w", to, diag.ErrPlacementInfeasible)
 				}
 				targets = filterTargets(g.OperandTargets(abs.T, abs.R, abs.C))
 			case to.Kind == ir.OpRoute:
 				pin, ok := l.pinAbs(e.To)
 				if !ok {
-					return nil, fmt.Errorf("himap: route consumer %v has no pin", to)
+					return nil, fmt.Errorf("himap: route consumer %v has no pin: %w", to, diag.ErrPlacementInfeasible)
 				}
 				targets = []mrrg.Node{pin}
 			case to.Kind == ir.OpStore:
@@ -452,14 +452,14 @@ func (l *layout) routeClass(ses *route.Session, g *mrrg.Graph, classIdx int, cl 
 						"himap: no memory-write port reachable for store %s within its region on the %s fabric", to.Name, l.cg)
 				}
 			default:
-				return nil, fmt.Errorf("himap: bad consumer kind %v", to.Kind)
+				return nil, fmt.Errorf("himap: bad consumer kind %v: %w", to.Kind, diag.ErrPlacementInfeasible)
 			}
 			if len(targets) == 0 {
-				return nil, fmt.Errorf("himap: no replicable delivery for %s -> %s (class envelope too tight)", n.Name, to.Name)
+				return nil, fmt.Errorf("himap: no replicable delivery for %s -> %s (class envelope too tight): %w", n.Name, to.Name, diag.ErrReplicaConflict)
 			}
 			path, _, err := ses.RouteSink(cn.net, targets)
 			if err != nil {
-				return nil, fmt.Errorf("net %s -> %s: %v", n.Name, to.Name, err)
+				return nil, fmt.Errorf("net %s -> %s: %w", n.Name, to.Name, err)
 			}
 			cn.Sinks = append(cn.Sinks, canonSink{
 				ConsumerBody:  to.BodyOp,
@@ -545,7 +545,7 @@ func (l *layout) chooseBoundaryLoad(ses *route.Session, classIdx, id int) error 
 			l.loadRel[classIdx][n.BodyOp] = RelPlace{T: t - bt, R: consR - br, C: consC - bc, Kind: PlaceMemRead}
 			return nil
 		}
-		return fmt.Errorf("himap: no memory-read slot for boundary load %v", n)
+		return fmt.Errorf("himap: no memory-read slot for boundary load %v: %w: %w", n, diag.ErrMemPortInfeasible, diag.ErrRouteCongested)
 	}
 	// The consumer sits on a compute-only PE: issue the load on the
 	// nearest memory-capable PE of the cluster's region, early enough for
@@ -602,7 +602,7 @@ func (l *layout) replicate(plans [][]canonNet) (*arch.Config, error) {
 			if !ok {
 				abs, ok = l.loadAbs(n.ID)
 				if !ok {
-					return nil, fmt.Errorf("himap: load %v unplaced at replication", n)
+					return nil, fmt.Errorf("himap: load %v unplaced at replication: %w", n, diag.ErrPlacementInfeasible)
 				}
 			}
 			elem := fmt.Sprintf("%s@%s", n.Tensor, n.Index.Key())
@@ -631,7 +631,7 @@ func (l *layout) replicate(plans [][]canonNet) (*arch.Config, error) {
 			for _, cn := range plans[classIdx] {
 				srcID, ok := l.ix.Find(cn.SrcBody, rep.Iter.Add(dIter).Add(cn.SrcDIter))
 				if !ok {
-					return nil, fmt.Errorf("himap: replication cannot find source (body %d) for member %v", cn.SrcBody, mc.Iter)
+					return nil, fmt.Errorf("himap: replication cannot find source (body %d) for member %v: %w", cn.SrcBody, mc.Iter, diag.ErrReplicaConflict)
 				}
 				tag := fmt.Sprintf("n%d", srcID)
 				for _, sink := range cn.Sinks {
@@ -645,7 +645,7 @@ func (l *layout) replicate(plans [][]canonNet) (*arch.Config, error) {
 					}
 					consID, ok := l.ix.Find(sink.ConsumerBody, rep.Iter.Add(dIter).Add(sink.ConsumerDIter))
 					if !ok {
-						return nil, fmt.Errorf("himap: replication cannot find consumer (body %d) for member %v", sink.ConsumerBody, mc.Iter)
+						return nil, fmt.Errorf("himap: replication cannot find consumer (body %d) for member %v: %w", sink.ConsumerBody, mc.Iter, diag.ErrReplicaConflict)
 					}
 					storeElem := ""
 					if sink.Kind == ir.OpStore {
@@ -661,12 +661,12 @@ func (l *layout) replicate(plans [][]canonNet) (*arch.Config, error) {
 						})
 					}
 					if err := em.EmitPath(shifted, tag, storeElem); err != nil {
-						return nil, fmt.Errorf("himap: replication conflict (class %d member %v): %v", classIdx, mc.Iter, err)
+						return nil, fmt.Errorf("himap: replication conflict (class %d member %v): %w", classIdx, mc.Iter, err)
 					}
 					if sink.Kind.IsCompute() {
 						abs, _ := l.nodeAbs(consID)
 						if err := em.SetOperand(abs, sink.Port, shifted, tag); err != nil {
-							return nil, fmt.Errorf("himap: operand conflict (class %d member %v): %v", classIdx, mc.Iter, err)
+							return nil, fmt.Errorf("himap: operand conflict (class %d member %v): %w", classIdx, mc.Iter, err)
 						}
 					}
 				}

@@ -246,7 +246,7 @@ func tryPlaceIDFG(f *ir.IDFG, fab arch.Fabric, s1, s2, depth int) (*SubMapping, 
 	routeEdge := func(e ir.Edge) error {
 		pn, ok := place[e.From]
 		if !ok {
-			return fmt.Errorf("himap: parent %d unplaced", e.From)
+			return fmt.Errorf("himap: parent %d unplaced: %w", e.From, diag.ErrPlacementInfeasible)
 		}
 		cn := place[e.To]
 		net := netOf[e.From]
@@ -323,7 +323,7 @@ func tryPlaceIDFG(f *ir.IDFG, fab arch.Fabric, s1, s2, depth int) (*SubMapping, 
 			}
 		}
 		if len(cands) == 0 {
-			return nil, fmt.Errorf("himap: no feasible FU slot for %v on (%d,%d,%d)", n, s1, s2, depth)
+			return nil, fmt.Errorf("himap: no feasible FU slot for %v on (%d,%d,%d): %w", n, s1, s2, depth, diag.ErrPlacementInfeasible)
 		}
 		sort.SliceStable(cands, func(i, j int) bool {
 			if cands[i].est != cands[j].est {
@@ -371,7 +371,7 @@ func tryPlaceIDFG(f *ir.IDFG, fab arch.Fabric, s1, s2, depth int) (*SubMapping, 
 			}
 		}
 		if !placed {
-			return nil, fmt.Errorf("himap: cannot place %v on (%d,%d,%d)", n, s1, s2, depth)
+			return nil, fmt.Errorf("himap: cannot place %v on (%d,%d,%d): %w", n, s1, s2, depth, diag.ErrPlacementInfeasible)
 		}
 	}
 
@@ -457,7 +457,7 @@ func tryPlaceIDFG(f *ir.IDFG, fab arch.Fabric, s1, s2, depth int) (*SubMapping, 
 				continue
 			}
 			if err := routeEdge(e); err != nil {
-				return nil, fmt.Errorf("himap: load routing failed on (%d,%d,%d): %v", s1, s2, depth, err)
+				return nil, fmt.Errorf("himap: load routing failed on (%d,%d,%d): %w", s1, s2, depth, err)
 			}
 		}
 	}
@@ -485,7 +485,7 @@ func tryPlaceIDFG(f *ir.IDFG, fab arch.Fabric, s1, s2, depth int) (*SubMapping, 
 			return nil, err
 		}
 	}
-	return nil, fmt.Errorf("himap: congestion unresolved on (%d,%d,%d)", s1, s2, depth)
+	return nil, fmt.Errorf("himap: congestion unresolved on (%d,%d,%d): %w", s1, s2, depth, diag.ErrRouteCongested)
 }
 
 // rerouteAll rips up every net and re-routes all intra-iteration edges

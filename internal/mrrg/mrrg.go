@@ -100,9 +100,13 @@ func New(f arch.Fabric, ii int) *Graph { return &Graph{Fab: f, II: ii, Wrap: tru
 func NewAcyclic(f arch.Fabric, depth int) *Graph { return &Graph{Fab: f, II: depth, Wrap: false} }
 
 // NumDirs returns the per-PE link-direction (output register) count.
+//
+//himap:noalloc
 func (g *Graph) NumDirs() int { return g.Fab.NumLinkDirs() }
 
 // WrapTime folds a real cycle into the occupancy period [0, II).
+//
+//himap:noalloc
 func (g *Graph) WrapTime(t int) int {
 	return ((t % g.II) + g.II) % g.II
 }
@@ -126,6 +130,8 @@ func (g *Graph) Key(n Node) uint64 {
 
 // RealKey packs the node with its real (unwrapped) time — unique per real
 // node, used for per-net reuse bookkeeping.
+//
+//himap:noalloc
 func RealKey(n Node) uint64 {
 	return ((uint64(n.T+1024)*256+uint64(n.R))*256+uint64(n.C))*64 +
 		uint64(n.Class)*8 + uint64(n.Idx)
@@ -136,12 +142,16 @@ func RealKey(n Node) uint64 {
 // read/write ports, the two memory ports, and NumRegs register-file
 // entries. It is the stride of the dense key space (9 + NumRegs on
 // 4-direction fabrics, matching the pre-Fabric layout exactly).
+//
+//himap:noalloc
 func (g *Graph) SlotsPerPE() int { return 5 + g.NumDirs() + g.Fab.NumRegs }
 
 // SlotIndex packs a (class, idx) resource into a dense per-PE slot in
 // [0, SlotsPerPE()) — unlike the sparse class*8+idx packing of Key and
 // RealKey, the dense slot space has no holes, so occupancy and search
 // scratch state can live in flat arrays instead of maps.
+//
+//himap:noalloc
 func (g *Graph) SlotIndex(c Class, idx uint8) int {
 	nd := g.NumDirs()
 	switch c {
@@ -163,6 +173,8 @@ func (g *Graph) SlotIndex(c Class, idx uint8) int {
 }
 
 // SlotResource inverts SlotIndex.
+//
+//himap:noalloc
 func (g *Graph) SlotResource(slot int) (Class, uint8) {
 	nd := g.NumDirs()
 	switch {
@@ -187,6 +199,8 @@ func (g *Graph) SlotResource(slot int) (Class, uint8) {
 // [0, NumDenseKeys()); real time is folded modulo II exactly as in Key,
 // and space wraps on wrap-around topologies (a translated route charges
 // the folded resource — translation is a graph automorphism there).
+//
+//himap:noalloc
 func (g *Graph) DenseKey(n Node) int {
 	r, c := g.Fab.WrapCoord(n.R, n.C)
 	return (g.WrapTime(n.T)*g.Fab.NumPEs()+r*g.Fab.Cols+c)*g.SlotsPerPE() +
@@ -194,9 +208,13 @@ func (g *Graph) DenseKey(n Node) int {
 }
 
 // NumDenseKeys returns the size of the dense occupancy key space.
+//
+//himap:noalloc
 func (g *Graph) NumDenseKeys() int { return g.II * g.Fab.NumPEs() * g.SlotsPerPE() }
 
 // Capacity returns the occupancy capacity of a node class.
+//
+//himap:noalloc
 func (g *Graph) Capacity(c Class) int {
 	switch c {
 	case ClassRFRead:

@@ -2,6 +2,7 @@ package route
 
 import (
 	"fmt"
+	"himap/internal/diag"
 
 	"himap/internal/arch"
 	"himap/internal/ir"
@@ -75,8 +76,8 @@ func (e *Emitter) claimRes(kind, r, c, t int, tag string) error {
 	key := e.resKey(kind, r, c, t)
 	id := e.tagID(tag)
 	if old, ok := e.owner[key]; ok && old != id {
-		return fmt.Errorf("route: resource kind %d @(%d,%d)t%d claimed by %q and %q",
-			kind, r, c, e.wrapT(t), e.tags[old], tag)
+		return fmt.Errorf("route: resource kind %d @(%d,%d)t%d claimed by %q and %q: %w",
+			kind, r, c, e.wrapT(t), e.tags[old], tag, diag.ErrReplicaConflict)
 	}
 	e.owner[key] = id
 	return nil
@@ -91,7 +92,7 @@ func (e *Emitter) slot(n mrrg.Node) *arch.Instr { return e.Cfg.At(n.R, n.C, n.T)
 // PlaceOp stamps a compute operation on an FU slot.
 func (e *Emitter) PlaceOp(n mrrg.Node, kind ir.OpKind, tag string) error {
 	if n.Class != mrrg.ClassFU {
-		return fmt.Errorf("route: PlaceOp on %v", n)
+		return fmt.Errorf("route: PlaceOp on %v: %w", n, diag.ErrConfigInvalid)
 	}
 	if err := e.claimRes(resFU, n.R, n.C, n.T, tag); err != nil {
 		return err
@@ -107,7 +108,7 @@ func (e *Emitter) PlaceOp(n mrrg.Node, kind ir.OpKind, tag string) error {
 // PlaceLoad stamps a data-memory read on a memory port slot.
 func (e *Emitter) PlaceLoad(n mrrg.Node, tag, elem string) error {
 	if n.Class != mrrg.ClassMemRead {
-		return fmt.Errorf("route: PlaceLoad on %v", n)
+		return fmt.Errorf("route: PlaceLoad on %v: %w", n, diag.ErrConfigInvalid)
 	}
 	if err := e.claimRes(resMRD, n.R, n.C, n.T, tag); err != nil {
 		return err
@@ -125,17 +126,17 @@ func operandFrom(cur, prev mrrg.Node, atR, atC, atT int) (arch.Operand, error) {
 	switch cur.Class {
 	case mrrg.ClassFU:
 		if cur.R != atR || cur.C != atC || cur.T != atT {
-			return arch.Operand{}, fmt.Errorf("route: ALU tap across PEs (%v consumed at (%d,%d)t%d)", cur, atR, atC, atT)
+			return arch.Operand{}, fmt.Errorf("route: ALU tap across PEs (%v consumed at (%d,%d)t%d): %w", cur, atR, atC, atT, diag.ErrConfigInvalid)
 		}
 		return arch.FromALU(), nil
 	case mrrg.ClassMemRead:
 		if cur.R != atR || cur.C != atC || cur.T != atT {
-			return arch.Operand{}, fmt.Errorf("route: mem tap across PEs (%v at (%d,%d)t%d)", cur, atR, atC, atT)
+			return arch.Operand{}, fmt.Errorf("route: mem tap across PEs (%v at (%d,%d)t%d): %w", cur, atR, atC, atT, diag.ErrConfigInvalid)
 		}
 		return arch.FromMem(), nil
 	case mrrg.ClassRFRead:
 		if prev.Class != mrrg.ClassReg {
-			return arch.Operand{}, fmt.Errorf("route: RF read not preceded by register node (%v)", prev)
+			return arch.Operand{}, fmt.Errorf("route: RF read not preceded by register node (%v): %w", prev, diag.ErrConfigInvalid)
 		}
 		return arch.FromReg(int(prev.Idx)), nil
 	case mrrg.ClassOut:
@@ -149,7 +150,7 @@ func operandFrom(cur, prev mrrg.Node, atR, atC, atT int) (arch.Operand, error) {
 		// it arrives on our input latch from the neighbor's direction.
 		return arch.FromIn(d.Opposite()), nil
 	}
-	return arch.Operand{}, fmt.Errorf("route: no operand form for %v", cur)
+	return arch.Operand{}, fmt.Errorf("route: no operand form for %v: %w", cur, diag.ErrConfigInvalid)
 }
 
 // EmitPath stamps all routing fields of one path. tag identifies the
@@ -182,7 +183,7 @@ func (e *Emitter) EmitPath(p Path, tag, storeElem string) error {
 				return err
 			}
 			if src.Kind == arch.OpdHold && arch.Dir(cur.Idx) != arch.Dir(prev.Idx) {
-				return fmt.Errorf("route: hold across output registers (%v <- %v)", cur, prev)
+				return fmt.Errorf("route: hold across output registers (%v <- %v): %w", cur, prev, diag.ErrConfigInvalid)
 			}
 			if err := e.claimRes(resOut0+int(cur.Idx), cur.R, cur.C, cur.T, tag); err != nil {
 				return err
@@ -228,7 +229,7 @@ func (e *Emitter) EmitPath(p Path, tag, storeElem string) error {
 			in := e.slot(cur)
 			in.MemWrite = arch.MemOp{Active: true, Src: src, Tag: storeElem}
 		default:
-			return fmt.Errorf("route: unexpected path node %v", cur)
+			return fmt.Errorf("route: unexpected path node %v: %w", cur, diag.ErrConfigInvalid)
 		}
 	}
 	return nil
@@ -238,7 +239,7 @@ func (e *Emitter) EmitPath(p Path, tag, storeElem string) error {
 // by the final nodes of a path (last = p[len-1], the delivery node).
 func (e *Emitter) SetOperand(fu mrrg.Node, port int, p Path, tag string) error {
 	if fu.Class != mrrg.ClassFU {
-		return fmt.Errorf("route: SetOperand on %v", fu)
+		return fmt.Errorf("route: SetOperand on %v: %w", fu, diag.ErrConfigInvalid)
 	}
 	last := p[len(p)-1]
 	var before mrrg.Node
@@ -252,7 +253,7 @@ func (e *Emitter) SetOperand(fu mrrg.Node, port int, p Path, tag string) error {
 		return err
 	}
 	if src.Kind == arch.OpdHold {
-		return fmt.Errorf("route: operand cannot be a hold (%v)", last)
+		return fmt.Errorf("route: operand cannot be a hold (%v): %w", last, diag.ErrConfigInvalid)
 	}
 	kind := resSrc0
 	if port == 1 {

@@ -109,6 +109,8 @@ func NewSession(g *mrrg.Graph) *Session {
 // accumulated history costs — the state carried between negotiated
 // congestion rounds when a mapping attempt is rebuilt from scratch.
 // The occupancy storage is zeroed in place, not reallocated.
+//
+//himap:noalloc
 func (s *Session) ResetKeepHistory() {
 	clear(s.occ)
 	s.netSeq = 0
@@ -117,6 +119,8 @@ func (s *Session) ResetKeepHistory() {
 // Reset returns the session to its NewSession state (occupancy, history,
 // and net numbering all cleared) while keeping every allocation for
 // reuse — the cheap way to recycle a Session across mapping attempts.
+//
+//himap:noalloc
 func (s *Session) Reset() {
 	clear(s.occ)
 	clear(s.hist)
@@ -124,6 +128,8 @@ func (s *Session) Reset() {
 }
 
 // baseCost is the intrinsic cost of occupying one resource node.
+//
+//himap:noalloc
 func baseCost(c mrrg.Class) float64 {
 	switch c {
 	case mrrg.ClassOut:
@@ -140,6 +146,8 @@ func baseCost(c mrrg.Class) float64 {
 }
 
 // enterCost prices entering node n for a net that does not yet own it.
+//
+//himap:noalloc
 func (s *Session) enterCost(n mrrg.Node) float64 {
 	key := s.G.DenseKey(n)
 	cap := s.G.Capacity(n.Class)
@@ -153,6 +161,8 @@ func (s *Session) enterCost(n mrrg.Node) float64 {
 
 // Reserve marks a placement node (FU slot, memory port) occupied outside
 // any net, e.g. an operation placement. It returns the new occupancy.
+//
+//himap:noalloc
 func (s *Session) Reserve(n mrrg.Node) int {
 	k := s.G.DenseKey(n)
 	s.occ[k]++
@@ -160,14 +170,20 @@ func (s *Session) Reserve(n mrrg.Node) int {
 }
 
 // Unreserve releases a Reserve.
+//
+//himap:noalloc
 func (s *Session) Unreserve(n mrrg.Node) {
 	s.occ[s.G.DenseKey(n)]--
 }
 
 // Occ returns the current occupancy of a node (modulo II).
+//
+//himap:noalloc
 func (s *Session) Occ(n mrrg.Node) int { return int(s.occ[s.G.DenseKey(n)]) }
 
 // Hist returns the accumulated history cost of a node (for tests).
+//
+//himap:noalloc
 func (s *Session) Hist(n mrrg.Node) float64 { return s.hist[s.G.DenseKey(n)] }
 
 // heapItem is one frontier entry: the accumulated cost, the node's
@@ -180,6 +196,7 @@ type heapItem struct {
 	idx  int32
 }
 
+//himap:noalloc
 func itemLess(a, b heapItem) bool {
 	if a.cost != b.cost {
 		return a.cost < b.cost
@@ -191,6 +208,7 @@ func itemLess(a, b heapItem) bool {
 // interface{} boxing, no per-push allocation once warmed up.
 type minHeap []heapItem
 
+//himap:noalloc
 func (h *minHeap) push(it heapItem) {
 	q := append(*h, it)
 	i := len(q) - 1
@@ -205,6 +223,7 @@ func (h *minHeap) push(it heapItem) {
 	*h = q
 }
 
+//himap:noalloc
 func (h *minHeap) pop() heapItem {
 	q := *h
 	top := q[0]
@@ -282,6 +301,8 @@ func (s *Session) NewNet(src mrrg.Node) *Net {
 
 // nodeAt reconstructs the node of a dense scratch index (the inverse of
 // the packing in RouteSink).
+//
+//himap:noalloc
 func (s *Session) nodeAt(i int32, tBase, pes, cols, slots int) mrrg.Node {
 	slot := int(i) % slots
 	rest := int(i) / slots

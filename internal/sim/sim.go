@@ -14,6 +14,7 @@ package sim
 
 import (
 	"fmt"
+	"himap/internal/diag"
 
 	"himap/internal/arch"
 	"himap/internal/ir"
@@ -114,7 +115,7 @@ func (m *Machine) Step() error {
 			in := &m.Cfg.Slots[r][c][slot]
 			var memVal int64
 			if (in.MemRead.Active || in.MemWrite.Active) && !a.MemCapable(r, c) {
-				return fmt.Errorf("sim: PE(%d,%d) slot %d: memory access on compute-only PE", r, c, slot)
+				return fmt.Errorf("sim: PE(%d,%d) slot %d: memory access on compute-only PE: %w", r, c, slot, diag.ErrConfigInvalid)
 			}
 			if in.MemRead.Active {
 				k := portKey{r, c, slot}
@@ -134,16 +135,16 @@ func (m *Machine) Step() error {
 					return o.Const, nil
 				case arch.OpdMem:
 					if !in.MemRead.Active {
-						return 0, fmt.Errorf("sim: PE(%d,%d) slot %d: mem operand without read", r, c, slot)
+						return 0, fmt.Errorf("sim: PE(%d,%d) slot %d: mem operand without read: %w", r, c, slot, diag.ErrConfigInvalid)
 					}
 					return memVal, nil
 				case arch.OpdALU:
 					if !haveALU {
-						return 0, fmt.Errorf("sim: PE(%d,%d) slot %d: ALU operand before compute", r, c, slot)
+						return 0, fmt.Errorf("sim: PE(%d,%d) slot %d: ALU operand before compute: %w", r, c, slot, diag.ErrConfigInvalid)
 					}
 					return aluOut, nil
 				}
-				return 0, fmt.Errorf("sim: PE(%d,%d) slot %d: unresolvable operand %v", r, c, slot, o)
+				return 0, fmt.Errorf("sim: PE(%d,%d) slot %d: unresolvable operand %v: %w", r, c, slot, o, diag.ErrConfigInvalid)
 			}
 
 			var aluOut int64
@@ -163,7 +164,7 @@ func (m *Machine) Step() error {
 				aluOut = in.Op.Eval(av, bv)
 				haveALU = true
 			} else if in.Op != ir.OpNop {
-				return fmt.Errorf("sim: PE(%d,%d) slot %d: unexpected op %v", r, c, slot, in.Op)
+				return fmt.Errorf("sim: PE(%d,%d) slot %d: unexpected op %v: %w", r, c, slot, in.Op, diag.ErrConfigInvalid)
 			}
 
 			cm := commit{r: r, c: c}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"himap/internal/diag"
 
 	"himap/internal/arch"
 	"himap/internal/ir"
@@ -15,7 +16,7 @@ import (
 // the golden executor. This is the functional-validation step of §VI.
 func Validate(cfg *arch.Config, k *kernel.Kernel, block []int, nblocks int, seed int64) error {
 	if nblocks < 1 {
-		return fmt.Errorf("sim: nblocks = %d", nblocks)
+		return fmt.Errorf("sim: nblocks = %d: %w", nblocks, diag.ErrConfigInvalid)
 	}
 	// Per-block inputs and golden outputs.
 	inputs := make([]map[string]*kernel.Tensor, nblocks)
@@ -58,7 +59,7 @@ func Validate(cfg *arch.Config, k *kernel.Kernel, block []int, nblocks int, seed
 			}
 			t, okT := inputs[b][s.Tensor]
 			if !okT {
-				return fmt.Errorf("sim: load references unknown tensor %q", s.Tensor)
+				return fmt.Errorf("sim: load references unknown tensor %q: %w", s.Tensor, diag.ErrConfigInvalid)
 			}
 			vals[e] = t.At(ir.IterVec(s.Index))
 		}
@@ -86,14 +87,14 @@ func Validate(cfg *arch.Config, k *kernel.Kernel, block []int, nblocks int, seed
 			}
 			t, ok := outs[b][s.Tensor]
 			if !ok {
-				return fmt.Errorf("sim: store references unknown tensor %q", s.Tensor)
+				return fmt.Errorf("sim: store references unknown tensor %q: %w", s.Tensor, diag.ErrConfigInvalid)
 			}
 			t.Set(ir.IterVec(s.Index), v)
 		}
 	}
 	for b := 0; b < nblocks; b++ {
 		if err := kernel.CompareOutputs(golden[b], outs[b]); err != nil {
-			return fmt.Errorf("sim: block %d: %v", b, err)
+			return fmt.Errorf("sim: block %d: %v: %w", b, err, diag.ErrConfigInvalid)
 		}
 	}
 	return nil

@@ -122,11 +122,11 @@ func (m *Mapping) ForwardStep(d ir.IterVec) (e ir.IterVec, g int, err error) {
 	tr, xr, yr := m.DepOffset(d)
 	hops := abs(xr) + abs(yr)
 	if hops <= 1 {
-		return nil, 0, fmt.Errorf("systolic: %v is not a multi-hop dependence", d)
+		return nil, 0, fmt.Errorf("systolic: %v is not a multi-hop dependence: %w", d, ErrInfeasible)
 	}
 	g = gcdVec(d)
 	if g <= 1 {
-		return nil, 0, fmt.Errorf("systolic: multi-hop dependence %v does not decompose into unit steps", d)
+		return nil, 0, fmt.Errorf("systolic: multi-hop dependence %v does not decompose into unit steps: %w", d, ErrInfeasible)
 	}
 	e = make(ir.IterVec, len(d))
 	for i := range d {
@@ -134,8 +134,8 @@ func (m *Mapping) ForwardStep(d ir.IterVec) (e ir.IterVec, g int, err error) {
 	}
 	etr, exr, eyr := m.DepOffset(e)
 	if etr < 1 || abs(exr)+abs(eyr) > 1 {
-		return nil, 0, fmt.Errorf("systolic: step %v of dependence %v is not single-hop (offset %d,%d,%d)",
-			e, d, etr, exr, eyr)
+		return nil, 0, fmt.Errorf("systolic: step %v of dependence %v is not single-hop (offset %d,%d,%d): %w",
+			e, d, etr, exr, eyr, ErrInfeasible)
 	}
 	_ = tr
 	return e, g, nil

@@ -1,0 +1,55 @@
+package himap_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"himap"
+)
+
+// TestRepeatCompileDeterminism pins same-process run-to-run
+// reproducibility: compiling the same kernel twice with identical
+// options (fresh memos, so no artifact reuse links the runs) must emit
+// byte-identical configurations and bitstreams. This is the complement
+// of TestWorkersDeterminism — that test varies Workers against a
+// reference, this one repeats the very same compile and would catch any
+// hidden global state (package-level randomness, wall-clock reads, map
+// iteration order) leaking between runs inside one process. The
+// parallel path is the interesting one, so the repeat runs use
+// Workers=4.
+func TestRepeatCompileDeterminism(t *testing.T) {
+	for _, k := range himap.EvaluationKernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			cg := himap.DefaultCGRA(8, 8)
+			compile := func() (*himap.Result, []byte, *himap.Bitstream) {
+				r, err := himap.Compile(k, cg, himap.Options{Workers: 4, Memo: himap.NewMemo()})
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := himap.EncodeBitstream(r.Config)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return r, configJSON(t, r), b
+			}
+			r1, j1, b1 := compile()
+			r2, j2, b2 := compile()
+			if !bytes.Equal(j1, j2) {
+				t.Fatal("two identical compiles emitted different configurations")
+			}
+			if !reflect.DeepEqual(b1, b2) {
+				t.Fatal("two identical compiles emitted different bitstreams")
+			}
+			if r1.IIB != r2.IIB || r1.UniqueIters != r2.UniqueIters || !reflect.DeepEqual(r1.Block, r2.Block) {
+				t.Errorf("result metadata differs: IIB %d/%d unique %d/%d block %v/%v",
+					r1.IIB, r2.IIB, r1.UniqueIters, r2.UniqueIters, r1.Block, r2.Block)
+			}
+			if r1.Stats.Attempts != r2.Stats.Attempts {
+				t.Errorf("attempt count differs between identical runs: %d vs %d",
+					r1.Stats.Attempts, r2.Stats.Attempts)
+			}
+		})
+	}
+}

@@ -1,7 +1,8 @@
 #!/bin/sh
-# Repository health gate: formatting, vet, build, and the full test suite
-# under the race detector. Run before sending changes; cmd/experiments and
-# the benchmarks (go test -bench . -benchmem) cover the perf side.
+# Repository health gate: formatting, vet, the project analyzer suite
+# (cmd/himaplint), build, and the full test suite under the race
+# detector. Run before sending changes; cmd/experiments and the
+# benchmarks (go test -bench . -benchmem) cover the perf side.
 set -eux
 cd "$(dirname "$0")/.."
 unformatted=$(gofmt -l .)
@@ -12,4 +13,5 @@ if [ -n "$unformatted" ]; then
 fi
 go vet ./...
 go build ./...
+go run ./cmd/himaplint ./...
 go test -race ./...
