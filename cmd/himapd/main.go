@@ -1,0 +1,78 @@
+// Command himapd serves the HiMap compiler over HTTP/JSON: POST
+// /v1/compile (named or inline kernels, fabric config, per-request
+// deadlines), GET /v1/kernels, GET /healthz, and GET /metrics. Results
+// are cached content-addressed (identical requests return byte-identical
+// bodies, coalesced onto one compile when concurrent), and admission is
+// bounded (overflow answers 429). See DESIGN.md, "Compile service".
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"himap/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8347", "listen address (host:port; port 0 picks a free port)")
+	workers := flag.Int("workers", 0, "pipeline workers per compile (0 = GOMAXPROCS)")
+	maxInFlight := flag.Int("max-inflight", 2, "concurrently executing compiles")
+	maxQueue := flag.Int("max-queue", 16, "requests allowed to wait beyond -max-inflight (negative: none)")
+	cacheMB := flag.Int64("cache-mb", 64, "result cache budget in MiB (negative: disable)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "default per-request compile deadline")
+	flag.Parse()
+
+	cfg := serve.Config{
+		Workers:        *workers,
+		MaxInFlight:    *maxInFlight,
+		MaxQueue:       *maxQueue,
+		CacheBytes:     *cacheMB << 20,
+		DefaultTimeout: *timeout,
+	}
+	if err := run(cfg, *addr); err != nil {
+		fmt.Fprintf(os.Stderr, "himapd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg serve.Config, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: serve.New(cfg).Handler()}
+
+	// SIGINT/SIGTERM start a graceful shutdown: stop accepting, let
+	// running compiles finish (bounded), then exit 0.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("himapd: listening on http://%s\n", ln.Addr())
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Println("himapd: shutdown complete")
+	return nil
+}

@@ -23,6 +23,7 @@
 package himap
 
 import (
+	"context"
 	"io"
 
 	"himap/internal/arch"
@@ -133,6 +134,14 @@ var (
 	// ErrMemPortInfeasible: the kernel demands more memory ports than the
 	// fabric's memory-capable PEs provide within any candidate sub-CGRA.
 	ErrMemPortInfeasible = diag.ErrMemPortInfeasible
+	// ErrCanceled: the compile's context was canceled or its deadline
+	// expired before a mapping was committed. Both mappers check their
+	// context at stage boundaries (HiMap additionally between speculative
+	// waves, the conventional mapper between II attempts and every 4096
+	// annealing moves); the original context error stays in the cause
+	// chain, so errors.Is(err, context.Canceled) and
+	// errors.Is(err, context.DeadlineExceeded) also hold.
+	ErrCanceled = diag.ErrCanceled
 )
 
 // Fabric topologies and memory-port policies (see arch.Topology and
@@ -178,25 +187,64 @@ func DefaultCGRA(rows, cols int) CGRA { return arch.Default(rows, cols) }
 
 // Compile maps the kernel onto the CGRA with the HiMap hierarchical
 // algorithm (Algorithm 1 of the paper).
+//
+// Deprecated: Use CompileRequest with a Request — it adds context
+// cancellation and fabric targets:
+//
+//	CompileRequest(ctx, Request{Kernel: k, Fabric: Fabric{CGRA: cg}, Options: opts})
 func Compile(k *Kernel, cg CGRA, opts Options) (*Result, error) {
-	return core.Compile(k, cg, opts)
+	return CompileRequest(context.Background(), Request{Kernel: k, Fabric: Fabric{CGRA: cg}, Options: opts})
 }
 
 // CompileFabric is Compile for an arbitrary fabric (torus links,
 // boundary-column memory PEs, diagonal interconnect).
+//
+// Deprecated: Use CompileRequest:
+//
+//	CompileRequest(ctx, Request{Kernel: k, Fabric: fab, Options: opts})
 func CompileFabric(k *Kernel, fab Fabric, opts Options) (*Result, error) {
-	return core.CompileFabric(k, fab, opts)
+	return CompileRequest(context.Background(), Request{Kernel: k, Fabric: fab, Options: opts})
 }
 
 // CompileBaseline maps one unrolled block with the conventional flat
 // DFG → MRRG mapper (the paper's "BHC" stand-in).
+//
+// Deprecated: Use CompileRequest with MapperConventional; the returned
+// Result carries the *BaselineResult in its Conventional field:
+//
+//	res, err := CompileRequest(ctx, Request{
+//		Kernel: k, Fabric: Fabric{CGRA: cg}, Mapper: MapperConventional,
+//		Block: block, Baseline: opts,
+//	})
+//	// res.Conventional is the *BaselineResult
 func CompileBaseline(k *Kernel, cg CGRA, block []int, opts BaselineOptions) (*BaselineResult, error) {
-	return baseline.Compile(k, cg, block, opts)
+	res, err := CompileRequest(context.Background(), Request{
+		Kernel: k, Fabric: Fabric{CGRA: cg}, Mapper: MapperConventional,
+		Block: block, Baseline: opts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Conventional, nil
 }
 
 // CompileBaselineFabric is CompileBaseline for an arbitrary fabric.
+//
+// Deprecated: Use CompileRequest with MapperConventional:
+//
+//	CompileRequest(ctx, Request{
+//		Kernel: k, Fabric: fab, Mapper: MapperConventional,
+//		Block: block, Baseline: opts,
+//	})
 func CompileBaselineFabric(k *Kernel, fab Fabric, block []int, opts BaselineOptions) (*BaselineResult, error) {
-	return baseline.CompileFabric(k, fab, block, opts)
+	res, err := CompileRequest(context.Background(), Request{
+		Kernel: k, Fabric: fab, Mapper: MapperConventional,
+		Block: block, Baseline: opts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Conventional, nil
 }
 
 // Validate executes nblocks pipelined block instances of the mapping on
@@ -327,7 +375,8 @@ type AutoResult struct {
 // pipelining techniques").
 func CompileAuto(k *Kernel, cg CGRA, opts Options) (*AutoResult, error) {
 	if k.Dim > 1 && k.HasInterIterationDeps() {
-		res, err := Compile(k, cg, opts)
+		res, err := CompileRequest(context.Background(),
+			Request{Kernel: k, Fabric: Fabric{CGRA: cg}, Options: opts})
 		if err != nil {
 			return nil, err
 		}
@@ -339,13 +388,15 @@ func CompileAuto(k *Kernel, cg CGRA, opts Options) (*AutoResult, error) {
 	// Pick the largest block the conventional mapper handles comfortably
 	// (small: simulated annealing degrades well before the 400-node wall).
 	b := baseline.LargestFeasibleBlock(k, 60, 16)
-	block := k.UniformBlock(b)
-	res, err := baseline.Compile(k, cg, block, baseline.Options{Seed: 1})
+	res, err := CompileRequest(context.Background(), Request{
+		Kernel: k, Fabric: Fabric{CGRA: cg}, Mapper: MapperConventional,
+		Block: k.UniformBlock(b), Baseline: BaselineOptions{Seed: 1},
+	})
 	if err != nil {
 		return nil, err
 	}
 	return &AutoResult{
-		Mapper: "conventional", Baseline: res,
+		Mapper: "conventional", Baseline: res.Conventional,
 		Config: res.Config, Block: res.Block, Utilization: res.Utilization,
 	}, nil
 }

@@ -106,7 +106,11 @@ func DefaultScope() Scope {
 		"himap/internal/mrrg",
 	}
 	return Scope{
-		Determinism.Name:   compilePath,
+		// internal/serve caches and serves compile results verbatim, so a
+		// nondeterminism there (map-order response fields, wall-clock values
+		// in cached bodies) would break the byte-identity contract between
+		// served and direct compiles — it is compile-path for this purpose.
+		Determinism.Name:   append(append([]string(nil), compilePath...), "himap/internal/serve"),
 		ErrDiscipline.Name: append(append([]string(nil), compilePath...), "himap/internal/arch", "himap/internal/sim"),
 		NoAlloc.Name:       nil,
 		LockCheck.Name:     nil,

@@ -13,6 +13,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -108,13 +109,27 @@ type place struct {
 // Compile maps the kernel's block DFG onto the CGRA (mesh links, every
 // PE memory-capable). Use CompileFabric to target other fabrics.
 func Compile(k *kernel.Kernel, cg arch.CGRA, block []int, opts Options) (*Result, error) {
-	return CompileFabric(k, arch.Fabric{CGRA: cg}, block, opts)
+	return CompileRequest(context.Background(), k, arch.Fabric{CGRA: cg}, block, opts)
 }
 
 // CompileFabric maps the kernel's block DFG onto the fabric: SA placement
 // (loads and stores restricted to memory-capable PEs) plus negotiated
 // routing over the fabric's link set.
 func CompileFabric(k *kernel.Kernel, cg arch.Fabric, block []int, opts Options) (*Result, error) {
+	return CompileRequest(context.Background(), k, cg, block, opts)
+}
+
+// CompileRequest is the context-aware baseline entry point: Compile and
+// CompileFabric are the context.Background() special cases. The context
+// is checked before each II attempt, between the placement and routing
+// phases, and every 4096 SA moves inside each annealing chain, so a
+// cancellation or deadline aborts the mapper promptly with a
+// diag.ErrCanceled StageError (the original context error stays in the
+// cause chain).
+func CompileRequest(ctx context.Context, k *kernel.Kernel, cg arch.Fabric, block []int, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
 	if err := cg.Validate(); err != nil {
 		return nil, err
@@ -173,6 +188,9 @@ func CompileFabric(k *kernel.Kernel, cg arch.Fabric, block []int, opts Options) 
 	totalMoves := 0
 	var lastErr error
 	for ii := mii; ii <= opts.MaxII; ii++ {
+		if err := ctx.Err(); err != nil {
+			return nil, diag.Fail(diag.ErrCanceled, err).Stamp("place", k.Name, cg.String(), ii)
+		}
 		if !deadline.IsZero() && time.Now().After(deadline) { //lint:ignore determinism opt-in TimeBudget deadline; documented nondeterminism when set
 			return nil, ErrTimeout{Budget: opts.TimeBudget}
 		}
@@ -195,10 +213,15 @@ func CompileFabric(k *kernel.Kernel, cg arch.Fabric, block []int, opts Options) 
 				r = rand.New(rand.NewSource(opts.Seed + int64(len(d.Nodes)) +
 					int64(ci)*1_000_003 + int64(ii)*8191))
 			}
-			pl, ok, cost := anneal(d, cg, ii, moves, r, deadline)
+			pl, ok, cost := anneal(ctx, d, cg, ii, moves, r, deadline)
 			outs[ci] = chainOut{pl: pl, ok: ok, cost: cost}
 		})
 		totalMoves += moves * opts.Workers
+		// A chain aborted by cancellation reports ok=false; distinguish
+		// that from a genuine infeasible placement before classifying.
+		if err := ctx.Err(); err != nil {
+			return nil, diag.Fail(diag.ErrCanceled, err).Stamp("place", k.Name, cg.String(), ii)
+		}
 		best := -1
 		for ci := range outs {
 			if outs[ci].ok && (best < 0 || outs[ci].cost < outs[best].cost) {
@@ -266,8 +289,10 @@ func slotOf(n *ir.Node, p place, ii int) slotKey {
 
 // anneal performs simulated annealing over joint (time, PE) placements.
 // It returns a placement with zero hard violations (plus its total cost,
-// for best-of-N chain selection), or ok=false.
-func anneal(d *ir.DFG, cg arch.Fabric, ii, moves int, rng *rand.Rand, deadline time.Time) ([]place, bool, float64) {
+// for best-of-N chain selection), or ok=false. The context is polled
+// every 4096 moves (alongside the opt-in wall-clock deadline); a canceled
+// chain returns ok=false and the caller re-checks ctx to classify.
+func anneal(ctx context.Context, d *ir.DFG, cg arch.Fabric, ii, moves int, rng *rand.Rand, deadline time.Time) ([]place, bool, float64) {
 	order, err := d.TopoOrder()
 	if err != nil {
 		return nil, false, 0
@@ -405,8 +430,13 @@ func anneal(d *ir.DFG, cg arch.Fabric, ii, moves int, rng *rand.Rand, deadline t
 	temp := 60.0
 	decay := math.Pow(0.02/temp, 1/float64(moves+1))
 	for mv := 0; mv < moves; mv++ {
-		if mv%4096 == 0 && !deadline.IsZero() && time.Now().After(deadline) { //lint:ignore determinism opt-in TimeBudget deadline; documented nondeterminism when set
-			return nil, false, 0
+		if mv%4096 == 0 {
+			if ctx.Err() != nil {
+				return nil, false, 0
+			}
+			if !deadline.IsZero() && time.Now().After(deadline) { //lint:ignore determinism opt-in TimeBudget deadline; documented nondeterminism when set
+				return nil, false, 0
+			}
 		}
 		id := rng.Intn(len(d.Nodes))
 		n := d.Nodes[id]

@@ -56,6 +56,14 @@ var (
 	// ports (loads/stores) than the fabric's memory-capable PEs provide
 	// within the candidate sub-CGRA shapes.
 	ErrMemPortInfeasible = errors.New("memory-port demand infeasible on fabric")
+	// ErrCanceled: the compile's context.Context was canceled or its
+	// deadline expired before a mapping was committed. The pipelines check
+	// the context between stages (and the baseline between SA chain
+	// iterations), so cancellation aborts promptly without leaving partial
+	// state; the cause chain keeps the original context error, so
+	// errors.Is(err, context.Canceled) and context.DeadlineExceeded work
+	// through it as well.
+	ErrCanceled = errors.New("compilation canceled")
 )
 
 // StageError pins one failure class to its pipeline context: the stage
@@ -135,6 +143,7 @@ var classes = []error{
 	ErrNoSubMapping, ErrSchemeInfeasible, ErrRouteCongested,
 	ErrBlockPinConflict, ErrBlockTooSmall, ErrPlacementInfeasible,
 	ErrReplicaConflict, ErrConfigInvalid, ErrMemPortInfeasible,
+	ErrCanceled,
 }
 
 // Classify coerces an arbitrary stage failure into a StageError: an error
@@ -175,6 +184,42 @@ type Span struct {
 // parallel waves and emit from their worker goroutines.
 type Tracer interface {
 	Emit(Span)
+}
+
+// TracerFunc adapts a plain function to the Tracer interface — the
+// metrics-sink hook: a serving layer passes a closure recording span wall
+// times into its histogram registry. The function must be safe for
+// concurrent calls (speculative attempts emit from worker goroutines).
+type TracerFunc func(Span)
+
+// Emit calls f(s).
+func (f TracerFunc) Emit(s Span) { f(s) }
+
+// MultiTracer fans every span out to each tracer in order — e.g. a CLI
+// text tracer plus a metrics sink observing the same compile. Nil
+// entries are skipped; with no non-nil entries it degenerates to Nop.
+func MultiTracer(tracers ...Tracer) Tracer {
+	var kept []Tracer
+	for _, t := range tracers {
+		if t != nil {
+			kept = append(kept, t)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return Nop()
+	case 1:
+		return kept[0]
+	}
+	return multiTracer(kept)
+}
+
+type multiTracer []Tracer
+
+func (m multiTracer) Emit(s Span) {
+	for _, t := range m {
+		t.Emit(s)
+	}
 }
 
 // nopTracer discards every span.

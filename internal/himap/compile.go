@@ -1,10 +1,12 @@
 package himap
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"himap/internal/arch"
+	"himap/internal/baseline"
 	"himap/internal/diag"
 	"himap/internal/ir"
 	"himap/internal/kernel"
@@ -125,6 +127,14 @@ type Result struct {
 	Utilization float64
 
 	Stats Stats
+
+	// Conventional is set when the compile was dispatched to the
+	// conventional (baseline) mapper through the unified request API; the
+	// hierarchical-flow fields (Sub, Scheme, Mapping, DFG, ISDG, CP,
+	// Classes, ...) are nil/zero in that case, while the shared fields
+	// (Kernel, Fabric, CGRA, Block, Config, Utilization) are filled from
+	// the baseline result.
+	Conventional *baseline.Result
 }
 
 // Stats records compilation effort.
@@ -151,13 +161,26 @@ type Stats struct {
 // *CompileError aggregating the lowest-ranked attempt's failure and the
 // best-ranked failure per stage — deterministic for every Workers value.
 func Compile(k *kernel.Kernel, cg arch.CGRA, opts Options) (*Result, error) {
-	return CompileFabric(k, arch.Fabric{CGRA: cg}, opts)
+	return CompileRequest(context.Background(), k, arch.Fabric{CGRA: cg}, opts)
 }
 
 // CompileFabric is Compile for an explicit fabric model (interconnect
 // topology + per-PE capability layout). Compile is the mesh/all-memory
 // special case.
 func CompileFabric(k *kernel.Kernel, fab arch.Fabric, opts Options) (*Result, error) {
+	return CompileRequest(context.Background(), k, fab, opts)
+}
+
+// CompileRequest is the context-aware compilation entry point: Compile
+// and CompileFabric are the context.Background() special cases. The
+// context is checked at every pipeline stage boundary and between
+// speculative waves, so cancellation (or a deadline) aborts a compile
+// mid-pipeline with a *CompileError wrapping diag.ErrCanceled — the
+// original context error stays in the cause chain for errors.Is.
+func CompileRequest(ctx context.Context, k *kernel.Kernel, fab arch.Fabric, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
 	if err := fab.Validate(); err != nil {
 		return nil, err
@@ -167,7 +190,7 @@ func CompileFabric(k *kernel.Kernel, fab arch.Fabric, opts Options) (*Result, er
 	}
 	start := time.Now() //lint:ignore determinism wall-clock span timing only; does not influence mapping
 
-	front := newContext(k, fab, opts)
+	front := newContext(ctx, k, fab, opts)
 	if err := frontStages.Run(front); err != nil {
 		return nil, newCompileError(k.Name, fab.String(), 0, []error{err})
 	}
@@ -179,6 +202,9 @@ func CompileFabric(k *kernel.Kernel, fab arch.Fabric, opts Options) (*Result, er
 	// and Stats.Attempts are identical to the sequential (Workers=1) flow.
 	errs := make([]error, len(atts))
 	for base := 0; base < len(atts); base += opts.Workers {
+		if err := ctx.Err(); err != nil {
+			return nil, canceledCompileError(k.Name, fab.String(), len(atts), err)
+		}
 		end := base + opts.Workers
 		if end > len(atts) {
 			end = len(atts)
@@ -204,6 +230,12 @@ func CompileFabric(k *kernel.Kernel, fab arch.Fabric, opts Options) (*Result, er
 			res.Stats.Total = time.Since(start)
 			return res, nil
 		}
+	}
+	// A cancellation mid-search masquerades as "every attempt failed";
+	// surface it as such so callers dispatch on ErrCanceled, not on
+	// whichever attempt happened to fail first.
+	if err := ctx.Err(); err != nil {
+		return nil, canceledCompileError(k.Name, fab.String(), len(atts), err)
 	}
 	return nil, newCompileError(k.Name, fab.String(), len(atts), errs)
 }
@@ -270,6 +302,9 @@ func blockForScheme(k *kernel.Kernel, sch systolic.Scheme, vx, vy int, opts Opti
 
 // Summary renders a one-line result description.
 func (r *Result) Summary() string {
+	if r.Conventional != nil {
+		return r.Conventional.Summary()
+	}
 	return fmt.Sprintf("%s on %s: block %v, sub-CGRA (%d,%d,%d), II_B %d, %d unique iters, U = %.1f%%",
 		r.Kernel.Name, r.Fabric, r.Block, r.Sub.S1, r.Sub.S2, r.Sub.Depth, r.IIB,
 		r.UniqueIters, r.Utilization*100)

@@ -64,6 +64,16 @@ func (e *CompileError) Unwrap() []error {
 	return out
 }
 
+// canceledCompileError wraps a context cancellation (or deadline expiry)
+// observed by the compile driver into a CompileError whose Primary is a
+// diag.ErrCanceled StageError carrying the original context error, so
+// errors.Is matches diag.ErrCanceled, context.Canceled, and
+// context.DeadlineExceeded through the public API.
+func canceledCompileError(kernel, cgra string, attempts int, cause error) *CompileError {
+	se := diag.Fail(diag.ErrCanceled, cause).Stamp("", kernel, cgra, 0)
+	return &CompileError{Kernel: kernel, CGRA: cgra, Attempts: attempts, Primary: se}
+}
+
 // newCompileError aggregates per-attempt failures into a CompileError.
 // errs is indexed by attempt rank (0-based); scanning in index order makes
 // Primary the deterministic lowest-ranked failure regardless of the wave

@@ -1,6 +1,7 @@
 package himap
 
 import (
+	"context"
 	"time"
 
 	"himap/internal/arch"
@@ -54,8 +55,22 @@ type Pipeline []Stage
 // attempt/wave identity, and any counters the stage recorded. The first
 // failure stops the pipeline and returns a *diag.StageError stamped with
 // the stage name and compile context.
+//
+// The compile's context.Context is checked at every stage boundary: a
+// cancellation or expired deadline aborts the pipeline before the next
+// stage starts, returning a diag.ErrCanceled StageError (stamped with the
+// stage that would have run) whose cause chain keeps the original context
+// error. Stage bodies themselves stay context-free pure transformations.
 func (p Pipeline) Run(ctx *CompileContext) error {
 	for _, st := range p {
+		if cerr := ctx.Ctx.Err(); cerr != nil {
+			se := diag.Fail(diag.ErrCanceled, cerr)
+			se.Stamp(st.Name, ctx.Kernel.Name, ctx.Fab.String(), ctx.Attempt)
+			ctx.Tracer.Emit(diag.Span{
+				Stage: st.Name, Attempt: ctx.Attempt, Wave: ctx.Wave, Err: se.Error(),
+			})
+			return se
+		}
 		ctx.counters = nil
 		start := time.Now() //lint:ignore determinism wall-clock span timing only; does not influence mapping
 		err := st.Run(ctx)
@@ -92,6 +107,11 @@ type attempt struct {
 // are read-only once the front pipeline finishes, so attempt contexts
 // share them without copying.
 type CompileContext struct {
+	// Ctx is the compile's cancellation context, checked by the pipeline
+	// runner at stage boundaries (never nil; context.Background() for the
+	// legacy context-free entry points).
+	Ctx context.Context
+
 	Kernel *kernel.Kernel
 	Fab    arch.Fabric
 	Opts   Options
@@ -129,8 +149,9 @@ type CompileContext struct {
 	counters map[string]int64
 }
 
-func newContext(k *kernel.Kernel, fab arch.Fabric, opts Options) *CompileContext {
+func newContext(ctx context.Context, k *kernel.Kernel, fab arch.Fabric, opts Options) *CompileContext {
 	return &CompileContext{
+		Ctx:    ctx,
 		Kernel: k, Fab: fab, Opts: opts,
 		Memo: opts.Memo, Tracer: opts.Tracer,
 		wall: map[string]time.Duration{},
@@ -141,6 +162,7 @@ func newContext(k *kernel.Kernel, fab arch.Fabric, opts Options) *CompileContext
 // sharing the read-only front artifacts.
 func (c *CompileContext) forAttempt(a attempt, rank, wave int) *CompileContext {
 	return &CompileContext{
+		Ctx:    c.Ctx,
 		Kernel: c.Kernel, Fab: c.Fab, Opts: c.Opts,
 		Memo: c.Memo, Tracer: c.Tracer,
 		IDFG: c.IDFG, Subs: c.Subs, Deps: c.Deps,

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cache is the content-addressed result cache: request hash → response
+// bytes, evicted least-recently-used under a total byte budget. Recency
+// is the list order (front = most recent), so the cache holds no clocks
+// and its behavior is a pure function of the access sequence.
+type cache struct {
+	mu    sync.Mutex
+	limit int64 // byte budget; <= 0 disables the cache entirely
+	size  int64
+	ll    *list.List // of *cacheEntry, front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+func newCache(limit int64) *cache {
+	return &cache{limit: limit, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// get returns the cached body for key, promoting it to most recent. The
+// returned slice is the stored one; callers must not mutate it.
+func (c *cache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put stores body under key, evicting from the least-recent end until
+// the budget holds. A body larger than the whole budget is not cached.
+func (c *cache) put(key string, body []byte) {
+	if int64(len(body)) > c.limit {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.size += int64(len(body)) - int64(len(ent.body))
+		ent.body = body
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+		c.size += int64(len(body))
+	}
+	for c.size > c.limit {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, ent.key)
+		c.size -= int64(len(ent.body))
+	}
+}
+
+// stats returns the entry count and byte size for /metrics.
+func (c *cache) stats() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items), c.size
+}

@@ -1,0 +1,466 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"himap"
+	"himap/internal/diag"
+	"himap/internal/kernel"
+)
+
+// Config tunes one Server.
+type Config struct {
+	// Workers is passed to Options.Workers of every HiMap compile — it
+	// changes wall-clock only, never the emitted mapping. 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// MaxInFlight bounds concurrently executing compiles. Default 2.
+	MaxInFlight int
+	// MaxQueue bounds requests admitted beyond MaxInFlight and waiting
+	// for a worker slot; the excess is rejected with ErrOverloaded (HTTP
+	// 429). Negative means no waiting at all (reject when every worker is
+	// busy); 0 means the default of 16.
+	MaxQueue int
+	// CacheBytes is the result cache's byte budget. 0 means the default
+	// 64 MiB; negative disables caching.
+	CacheBytes int64
+	// DefaultTimeout bounds compiles whose request carries no
+	// timeout_ms. Default 2 minutes.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps request-supplied timeouts. Default 10 minutes.
+	MaxTimeout time.Duration
+	// MaxArraySide bounds fabric rows/cols accepted over the wire.
+	// Default 64.
+	MaxArraySide int
+	// MaxBlock bounds each requested block extent. Default 64.
+	MaxBlock int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 16
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = -1 // normalized "no waiting"
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Minute
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.MaxArraySide <= 0 {
+		c.MaxArraySide = 64
+	}
+	if c.MaxBlock <= 0 {
+		c.MaxBlock = 64
+	}
+	return c
+}
+
+// Server is the himapd service core: decode → cache → coalesce → admit →
+// compile → respond, every layer observable through Metrics.
+type Server struct {
+	cfg     Config
+	cache   *cache
+	metrics *Metrics
+	sem     chan struct{}
+	pending atomic.Int64 // admitted requests, waiting or running
+
+	flightMu sync.Mutex
+	flight   map[string]*flightCall
+
+	// compile is the execution seam: production servers compile through
+	// himap.CompileRequest; tests inject stubs to exercise coalescing,
+	// admission, and deadline behavior without real compiles.
+	compile func(ctx context.Context, req himap.Request) (*himap.Result, error)
+}
+
+// flightCall is one in-flight compile other identical requests wait on.
+type flightCall struct {
+	done   chan struct{}
+	status int
+	body   []byte
+}
+
+// New returns a Server with the production compile function.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		cache:   newCache(cfg.CacheBytes),
+		metrics: NewMetrics(),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		flight:  map[string]*flightCall{},
+		compile: himap.CompileRequest,
+	}
+}
+
+// SetCompileFunc replaces the compile execution seam (tests only).
+func (s *Server) SetCompileFunc(fn func(context.Context, himap.Request) (*himap.Result, error)) {
+	s.compile = fn
+}
+
+// Metrics exposes the server's registry (the himapd main wires it into
+// shutdown logging; tests assert on counters).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	mux.HandleFunc("GET /v1/kernels", s.handleKernels)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// BuildRequest converts a wire request into the himap.Request the server
+// compiles. It is exported so the smoke harness and tests can run the
+// exact same request through himap.CompileRequest directly and compare
+// bytes. The conventional mapper's chain count is pinned to 1 worker
+// because it changes the emitted mapping; the HiMap Workers knob is
+// output-invariant and stays a server setting.
+func BuildRequest(w *CompileRequestWire, cfg Config) (himap.Request, error) {
+	cfg = cfg.withDefaults()
+	var req himap.Request
+
+	switch {
+	case w.Kernel != "" && w.Spec != nil:
+		return req, fmt.Errorf("%w: kernel and spec are mutually exclusive", ErrBadRequest)
+	case w.Kernel != "":
+		k, err := kernel.ByName(w.Kernel)
+		if err != nil {
+			return req, fmt.Errorf("%w: %q", ErrUnknownKernel, w.Kernel)
+		}
+		req.Kernel = k
+	case w.Spec != nil:
+		k, err := w.Spec.Build()
+		if err != nil {
+			return req, err
+		}
+		if err := k.Validate(); err != nil {
+			return req, fmt.Errorf("%w: invalid spec: %v", ErrBadRequest, err)
+		}
+		req.Kernel = k
+	default:
+		return req, fmt.Errorf("%w: one of kernel or spec is required", ErrBadRequest)
+	}
+
+	f := w.Fabric
+	if f.Rows < 2 || f.Cols < 2 || f.Rows > cfg.MaxArraySide || f.Cols > cfg.MaxArraySide {
+		return req, fmt.Errorf("%w: fabric %dx%d outside [2,%d]", ErrBadRequest, f.Rows, f.Cols, cfg.MaxArraySide)
+	}
+	topo, err := himap.ParseTopology(f.Topology)
+	if err != nil {
+		return req, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	mem, err := himap.ParseMemPolicy(f.MemPEs)
+	if err != nil {
+		return req, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	fab := himap.DefaultFabric(f.Rows, f.Cols)
+	fab.Topology = topo
+	fab.Mem = mem
+	req.Fabric = fab
+
+	o := w.Options
+	switch o.Mapper {
+	case "", string(himap.MapperHiMap):
+		req.Mapper = himap.MapperHiMap
+		if len(o.Block) != 0 {
+			return req, fmt.Errorf("%w: options.block applies to the conventional mapper only (himap derives its block)", ErrBadRequest)
+		}
+		if o.Seed != 0 {
+			return req, fmt.Errorf("%w: options.seed applies to the conventional mapper only", ErrBadRequest)
+		}
+	case string(himap.MapperConventional):
+		req.Mapper = himap.MapperConventional
+		if o.InnerBlock != 0 {
+			return req, fmt.Errorf("%w: options.inner_block applies to the himap mapper only", ErrBadRequest)
+		}
+	default:
+		return req, fmt.Errorf("%w: unknown mapper %q (want himap|conventional)", ErrBadRequest, o.Mapper)
+	}
+	if o.InnerBlock < 0 || o.InnerBlock > cfg.MaxBlock {
+		return req, fmt.Errorf("%w: inner_block %d outside [0,%d]", ErrBadRequest, o.InnerBlock, cfg.MaxBlock)
+	}
+	if len(o.Block) != 0 && len(o.Block) != req.Kernel.Dim {
+		return req, fmt.Errorf("%w: block has %d dims, kernel %q has %d", ErrBadRequest, len(o.Block), req.Kernel.Name, req.Kernel.Dim)
+	}
+	for _, b := range o.Block {
+		if b < 1 || b > cfg.MaxBlock {
+			return req, fmt.Errorf("%w: block extent %d outside [1,%d]", ErrBadRequest, b, cfg.MaxBlock)
+		}
+	}
+	if o.TimeoutMS < 0 {
+		return req, fmt.Errorf("%w: timeout_ms must be non-negative", ErrBadRequest)
+	}
+	req.Options.InnerBlock = o.InnerBlock
+	req.Block = append([]int(nil), o.Block...)
+	req.Baseline.Seed = o.Seed
+	req.Baseline.Workers = 1 // chain count changes the mapping; pin for wire determinism
+	return req, nil
+}
+
+// timeout resolves a request's compile deadline.
+func (s *Server) timeout(o OptionsSpec) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if o.TimeoutMS > 0 {
+		d = time.Duration(o.TimeoutMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// admit reserves a compile slot, waiting in the bounded queue. The
+// release function must be called exactly once after the compile.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	limit := int64(s.cfg.MaxInFlight)
+	if s.cfg.MaxQueue > 0 {
+		limit += int64(s.cfg.MaxQueue)
+	}
+	if s.pending.Add(1) > limit {
+		s.pending.Add(-1)
+		return nil, ErrOverloaded
+	}
+	s.metrics.queued.Add(1)
+	defer s.metrics.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		s.metrics.inFlight.Add(1)
+		return func() {
+			s.metrics.inFlight.Add(-1)
+			s.pending.Add(-1)
+			<-s.sem
+		}, nil
+	case <-ctx.Done():
+		s.pending.Add(-1)
+		return nil, diag.Fail(diag.ErrCanceled, ctx.Err())
+	}
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.Add(1)
+	wire, err := DecodeRequest(r.Body)
+	if err != nil {
+		s.metrics.badRequests.Add(1)
+		writeError(w, err)
+		return
+	}
+	hreq, err := BuildRequest(wire, s.cfg)
+	if err != nil {
+		s.metrics.badRequests.Add(1)
+		writeError(w, err)
+		return
+	}
+
+	key := CacheKey(wire)
+	if body, ok := s.cache.get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		writeBody(w, http.StatusOK, body, "hit")
+		return
+	}
+
+	// Coalesce identical concurrent requests onto one compile: the first
+	// becomes the leader; the rest wait for its bytes. The leader's
+	// outcome — success or failure — is every follower's outcome.
+	s.flightMu.Lock()
+	if c, ok := s.flight[key]; ok {
+		s.flightMu.Unlock()
+		s.metrics.coalesced.Add(1)
+		select {
+		case <-c.done:
+			writeBody(w, c.status, c.body, "coalesced")
+		case <-r.Context().Done():
+			writeError(w, diag.Fail(diag.ErrCanceled, r.Context().Err()))
+		}
+		return
+	}
+	c := &flightCall{done: make(chan struct{})}
+	s.flight[key] = c
+	s.flightMu.Unlock()
+	s.metrics.cacheMisses.Add(1)
+
+	c.status, c.body = s.execute(r.Context(), wire, hreq)
+	if c.status == http.StatusOK {
+		s.cache.put(key, c.body)
+	}
+	s.flightMu.Lock()
+	delete(s.flight, key)
+	s.flightMu.Unlock()
+	close(c.done)
+	writeBody(w, c.status, c.body, "miss")
+}
+
+// execute runs one admitted, deadline-bounded compile and renders its
+// response bytes (success or error body).
+func (s *Server) execute(ctx context.Context, wire *CompileRequestWire, hreq himap.Request) (int, []byte) {
+	ctx, cancel := context.WithTimeout(ctx, s.timeout(wire.Options))
+	defer cancel()
+
+	release, err := s.admit(ctx)
+	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			s.metrics.rejected.Add(1)
+		}
+		return renderError(err)
+	}
+	defer release()
+
+	hreq.Options.Workers = s.cfg.Workers
+	hreq.Options.Tracer = diag.MultiTracer(hreq.Options.Tracer, s.metrics.Tracer())
+	hreq.Baseline.Tracer = diag.MultiTracer(hreq.Baseline.Tracer, s.metrics.Tracer())
+
+	s.metrics.compiles.Add(1)
+	res, err := s.compile(ctx, hreq)
+	if err != nil {
+		s.metrics.failures.Add(1)
+		return renderError(err)
+	}
+	body, err := EncodeResponse(res)
+	if err != nil {
+		s.metrics.failures.Add(1)
+		return renderError(err)
+	}
+	return http.StatusOK, body
+}
+
+// EncodeResponse renders a compile result into the canonical response
+// bytes. Exported so the smoke harness can render a direct
+// himap.CompileRequest result and byte-compare it with the served body.
+func EncodeResponse(res *himap.Result) ([]byte, error) {
+	var cfgJSON bytes.Buffer
+	if err := res.Config.WriteJSON(&cfgJSON); err != nil {
+		return nil, fmt.Errorf("encode config: %w", err)
+	}
+	bs, err := himap.EncodeBitstream(res.Config)
+	if err != nil {
+		return nil, fmt.Errorf("encode bitstream: %w", err)
+	}
+	resp := CompileResponse{
+		SchemaVersion: SchemaVersion,
+		Kernel:        res.Kernel.Name,
+		Fabric:        res.Fabric.String(),
+		Mapper:        string(himap.MapperHiMap),
+		Block:         res.Block,
+		II:            res.Config.II,
+		UniqueIters:   res.UniqueIters,
+		Attempts:      res.Stats.Attempts,
+		Utilization:   res.Utilization,
+		Config:        json.RawMessage(bytes.TrimRight(cfgJSON.Bytes(), "\n")),
+		Bitstream:     BitstreamBytes(bs),
+	}
+	if res.Conventional != nil {
+		resp.Mapper = string(himap.MapperConventional)
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return nil, fmt.Errorf("encode response: %w", err)
+	}
+	return append(body, '\n'), nil
+}
+
+// renderError maps a failure to its HTTP status and body bytes.
+func renderError(err error) (int, []byte) {
+	status, eb := classifyError(err)
+	body, merr := json.Marshal(ErrorResponse{SchemaVersion: SchemaVersion, Error: eb})
+	if merr != nil {
+		return http.StatusInternalServerError, []byte(`{"schema_version":1,"error":{"code":"internal","message":"error encoding failed"}}` + "\n")
+	}
+	return status, append(body, '\n')
+}
+
+// classifyError maps the service's failure taxonomy to wire codes.
+func classifyError(err error) (int, ErrorBody) {
+	msg := err.Error()
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests, ErrorBody{Code: "overloaded", Message: msg}
+	case errors.Is(err, ErrUnknownKernel):
+		return http.StatusNotFound, ErrorBody{Code: "unknown_kernel", Message: msg}
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest, ErrorBody{Code: "bad_request", Message: msg}
+	case errors.Is(err, diag.ErrCanceled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout, ErrorBody{Code: "deadline", Message: msg, Class: diag.ErrCanceled.Error()}
+	}
+	var se *diag.StageError
+	if errors.As(err, &se) {
+		return http.StatusUnprocessableEntity, ErrorBody{Code: "infeasible", Message: msg, Class: se.Class.Error()}
+	}
+	var tooLarge himap.BaselineTooLargeError
+	var timedOut himap.BaselineTimeoutError
+	if errors.As(err, &tooLarge) || errors.As(err, &timedOut) {
+		return http.StatusUnprocessableEntity, ErrorBody{Code: "infeasible", Message: msg}
+	}
+	return http.StatusInternalServerError, ErrorBody{Code: "internal", Message: msg}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status, body := renderError(err)
+	writeBody(w, status, body, "")
+}
+
+func writeBody(w http.ResponseWriter, status int, body []byte, cacheStatus string) {
+	w.Header().Set("Content-Type", "application/json")
+	if cacheStatus != "" {
+		w.Header().Set("X-Himap-Cache", cacheStatus)
+	}
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
+	resp := KernelsResponse{SchemaVersion: SchemaVersion}
+	for _, k := range append(kernel.Evaluation(), kernel.Extensions()...) {
+		resp.Kernels = append(resp.Kernels, KernelInfo{
+			Name: k.Name, Desc: k.Desc, Suite: k.Suite, Dim: k.Dim, Ops: k.NumComputeOps(),
+		})
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeBody(w, http.StatusOK, append(body, '\n'), "")
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.metrics.Snapshot()
+	snap.CacheEntries, snap.CacheBytes = s.cache.stats()
+	format := r.URL.Query().Get("format")
+	if format == "json" || strings.Contains(r.Header.Get("Accept"), "application/json") {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(snap.MarshalJSONIndent())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	snap.WriteText(w)
+}

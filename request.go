@@ -1,0 +1,86 @@
+package himap
+
+import (
+	"context"
+	"fmt"
+
+	"himap/internal/baseline"
+	core "himap/internal/himap"
+)
+
+// Mapper selects which compilation flow a Request runs.
+type Mapper string
+
+const (
+	// MapperHiMap is the hierarchical flow of the paper (Algorithm 1):
+	// IDFG → sub-CGRA mapping, systolic scheme search, place, route,
+	// replicate. The zero Mapper value means MapperHiMap.
+	MapperHiMap Mapper = "himap"
+	// MapperConventional is the flat DFG → MRRG simulated-annealing
+	// mapper the paper evaluates against (the "BHC" stand-in).
+	MapperConventional Mapper = "conventional"
+)
+
+// Request is the unified compilation request: one kernel, one target
+// fabric, one mapper, and that mapper's tuning options. It is the single
+// input type of CompileRequest; the legacy Compile, CompileFabric,
+// CompileBaseline, and CompileBaselineFabric entry points are thin
+// wrappers constructing a Request.
+type Request struct {
+	// Kernel is the loop kernel to map. Required.
+	Kernel *Kernel
+	// Fabric is the target architecture. Fabric{CGRA: cg} reproduces the
+	// classic mesh/all-memory model.
+	Fabric Fabric
+	// Mapper selects the flow; the zero value is MapperHiMap.
+	Mapper Mapper
+	// Options tunes the HiMap flow (ignored by MapperConventional).
+	Options Options
+	// Block is the unrolled block extent per loop dimension, used only by
+	// MapperConventional (the HiMap flow derives its own block from the
+	// systolic scheme). Nil defaults to Kernel.UniformBlock(4).
+	Block []int
+	// Baseline tunes the conventional flow (ignored by MapperHiMap).
+	Baseline BaselineOptions
+}
+
+// CompileRequest is the canonical compilation entry point: it dispatches
+// the request to the selected mapper, honoring ctx for cancellation and
+// deadlines (a canceled compile fails with an error wrapping
+// ErrCanceled). A nil ctx is treated as context.Background().
+//
+// For MapperHiMap the Result is the familiar hierarchical mapping. For
+// MapperConventional the shared fields (Kernel, Fabric, CGRA, Block,
+// Config, Utilization) are filled from the conventional mapping and
+// Result.Conventional holds the full *BaselineResult; the
+// hierarchical-only fields are nil/zero.
+func CompileRequest(ctx context.Context, req Request) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	switch req.Mapper {
+	case MapperHiMap, "":
+		return core.CompileRequest(ctx, req.Kernel, req.Fabric, req.Options)
+	case MapperConventional:
+		block := req.Block
+		if block == nil && req.Kernel != nil {
+			block = req.Kernel.UniformBlock(4)
+		}
+		res, err := baseline.CompileRequest(ctx, req.Kernel, req.Fabric, block, req.Baseline)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Kernel:       res.Kernel,
+			Fabric:       req.Fabric,
+			CGRA:         req.Fabric.CGRA,
+			Block:        res.Block,
+			Config:       res.Config,
+			Utilization:  res.Utilization,
+			Conventional: res,
+		}, nil
+	default:
+		return nil, fmt.Errorf("himap: unknown mapper %q (want %q or %q)",
+			req.Mapper, MapperHiMap, MapperConventional)
+	}
+}

@@ -15,3 +15,6 @@ go vet ./...
 go build ./...
 go run ./cmd/himaplint ./...
 go test -race ./...
+# himapd end-to-end smoke: ephemeral port, served-vs-direct byte diff,
+# cache hit, metrics, graceful SIGTERM shutdown.
+go run ./scripts/himapd_smoke
