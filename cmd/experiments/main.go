@@ -133,6 +133,10 @@ func main() {
 			}
 			fmt.Fprintln(os.Stderr, line)
 		}
+		for _, p := range rep.FabricSweep {
+			fmt.Fprintf(os.Stderr, "  fabric %-6s %2dx%-2d %9.1f ms (route %.1f, unique %.1f, %d rounds)\n",
+				p.Kernel, p.Size, p.Size, p.WallMS, p.RouteMS, p.UniqueMS, p.RouteRounds)
+		}
 	}
 }
 

@@ -1,0 +1,75 @@
+package arch
+
+import "testing"
+
+// bfsHop computes the true link distance between PEs by breadth-first
+// search over the fabric's enumerated links — the reference HopDist must
+// match exactly.
+func bfsHop(f Fabric, r1, c1, r2, c2 int) int {
+	type pe struct{ r, c int }
+	dist := map[pe]int{{r1, c1}: 0}
+	queue := []pe{{r1, c1}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.r == r2 && cur.c == c2 {
+			return dist[cur]
+		}
+		for d := 0; d < f.NumLinkDirs(); d++ {
+			if nr, nc, ok := f.LinkNeighbor(cur.r, cur.c, Dir(d)); ok {
+				n := pe{nr, nc}
+				if _, seen := dist[n]; !seen {
+					dist[n] = dist[cur] + 1
+					queue = append(queue, n)
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// TestHopDistMatchesBFS verifies the closed-form hop distance against a
+// BFS over the real link graph for every topology, including non-square
+// and degenerate (size-1 axis) arrays. Exactness is what makes the
+// router's A* heuristic both admissible and tight.
+func TestHopDistMatchesBFS(t *testing.T) {
+	sizes := [][2]int{{1, 1}, {1, 5}, {2, 2}, {3, 4}, {4, 4}, {5, 3}, {6, 6}}
+	for _, topo := range []Topology{TopoMesh, TopoTorus, TopoMeshDiag} {
+		for _, sz := range sizes {
+			f := Fabric{CGRA: Default(sz[0], sz[1]), Topology: topo}
+			for r1 := 0; r1 < f.Rows; r1++ {
+				for c1 := 0; c1 < f.Cols; c1++ {
+					for r2 := 0; r2 < f.Rows; r2++ {
+						for c2 := 0; c2 < f.Cols; c2++ {
+							want := bfsHop(f, r1, c1, r2, c2)
+							got := f.HopDist(r1, c1, r2, c2)
+							if got != want {
+								t.Fatalf("%s %dx%d: HopDist(%d,%d -> %d,%d) = %d, BFS says %d",
+									topo, f.Rows, f.Cols, r1, c1, r2, c2, got, want)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestHopDistWrapsCoordinates checks that unwrapped (off-array)
+// coordinates fold onto the torus before measuring — routing passes real
+// translated coordinates straight through.
+func TestHopDistNeverOverestimatesOnUnwrapped(t *testing.T) {
+	f := Fabric{CGRA: Default(4, 6), Topology: TopoTorus}
+	for _, tc := range []struct{ r1, c1, r2, c2, want int }{
+		{0, 0, 4, 6, 0},   // full wrap in both axes
+		{0, 0, -1, 0, 1},  // negative row folds to the last row
+		{1, 2, 1, 8, 0},   // column wraps onto itself
+		{0, 0, 3, 0, 1},   // shorter way around the rows
+		{0, 0, 0, 5, 1},   // shorter way around the columns
+		{-2, -2, 1, 1, 4}, // folds to (2,4), then wrapped Manhattan 1+3
+	} {
+		if got := f.HopDist(tc.r1, tc.c1, tc.r2, tc.c2); got != tc.want {
+			t.Errorf("HopDist(%d,%d -> %d,%d) = %d, want %d", tc.r1, tc.c1, tc.r2, tc.c2, got, tc.want)
+		}
+	}
+}

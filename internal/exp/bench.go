@@ -46,6 +46,23 @@ type BenchReport struct {
 	// wall-clock with the configured Workers.
 	SweepPoints int     `json:"sweep_points"`
 	SweepWallMS float64 `json:"sweep_wall_ms"`
+	// FabricSweep scales the array size up to 64×64 for the fast
+	// kernels, tracking the route and unique stage costs the router
+	// rewrite targets.
+	FabricSweep []FabricPoint `json:"fabric_sweep"`
+}
+
+// FabricPoint is one cell of the fabric-size scaling sweep: one kernel
+// compiled cold at one array size, with the stage costs that dominate
+// large-fabric compiles broken out.
+type FabricPoint struct {
+	Kernel      string  `json:"kernel"`
+	Size        int     `json:"size"`
+	WallMS      float64 `json:"wall_ms"`
+	RouteMS     float64 `json:"route_ms"`
+	UniqueMS    float64 `json:"unique_ms"`
+	RouteRounds int     `json:"route_rounds"`
+	Nets        int     `json:"nets"`
 }
 
 // BenchCompile compiles every evaluation kernel at the given size,
@@ -111,6 +128,32 @@ func BenchCompile(size, workers int) (*BenchReport, error) {
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("exp: bench sweep %s %dx%d: %v", jobs[i].k.Name, jobs[i].c, jobs[i].c, err)
+		}
+	}
+
+	// Fabric-size scaling: cold compiles of the fast kernels up to a
+	// 64×64 mesh, with the route/unique stage cost per size.
+	fabricKernels := []*kernel.Kernel{kernel.ADI(), kernel.ATAX(), kernel.BICG(), kernel.MVT()}
+	for _, fsz := range []int{8, 16, 32, 64} {
+		for _, k := range fabricKernels {
+			col := diag.NewCollector()
+			start := time.Now()
+			res, err := himap.Compile(k, arch.Default(fsz, fsz),
+				himap.Options{Workers: 1, Tracer: col, Memo: himap.NewMemo()})
+			wall := time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("exp: fabric sweep %s %dx%d: %v", k.Name, fsz, fsz, err)
+			}
+			sw := col.StageWall()
+			rep.FabricSweep = append(rep.FabricSweep, FabricPoint{
+				Kernel:      k.Name,
+				Size:        fsz,
+				WallMS:      float64(wall.Microseconds()) / 1000,
+				RouteMS:     float64(sw[himap.StageRoute].Microseconds()) / 1000,
+				UniqueMS:    float64(sw[himap.StageUnique].Microseconds()) / 1000,
+				RouteRounds: res.Stats.RouteRounds,
+				Nets:        res.Stats.CanonicalNets,
+			})
 		}
 	}
 	return rep, nil

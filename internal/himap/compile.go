@@ -52,6 +52,19 @@ type Options struct {
 	// 0 means runtime.GOMAXPROCS(0); 1 executes exactly the historical
 	// sequential flow.
 	Workers int
+	// IncrementalRoute keeps classes whose routed resources ended a
+	// negotiated-congestion round within capacity, re-applying their
+	// plans verbatim instead of re-routing them (incremental PathFinder
+	// rip-up). Only congested classes re-route against the bumped
+	// history. Off by default: clean nets re-routed from scratch can
+	// legally choose different paths once history changes, so
+	// incremental results are not bit-identical to the historical flow
+	// on kernels needing more than one round (single-round kernels are
+	// unaffected). Every emitted mapping still passes full validation.
+	IncrementalRoute bool
+	// routeLegacy selects the pre-A* global-heap Dijkstra router core —
+	// kept for differential testing of the A*+bucket-queue rewrite.
+	routeLegacy bool
 	// Tracer receives one span per executed pipeline stage (see
 	// internal/diag). nil means no tracing.
 	Tracer diag.Tracer
@@ -147,6 +160,9 @@ type Stats struct {
 	Attempts      int // (sub-mapping, scheme) pairs tried
 	CanonicalNets int
 	RouteRounds   int
+	// KeptClasses counts class plans carried across negotiated-congestion
+	// rounds by incremental re-route (0 unless Options.IncrementalRoute).
+	KeptClasses int
 }
 
 // Compile maps the kernel onto the CGRA with the HiMap algorithm and

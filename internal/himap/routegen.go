@@ -8,6 +8,7 @@ import (
 	"himap/internal/diag"
 	"himap/internal/ir"
 	"himap/internal/mrrg"
+	"himap/internal/par"
 	"himap/internal/route"
 )
 
@@ -32,6 +33,32 @@ type layout struct {
 	loadRel []map[int]RelPlace
 	// policy is the relay-pin ablation knob (see Options.RelayPolicy).
 	policy RelayPolicy
+	// workers bounds route-round parallelism: waves of provably
+	// independent nets (disjoint wrapped-cycle footprints) route
+	// concurrently. <= 1 executes the historical sequential loop.
+	workers int
+	// incremental keeps congestion-free classes across negotiated-
+	// congestion rounds instead of re-routing every net (incremental
+	// PathFinder; see Options.IncrementalRoute).
+	incremental bool
+	// legacy selects the pre-A* Dijkstra router core (differential
+	// testing only; see route.Session.Legacy).
+	legacy bool
+	// waveScratch holds one router search Scratch per wave position, so
+	// concurrent searches never share working memory.
+	waveScratch []*route.Scratch
+
+	// pendBuf/sinkBuf/tgtBuf are arenas reused across every
+	// buildClassNets call (one class per call, many calls per congestion
+	// round): pending nets, their sinks, and the sink target sets.
+	// Sinks and targets are addressed by [lo, hi) index ranges into the
+	// shared arenas rather than subslices, so arena growth during
+	// construction cannot strand earlier entries on stale backing
+	// arrays. All three are append-only while a class routes, so wave
+	// workers read them concurrently without synchronization.
+	pendBuf []pendingNet
+	sinkBuf []pendingSink
+	tgtBuf  []mrrg.Node
 }
 
 // RelPlaceReg is a region-relative relay resource for route pins: either
@@ -239,6 +266,9 @@ type RouteStats struct {
 	UniqueIters   int
 	CanonicalNets int
 	Rounds        int
+	// KeptClasses counts class plans carried over between rounds by
+	// incremental re-route (always 0 when IncrementalRoute is off).
+	KeptClasses int
 }
 
 // routeCanonical performs Algorithm 1 lines 21-27: routes the minimal
@@ -248,6 +278,7 @@ type RouteStats struct {
 func (l *layout) routeCanonical(maxRounds int) ([][]canonNet, RouteStats, error) {
 	g := mrrg.New(l.cg, l.iib)
 	ses := route.NewSession(g)
+	ses.Legacy = l.legacy
 	stats := RouteStats{UniqueIters: len(l.classes)}
 	l.computePins()
 	l.loadRel = make([]map[int]RelPlace, len(l.classes))
@@ -256,14 +287,43 @@ func (l *layout) routeCanonical(maxRounds int) ([][]canonNet, RouteStats, error)
 	}
 
 	var plans [][]canonNet
+	var prevPlans [][]canonNet // last failed round's plans (aligned prefix)
+	var allNets []*route.Net
 	var roundErr error
 	for round := 0; round < maxRounds; round++ {
 		stats.Rounds = round + 1
+		// Incremental re-route: decide — against the occupancy the failed
+		// round left behind, before it is reset — which classes can keep
+		// their plans: every resource of every net, under every member's
+		// translation (plus the members' boundary-load slots), must be
+		// within capacity. Classes touching congestion re-route against
+		// the bumped history, exactly as PathFinder negotiates.
+		var keep []bool
+		if l.incremental && len(prevPlans) > 0 {
+			keep = make([]bool, len(l.classes))
+			for ci, cl := range l.classes {
+				keep[ci] = ci < len(prevPlans) && l.classClean(ses, g, ci, cl, prevPlans[ci])
+			}
+		}
 		ses.ResetKeepHistory()
 		for i := range l.loadRel {
-			l.loadRel[i] = map[int]RelPlace{}
+			if keep == nil || !keep[i] {
+				l.loadRel[i] = map[int]RelPlace{}
+			}
 		}
-		plans = plans[:0]
+		if l.incremental {
+			plans = nil // prevPlans aliases the old backing array
+		} else {
+			// Without incremental keep, nothing references a dropped
+			// round's nets once its history is bumped — recycle their
+			// storage so later rounds re-route allocation-free.
+			for _, nets := range plans {
+				for i := range nets {
+					ses.FreeNet(nets[i].net)
+				}
+			}
+			plans = plans[:0]
+		}
 		roundErr = nil
 
 		// Reserve every cluster's fixed placements (FUs and generic loads).
@@ -273,12 +333,29 @@ func (l *layout) routeCanonical(maxRounds int) ([][]canonNet, RouteStats, error)
 			}
 		}
 
-		var allNets []*route.Net
+		allNets = allNets[:0]
 		for classIdx, cl := range l.classes {
-			nets, err := l.routeClass(ses, g, classIdx, cl)
-			if err != nil {
-				roundErr = fmt.Errorf("class %d (rep %v): %w", classIdx, l.g.Clusters[cl.Rep].Iter, err)
-				break
+			rep := cl.Rep
+			bt, br, bc := l.regionBase(rep)
+			var nets []canonNet
+			if keep != nil && keep[classIdx] {
+				// Re-apply the kept plan's charges verbatim: the canonical
+				// nets and the representative's boundary-load slots.
+				nets = prevPlans[classIdx]
+				for i := range nets {
+					ses.Recharge(nets[i].net)
+				}
+				for _, lr := range l.loadRel[classIdx] {
+					ses.Reserve(mrrg.Node{T: bt + lr.T, R: br + lr.R, C: bc + lr.C, Class: mrrg.ClassMemRead})
+				}
+				stats.KeptClasses++
+			} else {
+				var err error
+				nets, err = l.routeClass(ses, g, classIdx, cl)
+				if err != nil {
+					roundErr = fmt.Errorf("class %d (rep %v): %w", classIdx, l.g.Clusters[cl.Rep].Iter, err)
+					break
+				}
 			}
 			plans = append(plans, nets)
 			for i := range nets {
@@ -286,8 +363,6 @@ func (l *layout) routeCanonical(maxRounds int) ([][]canonNet, RouteStats, error)
 			}
 			// Charge the replicas of this class (routes and boundary-load
 			// slots) so later classes see the real congestion.
-			rep := cl.Rep
-			bt, br, bc := l.regionBase(rep)
 			for _, m := range cl.Members {
 				if m == rep {
 					continue
@@ -304,12 +379,14 @@ func (l *layout) routeCanonical(maxRounds int) ([][]canonNet, RouteStats, error)
 		}
 		if roundErr != nil {
 			// Escalate costs where the failure occurred and retry.
+			prevPlans = plans
 			if ses.BumpHistory(allNets) == 0 {
 				return nil, stats, roundErr
 			}
 			continue
 		}
 		if over := ses.OversubscribedIn(allNets); len(over) > 0 {
+			prevPlans = plans
 			ses.BumpHistory(allNets)
 			show := over
 			if len(show) > 4 {
@@ -327,6 +404,34 @@ func (l *layout) routeCanonical(maxRounds int) ([][]canonNet, RouteStats, error)
 		stats.CanonicalNets += len(nets)
 	}
 	return plans, stats, nil
+}
+
+// classClean reports whether a routed class plan survived the round
+// congestion-free: every node of every net — under every member's
+// translation — and every member's boundary-load slot is within
+// capacity. Must run against end-of-round occupancy, before
+// ResetKeepHistory.
+func (l *layout) classClean(ses *route.Session, g *mrrg.Graph, classIdx int, cl *UniqueClass, nets []canonNet) bool {
+	bt, br, bc := l.regionBase(cl.Rep)
+	for _, m := range cl.Members {
+		mt, mr, mc := l.regionBase(m)
+		dt, dr, dc := mt-bt, mr-br, mc-bc
+		for i := range nets {
+			for _, n := range nets[i].net.NodeList() {
+				sn := n.Shifted(dt, dr, dc)
+				if ses.Occ(sn) > g.Capacity(sn.Class) {
+					return false
+				}
+			}
+		}
+		for _, lr := range l.loadRel[classIdx] {
+			sn := mrrg.Node{T: mt + lr.T, R: mr + lr.R, C: mc + lr.C, Class: mrrg.ClassMemRead}
+			if ses.Occ(sn) > g.Capacity(mrrg.ClassMemRead) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // classEnvelope returns the spatial window (in the representative's
@@ -371,15 +476,6 @@ func (l *layout) routeClass(ses *route.Session, g *mrrg.Graph, classIdx int, cl 
 	}
 	ses.Filter = inEnv
 	defer func() { ses.Filter = nil }()
-	filterTargets := func(ts []mrrg.Node) []mrrg.Node {
-		out := ts[:0]
-		for _, n := range ts {
-			if inEnv(n) {
-				out = append(out, n)
-			}
-		}
-		return out
-	}
 
 	// Choose memory slots for boundary loads first (they act as sources).
 	for _, id := range rep.Nodes {
@@ -395,7 +491,77 @@ func (l *layout) routeClass(ses *route.Session, g *mrrg.Graph, classIdx int, cl 
 		}
 	}
 
-	var nets []canonNet
+	// Build every net and its sink target sets up front (target
+	// construction reads placement geometry only, never occupancy), then
+	// route. A construction failure still routes the nets built before it
+	// — routing errors are sequentially earlier, so they win; either way
+	// the session carries exactly the occupancy the historical
+	// interleaved loop left behind.
+	pend, buildErr := l.buildClassNets(ses, g, cl, inEnv)
+	if err := l.routePending(ses, pend); err != nil {
+		return nil, err
+	}
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	nets := make([]canonNet, len(pend))
+	for i := range pend {
+		nets[i] = pend[i].cn
+	}
+	return nets, nil
+}
+
+// pendingSink is one fully-constructed sink of a pending net: its target
+// set (the [tgt0, tgt1) range of the layout's target arena) plus the
+// replication metadata, built before any routing so that independent
+// nets can route concurrently.
+type pendingSink struct {
+	tgt0, tgt1 int
+	meta       canonSink
+	fromName   string
+	toName     string
+}
+
+// pendingNet is a canonical net with every sink target constructed but
+// nothing routed yet; its sinks are the [sink0, sink1) range of the
+// layout's sink arena. lo/hi bound every real cycle its search can
+// touch: seeds (source and earlier sink paths) and targets all live in
+// [lo, hi], and search edges never step outside [min seed T, max target
+// T]. Two pending nets with disjoint wrapped-cycle windows therefore
+// read and write provably disjoint occupancy.
+type pendingNet struct {
+	cn           canonNet
+	sink0, sink1 int
+	lo, hi       int
+}
+
+// buildClassNets constructs the pending nets of one class representative
+// in canonical order. On a construction error it returns the nets built
+// so far — including the partially-built failing net, whose earlier
+// sinks the historical loop had already routed — alongside the error.
+func (l *layout) buildClassNets(ses *route.Session, g *mrrg.Graph, cl *UniqueClass, inEnv func(mrrg.Node) bool) ([]pendingNet, error) {
+	pend, err := l.buildClassNetsInto(l.pendBuf[:0], ses, g, cl, inEnv)
+	l.pendBuf = pend // keep the grown backing array for the next class
+	return pend, err
+}
+
+// filterTgtArena drops the out-of-envelope nodes of the target arena's
+// tail [t0:] in place.
+func (l *layout) filterTgtArena(t0 int, inEnv func(mrrg.Node) bool) {
+	out := l.tgtBuf[:t0]
+	for _, n := range l.tgtBuf[t0:] {
+		if inEnv(n) {
+			out = append(out, n)
+		}
+	}
+	l.tgtBuf = out
+}
+
+func (l *layout) buildClassNetsInto(pend []pendingNet, ses *route.Session, g *mrrg.Graph, cl *UniqueClass, inEnv func(mrrg.Node) bool) ([]pendingNet, error) {
+	d := l.g.DFG
+	rep := l.g.Clusters[cl.Rep]
+	l.sinkBuf = l.sinkBuf[:0]
+	l.tgtBuf = l.tgtBuf[:0]
 	for _, id := range rep.Nodes {
 		n := d.Nodes[id]
 		if len(d.OutEdges(id)) == 0 {
@@ -411,75 +577,204 @@ func (l *layout) routeClass(ses *route.Session, g *mrrg.Graph, classIdx int, cl 
 			} else if abs, ok := l.loadAbs(id); ok {
 				src = abs
 			} else {
-				return nil, fmt.Errorf("himap: load %v has no placement: %w", n, diag.ErrPlacementInfeasible)
+				return pend, fmt.Errorf("himap: load %v has no placement: %w", n, diag.ErrPlacementInfeasible)
 			}
 		case n.Kind == ir.OpRoute:
 			pin, ok := l.pinAbs(id)
 			if !ok {
-				return nil, fmt.Errorf("himap: route %v has no pin: %w", n, diag.ErrPlacementInfeasible)
+				return pend, fmt.Errorf("himap: route %v has no pin: %w", n, diag.ErrPlacementInfeasible)
 			}
 			src = pin
 		default:
 			continue // stores have no out-edges
 		}
-		cn := canonNet{
-			SrcID: id, SrcBody: n.BodyOp,
-			SrcDIter: n.Iter.Sub(rep.Iter),
-			Src:      src,
-			net:      ses.NewNet(src),
+		p := pendingNet{
+			cn: canonNet{
+				SrcID: id, SrcBody: n.BodyOp,
+				SrcDIter: n.Iter.Sub(rep.Iter),
+				Src:      src,
+				net:      ses.NewNet(src),
+			},
+			sink0: len(l.sinkBuf), sink1: len(l.sinkBuf),
+			lo: src.T, hi: src.T,
 		}
 		for _, ei := range d.OutEdges(id) {
 			e := d.Edges[ei]
 			to := d.Nodes[e.To]
-			var targets []mrrg.Node
+			t0 := len(l.tgtBuf)
+			var err error
 			switch {
 			case to.Kind.IsCompute():
 				abs, ok := l.nodeAbs(e.To)
 				if !ok {
-					return nil, fmt.Errorf("himap: consumer %v unplaced: %w", to, diag.ErrPlacementInfeasible)
+					err = fmt.Errorf("himap: consumer %v unplaced: %w", to, diag.ErrPlacementInfeasible)
+					break
 				}
-				targets = filterTargets(g.OperandTargets(abs.T, abs.R, abs.C))
+				l.tgtBuf = g.AppendOperandTargets(l.tgtBuf, abs.T, abs.R, abs.C)
+				l.filterTgtArena(t0, inEnv)
 			case to.Kind == ir.OpRoute:
 				pin, ok := l.pinAbs(e.To)
 				if !ok {
-					return nil, fmt.Errorf("himap: route consumer %v has no pin: %w", to, diag.ErrPlacementInfeasible)
+					err = fmt.Errorf("himap: route consumer %v has no pin: %w", to, diag.ErrPlacementInfeasible)
+					break
 				}
-				targets = []mrrg.Node{pin}
+				l.tgtBuf = append(l.tgtBuf, pin)
 			case to.Kind == ir.OpStore:
-				targets = filterTargets(l.storeTargets(g, e.To, src.T))
-				if len(targets) == 0 && l.cg.Mem != arch.MemAll {
-					return nil, diag.Failf(diag.ErrMemPortInfeasible,
+				l.tgtBuf = l.appendStoreTargets(l.tgtBuf, g, e.To, src.T)
+				l.filterTgtArena(t0, inEnv)
+				if len(l.tgtBuf) == t0 && l.cg.Mem != arch.MemAll {
+					err = diag.Failf(diag.ErrMemPortInfeasible,
 						"himap: no memory-write port reachable for store %s within its region on the %s fabric", to.Name, l.cg)
 				}
 			default:
-				return nil, fmt.Errorf("himap: bad consumer kind %v: %w", to.Kind, diag.ErrPlacementInfeasible)
+				err = fmt.Errorf("himap: bad consumer kind %v: %w", to.Kind, diag.ErrPlacementInfeasible)
 			}
-			if len(targets) == 0 {
-				return nil, fmt.Errorf("himap: no replicable delivery for %s -> %s (class envelope too tight): %w", n.Name, to.Name, diag.ErrReplicaConflict)
+			if err == nil && len(l.tgtBuf) == t0 {
+				err = fmt.Errorf("himap: no replicable delivery for %s -> %s (class envelope too tight): %w", n.Name, to.Name, diag.ErrReplicaConflict)
 			}
-			path, _, err := ses.RouteSink(cn.net, targets)
 			if err != nil {
-				return nil, fmt.Errorf("net %s -> %s: %w", n.Name, to.Name, err)
+				p.sink1 = len(l.sinkBuf)
+				pend = append(pend, p)
+				return pend, err
 			}
-			cn.Sinks = append(cn.Sinks, canonSink{
-				ConsumerBody:  to.BodyOp,
-				ConsumerDIter: to.Iter.Sub(rep.Iter),
-				Port:          e.ToPort,
-				Kind:          to.Kind,
-				Path:          path,
+			for _, tn := range l.tgtBuf[t0:] {
+				if tn.T < p.lo {
+					p.lo = tn.T
+				}
+				if tn.T > p.hi {
+					p.hi = tn.T
+				}
+			}
+			l.sinkBuf = append(l.sinkBuf, pendingSink{
+				tgt0:     t0,
+				tgt1:     len(l.tgtBuf),
+				fromName: n.Name,
+				toName:   to.Name,
+				meta: canonSink{
+					ConsumerBody:  to.BodyOp,
+					ConsumerDIter: to.Iter.Sub(rep.Iter),
+					Port:          e.ToPort,
+					Kind:          to.Kind,
+				},
 			})
 		}
-		nets = append(nets, cn)
+		p.sink1 = len(l.sinkBuf)
+		pend = append(pend, p)
 	}
-	return nets, nil
+	return pend, nil
 }
 
-// storeTargets returns candidate memory write ports for a store node: any
-// cycle of its cluster's region window at or after the producer.
-func (l *layout) storeTargets(g *mrrg.Graph, id int, fromT int) []mrrg.Node {
+// routeNet routes every sink of one pending net, in order, committing
+// paths into the session's occupancy as it goes. sc selects an explicit
+// search scratch (wave routing); nil uses the session's own.
+func (l *layout) routeNet(ses *route.Session, sc *route.Scratch, p *pendingNet) error {
+	for si := p.sink0; si < p.sink1; si++ {
+		s := &l.sinkBuf[si]
+		targets := l.tgtBuf[s.tgt0:s.tgt1]
+		var path route.Path
+		var err error
+		if sc != nil {
+			path, _, err = ses.RouteSinkIn(sc, p.cn.net, targets)
+		} else {
+			path, _, err = ses.RouteSink(p.cn.net, targets)
+		}
+		if err != nil {
+			return fmt.Errorf("net %s -> %s: %w", s.fromName, s.toName, err)
+		}
+		s.meta.Path = path
+		p.cn.Sinks = append(p.cn.Sinks, s.meta)
+	}
+	return nil
+}
+
+// routePending routes the class's pending nets: sequentially at
+// workers <= 1 (the historical flow), otherwise in waves of provably
+// independent nets. Waves require wrapped occupancy (so a cycle window
+// is a complete footprint) and II <= 64 (one mask word).
+func (l *layout) routePending(ses *route.Session, pend []pendingNet) error {
+	if l.workers > 1 && ses.G.Wrap && l.iib <= 64 {
+		return l.routeWaves(ses, pend)
+	}
+	for i := range pend {
+		if err := l.routeNet(ses, nil, &pend[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cycleMask is the wrapped-cycle footprint of the real-cycle window
+// [lo, hi] as a bitmask; callers guarantee ii <= 64.
+//
+//himap:noalloc
+func cycleMask(lo, hi, ii int) uint64 {
+	if hi-lo+1 >= ii {
+		return ^uint64(0) >> (64 - uint(ii))
+	}
+	var m uint64
+	for t := lo; t <= hi; t++ {
+		m |= 1 << uint(((t%ii)+ii)%ii)
+	}
+	return m
+}
+
+// routeWaves routes maximal prefixes of pairwise cycle-disjoint nets
+// concurrently. Disjoint wrapped-cycle windows mean disjoint occupancy
+// reads and writes, so the committed paths — and every later search —
+// are bit-identical to the sequential order. On failure the sequential
+// state is reproduced: the first failing net (in canonical order) keeps
+// its earlier sinks committed, and every net after it in the wave is
+// released as if it had never routed.
+func (l *layout) routeWaves(ses *route.Session, pend []pendingNet) error {
+	if l.waveScratch == nil {
+		l.waveScratch = make([]*route.Scratch, l.workers)
+		for i := range l.waveScratch {
+			l.waveScratch[i] = &route.Scratch{}
+		}
+	}
+	errs := make([]error, l.workers)
+	for base := 0; base < len(pend); {
+		wave := 1
+		used := cycleMask(pend[base].lo, pend[base].hi, l.iib)
+		for base+wave < len(pend) && wave < l.workers {
+			m := cycleMask(pend[base+wave].lo, pend[base+wave].hi, l.iib)
+			if used&m != 0 {
+				break
+			}
+			used |= m
+			wave++
+		}
+		if wave == 1 {
+			if err := l.routeNet(ses, nil, &pend[base]); err != nil {
+				return err
+			}
+			base++
+			continue
+		}
+		par.ForEach(wave, wave, func(k int) {
+			errs[k] = l.routeNet(ses, l.waveScratch[k], &pend[base+k])
+		})
+		for k := 0; k < wave; k++ {
+			if errs[k] != nil {
+				for j := k + 1; j < wave; j++ {
+					ses.Release(pend[base+j].cn.net)
+					pend[base+j].cn.Sinks = pend[base+j].cn.Sinks[:0]
+				}
+				return errs[k]
+			}
+		}
+		base += wave
+	}
+	return nil
+}
+
+// appendStoreTargets appends candidate memory write ports for a store
+// node to dst: any cycle of its cluster's region window at or after the
+// producer.
+func (l *layout) appendStoreTargets(dst []mrrg.Node, g *mrrg.Graph, id int, fromT int) []mrrg.Node {
 	ci := l.g.ClusterOf(id)
 	bt, br, bc := l.regionBase(ci)
-	var out []mrrg.Node
+	out := dst
 	lo := fromT
 	if bt > lo {
 		lo = bt

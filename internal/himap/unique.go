@@ -3,7 +3,6 @@ package himap
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"himap/internal/ir"
 	"himap/internal/systolic"
@@ -37,23 +36,33 @@ func PlaceClusters(g *ir.ISDG, m *systolic.Mapping) *ClusterPlace {
 // "Two IDFGs are the same if the relative placements of all input and
 // output nodes of the IDFGs are the same").
 type UniqueClass struct {
-	Sig     string
-	Rep     int   // representative cluster ID (lowest)
-	Members []int // all cluster IDs, ascending
+	Sig     string // hex of the 128-bit content hash (diagnostics only)
+	Rep     int    // representative cluster ID (lowest)
+	Members []int  // all cluster IDs, ascending
 }
 
 // IdentifyUnique computes the unique iteration classes of the placed ISDG
 // (Algorithm 1 lines 18-20). The returned classes are ordered by
 // representative cluster ID; byCluster maps every cluster to its class
 // index.
+//
+// Cluster identity is decided by a 128-bit content hash over the same
+// canonical facts the historical string signature rendered (node
+// structure, constants, tensors, and the relative space-time and
+// iteration offsets of cross-cluster edges) — two clusters land in one
+// class iff their sorted part-hash multisets are equal, which matches
+// string-signature grouping up to a ~2^-128 hash collision. The hash is
+// computed into reused flat scratch, so the stage does no per-cluster
+// string formatting.
 func IdentifyUnique(g *ir.ISDG, cp *ClusterPlace) (classes []*UniqueClass, byCluster []int) {
-	bySig := map[string]*UniqueClass{}
+	bySig := map[sigHash]*UniqueClass{}
 	byCluster = make([]int, len(g.Clusters))
+	var sc sigScratch
 	for _, c := range g.Clusters {
-		sig := clusterSignature(g, cp, c.ID)
+		sig := clusterSignature(g, cp, c.ID, &sc)
 		cl, ok := bySig[sig]
 		if !ok {
-			cl = &UniqueClass{Sig: sig, Rep: c.ID}
+			cl = &UniqueClass{Sig: fmt.Sprintf("%016x%016x", sig[0], sig[1]), Rep: c.ID}
 			bySig[sig] = cl
 			classes = append(classes, cl)
 		}
@@ -68,40 +77,110 @@ func IdentifyUnique(g *ir.ISDG, cp *ClusterPlace) (classes []*UniqueClass, byClu
 	return classes, byCluster
 }
 
-// clusterSignature renders the canonical identity string of a cluster:
+// sigHash is the 128-bit cluster identity: two independently mixed
+// 64-bit FNV-style lanes over the cluster's canonical fact stream.
+type sigHash [2]uint64
+
+const (
+	fnvOffset  = 14695981039346656037
+	fnvPrime   = 1099511628211
+	mixOffset  = 0x2b992ddfa23249d6 // second-lane basis, decorrelated
+	mixPremult = 0x9e3779b97f4a7c15 // odd multiplier applied to lane-2 input
+)
+
+// word folds one 64-bit value into both lanes.
+func (h *sigHash) word(x uint64) {
+	h[0] = (h[0] ^ x) * fnvPrime
+	h[1] = (h[1] ^ (x * mixPremult)) * fnvPrime
+}
+
+// sint folds a signed field.
+func (h *sigHash) sint(x int) { h.word(uint64(int64(x))) }
+
+// str folds a string's length and bytes.
+func (h *sigHash) str(s string) {
+	h.word(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h.word(uint64(s[i]))
+	}
+}
+
+// vec folds an iteration vector (length-prefixed, like str).
+func (h *sigHash) vec(v ir.IterVec) {
+	h.word(uint64(len(v)))
+	for _, x := range v {
+		h.sint(x)
+	}
+}
+
+// sigScratch is the reusable working set of clusterSignature: the
+// per-part hashes of the cluster being signed.
+type sigScratch struct {
+	parts []sigHash
+}
+
+// Part type tags, folded first into every part hash so structurally
+// different facts with the same integer fields cannot merge.
+const (
+	partNode = iota + 1
+	partInternalEdge
+	partInput
+	partOutput
+)
+
+// clusterSignature computes the canonical identity hash of a cluster:
 // node structure, constants, memory tensors, and the space-time *and*
 // iteration-space offsets of all cross-cluster edges. The iteration-space
 // offsets are included so that replication can locate each member's
 // corresponding producer/consumer nodes; they refine the paper's purely
 // space-time criterion only in the degenerate case where two distinct
 // iteration distances map to the same space-time offset.
-func clusterSignature(g *ir.ISDG, cp *ClusterPlace, ci int) string {
+//
+// Each fact becomes one part hash; the sorted part hashes are chained
+// into the final 128-bit signature, so part order (like the historical
+// sorted-string join) does not matter.
+func clusterSignature(g *ir.ISDG, cp *ClusterPlace, ci int, sc *sigScratch) sigHash {
 	c := g.Clusters[ci]
 	d := g.DFG
-	var parts []string
+	sc.parts = sc.parts[:0]
+	part := func() *sigHash {
+		sc.parts = append(sc.parts, sigHash{fnvOffset, mixOffset})
+		return &sc.parts[len(sc.parts)-1]
+	}
 	for _, id := range c.Nodes {
 		n := d.Nodes[id]
-		tag := fmt.Sprintf("N:%d:%d", n.BodyOp, n.Kind)
+		p := part()
+		p.word(partNode)
+		p.sint(n.BodyOp)
+		p.sint(int(n.Kind))
 		if n.Kind.IsMemory() {
-			tag += ":" + n.Tensor
+			p.str(n.Tensor)
 		}
 		if n.HasConst {
-			tag += fmt.Sprintf(":c%d", n.Const)
+			p.word(1)
+			p.word(uint64(n.Const))
 		}
-		parts = append(parts, tag)
 		for _, ei := range d.InEdges(id) {
 			e := d.Edges[ei]
 			from := d.Nodes[e.From]
 			fc := g.ClusterOf(e.From)
 			if fc == ci {
-				parts = append(parts, fmt.Sprintf("E:%d>%d.%d", from.BodyOp, n.BodyOp, e.ToPort))
+				p := part()
+				p.word(partInternalEdge)
+				p.sint(from.BodyOp)
+				p.sint(n.BodyOp)
+				p.sint(e.ToPort)
 				continue
 			}
-			dt := cp.T[fc] - cp.T[ci]
-			dx := cp.X[fc] - cp.X[ci]
-			dy := cp.Y[fc] - cp.Y[ci]
-			di := from.Iter.Sub(c.Iter)
-			parts = append(parts, fmt.Sprintf("I:%d.%d<%d@%d,%d,%d@%s", n.BodyOp, e.ToPort, from.BodyOp, dt, dx, dy, di.Key()))
+			p := part()
+			p.word(partInput)
+			p.sint(n.BodyOp)
+			p.sint(e.ToPort)
+			p.sint(from.BodyOp)
+			p.sint(cp.T[fc] - cp.T[ci])
+			p.sint(cp.X[fc] - cp.X[ci])
+			p.sint(cp.Y[fc] - cp.Y[ci])
+			p.vec(from.Iter.Sub(c.Iter))
 		}
 		for _, ei := range d.OutEdges(id) {
 			e := d.Edges[ei]
@@ -110,15 +189,30 @@ func clusterSignature(g *ir.ISDG, cp *ClusterPlace, ci int) string {
 			if tc == ci {
 				continue
 			}
-			dt := cp.T[tc] - cp.T[ci]
-			dx := cp.X[tc] - cp.X[ci]
-			dy := cp.Y[tc] - cp.Y[ci]
-			di := to.Iter.Sub(c.Iter)
-			parts = append(parts, fmt.Sprintf("O:%d>%d.%d@%d,%d,%d@%s", n.BodyOp, to.BodyOp, e.ToPort, dt, dx, dy, di.Key()))
+			p := part()
+			p.word(partOutput)
+			p.sint(n.BodyOp)
+			p.sint(to.BodyOp)
+			p.sint(e.ToPort)
+			p.sint(cp.T[tc] - cp.T[ci])
+			p.sint(cp.X[tc] - cp.X[ci])
+			p.sint(cp.Y[tc] - cp.Y[ci])
+			p.vec(to.Iter.Sub(c.Iter))
 		}
 	}
-	sort.Strings(parts)
-	return strings.Join(parts, ";")
+	sort.Slice(sc.parts, func(i, j int) bool {
+		a, b := sc.parts[i], sc.parts[j]
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		return a[1] < b[1]
+	})
+	sig := sigHash{fnvOffset, mixOffset}
+	for _, p := range sc.parts {
+		sig.word(p[0])
+		sig.word(p[1])
+	}
+	return sig
 }
 
 // nodeIndex locates cluster-member nodes by (body op, iteration),

@@ -89,15 +89,45 @@ type Graph struct {
 	// a non-modular time extension (used for sub-CGRA feasibility checks).
 	II   int
 	Wrap bool
+
+	// links is the flattened per-PE interconnect table: links[pe*nd+d] is
+	// the destination PE index of direction d's link out of pe, or -1
+	// when the fabric has no such link (array edge on a mesh, suppressed
+	// size-1 self-link on a torus). Precomputed by the constructors so
+	// the successor enumeration on the router's hot path is table lookups
+	// instead of repeated topology math.
+	links []int32
 }
 
 // New returns the MRRG of the fabric, time-extended to ii cycles with
 // modulo wrap-around for resource accounting (H_II of §IV).
-func New(f arch.Fabric, ii int) *Graph { return &Graph{Fab: f, II: ii, Wrap: true} }
+func New(f arch.Fabric, ii int) *Graph {
+	return &Graph{Fab: f, II: ii, Wrap: true, links: buildLinks(f)}
+}
 
 // NewAcyclic returns a non-wrapping time extension of depth cycles (used
 // for IDFG → sub-CGRA mapping, H” of §IV).
-func NewAcyclic(f arch.Fabric, depth int) *Graph { return &Graph{Fab: f, II: depth, Wrap: false} }
+func NewAcyclic(f arch.Fabric, depth int) *Graph {
+	return &Graph{Fab: f, II: depth, Wrap: false, links: buildLinks(f)}
+}
+
+func buildLinks(f arch.Fabric) []int32 {
+	nd := f.NumLinkDirs()
+	links := make([]int32, f.NumPEs()*nd)
+	for r := 0; r < f.Rows; r++ {
+		for c := 0; c < f.Cols; c++ {
+			for d := 0; d < nd; d++ {
+				i := (r*f.Cols+c)*nd + d
+				if nr, nc, ok := f.LinkNeighbor(r, c, arch.Dir(d)); ok {
+					links[i] = int32(nr*f.Cols + nc)
+				} else {
+					links[i] = -1
+				}
+			}
+		}
+	}
+	return links
+}
 
 // NumDirs returns the per-PE link-direction (output register) count.
 //
@@ -212,6 +242,18 @@ func (g *Graph) DenseKey(n Node) int {
 //himap:noalloc
 func (g *Graph) NumDenseKeys() int { return g.II * g.Fab.NumPEs() * g.SlotsPerPE() }
 
+// TimeBase returns the dense-key offset of one wrapped cycle: every node
+// at real cycle t has DenseKey in [TimeBase(t), TimeBase(t)+NumPEs()*
+// SlotsPerPE()). The router precomputes one TimeBase per real cycle of a
+// search so the occupancy key of a relaxed node is a single add off its
+// dense search index instead of a full DenseKey (mod + wrap + switch)
+// evaluation.
+//
+//himap:noalloc
+func (g *Graph) TimeBase(t int) int {
+	return g.WrapTime(t) * g.Fab.NumPEs() * g.SlotsPerPE()
+}
+
 // Capacity returns the occupancy capacity of a node class.
 //
 //himap:noalloc
@@ -228,7 +270,9 @@ func (g *Graph) Capacity(c Class) int {
 
 // Succ invokes fn for every successor of n along the value-flow edges
 // described in the package comment. Times are real (monotone); space is
-// bounds-checked; acyclic graphs stop at their depth.
+// bounds-checked; acyclic graphs stop at their depth. Link existence
+// comes from the constructor-built per-PE table, so enumeration is a
+// table scan rather than per-edge topology math.
 func (g *Graph) Succ(n Node, fn func(Node)) {
 	emit := func(t, r, c int, cl Class, idx uint8) {
 		if !g.ValidTime(t) {
@@ -236,13 +280,14 @@ func (g *Graph) Succ(n Node, fn func(Node)) {
 		}
 		fn(Node{T: t, R: r, C: c, Class: cl, Idx: idx})
 	}
-	nd := arch.Dir(g.NumDirs())
+	nd := g.NumDirs()
+	pe := n.R*g.Fab.Cols + n.C
 	switch n.Class {
 	case ClassFU, ClassMemRead:
 		// Freshly produced (computed or loaded) value: fan out through the
 		// crossbar to output registers, the RF write port, or the store port.
-		for d := arch.Dir(0); d < nd; d++ {
-			if _, _, ok := g.Fab.LinkNeighbor(n.R, n.C, d); ok {
+		for d := 0; d < nd; d++ {
+			if g.links[pe*nd+d] >= 0 {
 				emit(n.T, n.R, n.C, ClassOut, uint8(d))
 			}
 		}
@@ -251,12 +296,12 @@ func (g *Graph) Succ(n Node, fn func(Node)) {
 			emit(n.T, n.R, n.C, ClassMemWrite, 0)
 		}
 	case ClassOut:
-		d := arch.Dir(n.Idx)
-		if nr, nc, ok := g.Fab.LinkNeighbor(n.R, n.C, d); ok {
+		if np := g.links[pe*nd+int(n.Idx)]; np >= 0 {
 			// Arrives at the neighbor next cycle: may be re-routed onward,
 			// written to its RF, or stored.
-			for d2 := arch.Dir(0); d2 < nd; d2++ {
-				if _, _, ok2 := g.Fab.LinkNeighbor(nr, nc, d2); ok2 {
+			nr, nc := int(np)/g.Fab.Cols, int(np)%g.Fab.Cols
+			for d2 := 0; d2 < nd; d2++ {
+				if g.links[int(np)*nd+d2] >= 0 {
 					emit(n.T+1, nr, nc, ClassOut, uint8(d2))
 				}
 			}
@@ -275,8 +320,8 @@ func (g *Graph) Succ(n Node, fn func(Node)) {
 		emit(n.T+1, n.R, n.C, ClassReg, n.Idx) // hold
 		emit(n.T, n.R, n.C, ClassRFRead, 0)    // read this cycle
 	case ClassRFRead:
-		for d := arch.Dir(0); d < nd; d++ {
-			if _, _, ok := g.Fab.LinkNeighbor(n.R, n.C, d); ok {
+		for d := 0; d < nd; d++ {
+			if g.links[pe*nd+d] >= 0 {
 				emit(n.T, n.R, n.C, ClassOut, uint8(d))
 			}
 		}
@@ -307,7 +352,14 @@ func (g *Graph) MemWriteNode(t, r, c int) Node {
 // latch), this PE's RF read port at t (register operand), or this PE's
 // memory read port at t (the producer is a load scheduled right here).
 func (g *Graph) OperandTargets(t, r, c int) []Node {
-	var out []Node
+	return g.AppendOperandTargets(nil, t, r, c)
+}
+
+// AppendOperandTargets is OperandTargets appending into dst, so callers
+// routing many nets can reuse one arena instead of allocating a target
+// slice per sink.
+func (g *Graph) AppendOperandTargets(dst []Node, t, r, c int) []Node {
+	out := dst
 	for d := arch.Dir(0); d < arch.Dir(g.NumDirs()); d++ {
 		nr, nc, ok := g.Fab.LinkNeighbor(r, c, d)
 		if !ok {

@@ -1,25 +1,49 @@
 // Package route implements negotiated-congestion routing on the implicit
-// MRRG: Dijkstra least-cost path search that allows resource
-// oversubscription, plus the PathFinder/SPR-style cost escalation loop
-// HiMap's MAP() and ROUTE() functions are built on (§V: "All ports are
-// initially assigned the same cost. At the end of each iteration, the
-// costs of oversubscribed ports are increased ... inspired by SPR").
+// MRRG: least-cost path search that allows resource oversubscription,
+// plus the PathFinder/SPR-style cost escalation loop HiMap's MAP() and
+// ROUTE() functions are built on (§V: "All ports are initially assigned
+// the same cost. At the end of each iteration, the costs of
+// oversubscribed ports are increased ... inspired by SPR").
 //
 // Searches run in *real* (unwrapped) time so that a route's length equals
 // the true producer→consumer latency; occupancy is charged modulo II via
 // mrrg.Graph.DenseKey. Search is pruned at the latest target cycle — the
 // resource edges are time-monotone, so no useful path extends past it.
 //
-// Memory discipline: the Dijkstra inner loop is allocation-free in steady
-// state. All per-search state (dist, parent, closed, target and ownership
-// marks) lives in flat generation-stamped scratch arrays owned by the
-// Session and indexed by dense packed node keys; a search invalidates the
-// previous search's entries by bumping a generation counter instead of
-// clearing or reallocating. The frontier is a hand-rolled min-heap of
-// value items (no container/heap interface boxing). Occupancy and history
-// costs are flat arrays over the modulo key space, so the enterCost call
-// on every relaxed edge is two array loads. See DESIGN.md ("Concurrency
-// model & hot-path memory discipline").
+// The default search core is A* over a Dial-style bucket queue; the
+// pre-A* binary-heap Dijkstra is kept behind Session.Legacy and the two
+// are bit-identical (see DESIGN.md "Router" for the argument):
+//
+//   - The heuristic is admissible and consistent: per target, 0.7 × the
+//     topology hop distance (arch.Fabric.HopDist — Manhattan, wrapped
+//     Manhattan on a torus, Chebyshev with diagonals) plus 0.3 × the
+//     remaining cycles, minimized over the targets (heuristicAt has the
+//     entry-cost accounting). Nodes from which no target is reachable in
+//     time are pruned outright.
+//   - Every cost atom is an exact multiple of 0.1, so a frontier entry's
+//     f = g+h quantizes exactly into a deci-cost bucket; buckets pop in
+//     Dial order and each bucket is a small binary heap ordered by the
+//     exact (float cost, RealKey) pair — the global pop order is exactly
+//     the historical (cost, key) order of the old global heap.
+//   - Tie-breaking is order-independent: on an exactly equal tentative
+//     cost the predecessor with the smaller RealKey wins the parent slot,
+//     and when the first target pops, its whole bucket is drained before
+//     committing so every same-cost parent claim (and every same-cost
+//     target) has been seen; the final target is the (cost, RealKey)
+//     minimum of the drained hits — precisely the node Dijkstra pops
+//     first.
+//
+// Memory discipline: the search inner loop is allocation-free in steady
+// state. All per-search state (dist, parent, closed, heuristic, target
+// and ownership marks) lives in flat generation-stamped scratch arrays
+// indexed by dense packed node keys; a search invalidates the previous
+// search's entries by bumping a generation counter instead of clearing
+// or reallocating. The bucket queue's per-bucket heaps are value items
+// (no container/heap interface boxing) and are themselves generation-
+// stamped. Occupancy and history costs are flat arrays over the modulo
+// key space, so the enterCost call on every relaxed edge is two array
+// loads. See DESIGN.md ("Concurrency model & hot-path memory
+// discipline").
 package route
 
 import (
@@ -33,8 +57,8 @@ import (
 // RouteSink returns (and through the StageErrors of the mappers built on
 // this package).
 var (
-	// ErrNoPath: the Dijkstra search exhausted the reachable sub-graph
-	// without touching a target (or had no targets at all).
+	// ErrNoPath: the search exhausted the reachable sub-graph without
+	// touching a target (or had no targets at all).
 	ErrNoPath = errors.New("no path")
 	// ErrSearchLimit: the search visited more nodes than Session.MaxVisits
 	// allows — congestion so severe the search was cut off.
@@ -50,20 +74,36 @@ type Path []mrrg.Node
 // sinks. Paths share resource nodes freely (a net may reuse its own
 // nodes at no cost — fanout taps an existing wire).
 type Net struct {
-	ID    int
-	Src   mrrg.Node
-	Paths []Path
-	nodes map[uint64]bool // RealKeys of every node of the tree, incl. Src
-	list  []mrrg.Node     // nodes charged to occupancy (excludes Src)
+	ID     int
+	Src    mrrg.Node
+	Paths  []Path
+	srcKey uint64      // RealKey(Src)
+	keys   []uint64    // RealKeys of list, for O(n) membership on commit
+	list   []mrrg.Node // nodes charged to occupancy (excludes Src)
 }
 
 // Nodes reports the set of real-keyed resource nodes the net occupies.
-func (n *Net) Nodes() map[uint64]bool { return n.nodes }
+func (n *Net) Nodes() map[uint64]bool {
+	m := make(map[uint64]bool, len(n.keys)+1)
+	m[n.srcKey] = true
+	for _, k := range n.keys {
+		m[k] = true
+	}
+	return m
+}
+
+// NodeList reports the nodes charged to occupancy (excluding Src), in
+// commit order. Callers must not mutate it.
+//
+//himap:noalloc
+func (n *Net) NodeList() []mrrg.Node { return n.list }
 
 // Session tracks resource occupancy and history costs across the nets of
 // one mapping attempt. A Session (and its scratch storage) may be reused
-// across many routing rounds; it is not safe for concurrent use — give
-// each worker goroutine its own Session.
+// across many routing rounds; it is not safe for concurrent use — except
+// that RouteSinkIn calls on nets with provably disjoint occupancy
+// footprints may run concurrently, each with its own Scratch (see
+// RouteSinkIn).
 type Session struct {
 	G *mrrg.Graph
 
@@ -71,8 +111,16 @@ type Session struct {
 	// HistBump is added to a node's history cost each escalation round.
 	PresFac  float64
 	HistBump float64
-	// MaxVisits bounds each Dijkstra search.
+	// MaxVisits bounds each search. NewSession derives the default from
+	// the fabric's dense key space (16× NumDenseKeys, floor 4096) so
+	// large-fabric searches are not cut off spuriously while small-fabric
+	// searches fail fast; overriding the field still works.
 	MaxVisits int
+
+	// Legacy selects the pre-A* global binary-heap Dijkstra core. It is
+	// kept for the router-equivalence differential tests: both cores
+	// produce bit-identical paths, costs, and mappings.
+	Legacy bool
 
 	// Filter, when non-nil, restricts the search to nodes it accepts.
 	// HiMap's canonical routing uses it to keep paths inside the spatial
@@ -86,7 +134,31 @@ type Session struct {
 	hist   []float64
 	netSeq int
 
-	sc searchScratch
+	// mark/markGen is generation-stamped dedup scratch for
+	// OversubscribedIn (avoids a per-call hash map).
+	mark    []uint32
+	markGen uint32
+
+	// netFree recycles Net storage from discarded routing rounds (see
+	// FreeNet); a congested attempt re-routes the same net set every
+	// round, so the freelist makes rounds after the first allocation-free
+	// on the net side.
+	netFree []*Net
+
+	sc Scratch
+}
+
+// defaultMaxVisits scales the per-search visit budget with the dense key
+// space: every search closes a node at most once (up to rare ulp-scale
+// reopenings), and a search spans a small multiple of II real cycles, so
+// 16× the modulo key space is generous on every fabric while still
+// cutting off runaway congestion quickly on small arrays.
+func defaultMaxVisits(denseKeys int) int {
+	v := 16 * denseKeys
+	if v < 4096 {
+		v = 4096
+	}
+	return v
 }
 
 // NewSession creates a routing session over g with the default cost
@@ -99,9 +171,10 @@ func NewSession(g *mrrg.Graph) *Session {
 		G:         g,
 		PresFac:   2.0,
 		HistBump:  3.0,
-		MaxVisits: 400000,
+		MaxVisits: defaultMaxVisits(n),
 		occ:       make([]int32, n),
 		hist:      make([]float64, n),
+		mark:      make([]uint32, n),
 	}
 }
 
@@ -127,7 +200,10 @@ func (s *Session) Reset() {
 	s.netSeq = 0
 }
 
-// baseCost is the intrinsic cost of occupying one resource node.
+// baseCost is the intrinsic cost of occupying one resource node. Every
+// value is an exact multiple of 0.1 — together with integral PresFac and
+// HistBump multiples this keeps all accumulated costs on the deci-unit
+// grid the bucket queue quantizes into.
 //
 //himap:noalloc
 func baseCost(c mrrg.Class) float64 {
@@ -149,7 +225,15 @@ func baseCost(c mrrg.Class) float64 {
 //
 //himap:noalloc
 func (s *Session) enterCost(n mrrg.Node) float64 {
-	key := s.G.DenseKey(n)
+	return s.enterCostAt(n, s.G.DenseKey(n))
+}
+
+// enterCostAt is enterCost with the node's dense occupancy key already
+// resolved — the A* core derives it from the search index and a
+// precomputed per-cycle delta instead of re-deriving the full DenseKey.
+//
+//himap:noalloc
+func (s *Session) enterCostAt(n mrrg.Node, key int) float64 {
 	cap := s.G.Capacity(n.Class)
 	over := int(s.occ[key]) + 1 - cap
 	pen := 1.0
@@ -186,10 +270,10 @@ func (s *Session) Occ(n mrrg.Node) int { return int(s.occ[s.G.DenseKey(n)]) }
 //himap:noalloc
 func (s *Session) Hist(n mrrg.Node) float64 { return s.hist[s.G.DenseKey(n)] }
 
-// heapItem is one frontier entry: the accumulated cost, the node's
-// RealKey (the deterministic tie-break — kept identical to the historical
-// container/heap ordering so mappings are bit-stable across releases),
-// and the node's dense scratch index.
+// heapItem is one frontier entry: the accumulated cost (g for the legacy
+// core, f = g+h for A*), the node's RealKey (the deterministic tie-break
+// — kept identical to the historical container/heap ordering so mappings
+// are bit-stable across releases), and the node's dense scratch index.
 type heapItem struct {
 	cost float64
 	key  uint64
@@ -205,7 +289,9 @@ func itemLess(a, b heapItem) bool {
 }
 
 // minHeap is a hand-rolled binary min-heap of value items — no
-// interface{} boxing, no per-push allocation once warmed up.
+// interface{} boxing, no per-push allocation once warmed up. The legacy
+// core uses one global heap; the A* bucket queue uses one small heap per
+// deci-cost bucket.
 type minHeap []heapItem
 
 //himap:noalloc
@@ -250,32 +336,153 @@ func (h *minHeap) pop() heapItem {
 	return top
 }
 
-// searchScratch is the per-Session Dijkstra working set: flat arrays over
-// the dense real-node index space of one search, invalidated between
-// searches by a generation stamp (an entry is live only when its stamp
-// equals the current generation). The arrays grow monotonically and are
-// never cleared, so steady-state searches allocate nothing.
-type searchScratch struct {
+// deci quantizes a cost onto the bucket grid. Every cost atom (base
+// costs, presence penalties, history bumps, heuristic terms) is an exact
+// multiple of 0.1, so accumulated float sums sit within ulps of a grid
+// point and round-to-nearest recovers the exact deci value; two sums
+// that are mathematically equal but float-unequal always land in the
+// same bucket, where the per-bucket heap orders them by the exact float.
+//
+//himap:noalloc
+func deci(f float64) int { return int(f*10 + 0.5) }
+
+// bucketQueue is a Dial-style monotone priority queue: frontier entries
+// hash into deci-cost buckets popped in ascending order, and each bucket
+// is a small binary min-heap over the exact (cost, RealKey) pair. Pops
+// therefore follow the exact global (cost, key) order of one big heap,
+// but push/pop touch only a bucket-sized heap — on wide frontiers the
+// log factor collapses to the handful of entries sharing one deci cost.
+// Buckets grow monotonically and are generation-stamped like the rest of
+// the scratch, so steady-state searches allocate nothing.
+type bucketQueue struct {
+	buckets []minHeap
+	bgen    []uint32
+	gen     uint32
+	cur     int
+	n       int
+}
+
+// reset opens a new search. The queue keeps its own generation counter
+// (it must not share the Scratch's, which restarts when the scratch
+// arrays grow — leftover undrained bucket entries from a prior search
+// would then masquerade as live).
+//
+//himap:noalloc
+func (q *bucketQueue) reset() {
+	q.gen++
+	if q.gen == 0 {
+		clear(q.bgen)
+		q.gen = 1
+	}
+	q.cur = 0
+	q.n = 0
+}
+
+//himap:noalloc
+func (q *bucketQueue) push(it heapItem) {
+	d := deci(it.cost)
+	if d < q.cur {
+		// A consistent heuristic keeps priorities monotone up to float
+		// jitter at a bucket boundary; fold such pushes into the current
+		// bucket so the Dial cursor never moves backwards.
+		d = q.cur
+	}
+	for len(q.buckets) <= d {
+		q.buckets = append(q.buckets, nil)
+		q.bgen = append(q.bgen, 0)
+	}
+	if q.bgen[d] != q.gen {
+		q.bgen[d] = q.gen
+		q.buckets[d] = q.buckets[d][:0]
+	}
+	b := &q.buckets[d]
+	b.push(it)
+	q.n++
+}
+
+// peek advances the cursor to the first live non-empty bucket and
+// returns its deci cost, or -1 when the queue is empty.
+//
+//himap:noalloc
+func (q *bucketQueue) peek() int {
+	if q.n == 0 {
+		return -1
+	}
+	for q.bgen[q.cur] != q.gen || len(q.buckets[q.cur]) == 0 {
+		q.cur++
+	}
+	return q.cur
+}
+
+//himap:noalloc
+func (q *bucketQueue) pop() heapItem {
+	q.peek()
+	b := &q.buckets[q.cur]
+	it := b.pop()
+	q.n--
+	return it
+}
+
+// Scratch is one search working set: flat arrays over the dense real-
+// node index space of one search, invalidated between searches by a
+// generation stamp (an entry is live only when its stamp equals the
+// current generation). The arrays grow monotonically and are never
+// cleared, so steady-state searches allocate nothing. The zero value is
+// ready to use. RouteSink uses the Session's own Scratch; concurrent
+// RouteSinkIn callers supply one Scratch per goroutine.
+type Scratch struct {
 	gen    uint32
-	seen   []uint32  // dist[i] valid when seen[i] == gen
-	dist   []float64 // tentative cost
+	seen   []uint32  // dist/hval/parent valid when seen[i] == gen
+	dist   []float64 // tentative cost g
+	hval   []float64 // cached heuristic h (A* core)
+	key    []uint64  // cached RealKey of node i (A* core)
 	parent []int32   // dense index of the predecessor; -1 for seeds
 	closed []uint32  // node finalized when closed[i] == gen
 	tgt    []uint32  // node is a search target when tgt[i] == gen
 	owned  []uint32  // node already belongs to the net when owned[i] == gen
-	heap   minHeap
+	tdelta []int     // per relative cycle: DenseKey - search index delta
+	hits   []int32   // targets popped while draining the goal bucket
+	heap   minHeap   // legacy core frontier
+	bq     bucketQueue
+
+	// The heuristic depends only on a node's (cycle, PE) and whether its
+	// class is Out — not on the slot — so it is computed once per
+	// (cycle, PE) into h0 (general) / h1 (Out credit) when first touched
+	// (hseen stamp), not once per node: a SlotsPerPE-fold saving on the
+	// per-search target loops.
+	hseen []uint32
+	h0    []float64
+	h1    []float64
 }
 
-// begin opens a new search generation over n dense indices.
-func (sc *searchScratch) begin(n int) {
+// begin opens a new search generation over n dense indices (npe of them
+// per slot — the (cycle, PE) space the heuristic cache is keyed by).
+func (sc *Scratch) begin(n, npe int) {
 	if len(sc.seen) < n {
+		// Grow geometrically: search windows vary net to net, and
+		// doubling caps the reallocation count at log of the largest
+		// window instead of once per new high-water mark.
+		if c := 2 * len(sc.seen); n < c {
+			n = c
+		}
 		sc.seen = make([]uint32, n)
 		sc.dist = make([]float64, n)
+		sc.hval = make([]float64, n)
+		sc.key = make([]uint64, n)
 		sc.parent = make([]int32, n)
 		sc.closed = make([]uint32, n)
 		sc.tgt = make([]uint32, n)
 		sc.owned = make([]uint32, n)
 		sc.gen = 0 // fresh arrays are all-zero: restart stamping
+	}
+	if len(sc.hseen) < npe {
+		if c := 2 * len(sc.hseen); npe < c {
+			npe = c
+		}
+		sc.hseen = make([]uint32, npe)
+		sc.h0 = make([]float64, npe)
+		sc.h1 = make([]float64, npe)
+		sc.gen = 0
 	}
 	sc.gen++
 	if sc.gen == 0 { // generation counter wrapped: purge stale stamps
@@ -283,20 +490,44 @@ func (sc *searchScratch) begin(n int) {
 		clear(sc.closed)
 		clear(sc.tgt)
 		clear(sc.owned)
+		clear(sc.hseen)
 		sc.gen = 1
 	}
 	sc.heap = sc.heap[:0]
+	sc.hits = sc.hits[:0]
+	sc.bq.reset()
 }
 
 // NewNet starts a net at the producer's placement node. The source node's
 // occupancy is the producer's own (via Reserve); the net reuses it freely.
+// Storage comes from the FreeNet freelist when available.
 func (s *Session) NewNet(src mrrg.Node) *Net {
 	s.netSeq++
-	return &Net{
-		ID:    s.netSeq,
-		Src:   src,
-		nodes: map[uint64]bool{mrrg.RealKey(src): true},
+	if k := len(s.netFree); k > 0 {
+		net := s.netFree[k-1]
+		s.netFree = s.netFree[:k-1]
+		net.ID, net.Src, net.srcKey = s.netSeq, src, mrrg.RealKey(src)
+		return net
 	}
+	return &Net{
+		ID:     s.netSeq,
+		Src:    src,
+		srcKey: mrrg.RealKey(src),
+	}
+}
+
+// FreeNet returns a net whose plan has been discarded (a failed
+// congestion round) to the session freelist for NewNet to reuse. The
+// caller must hold no references to the net afterwards, and the net's
+// occupancy charges must already be gone (FreeNet does not release
+// them — after ResetKeepHistory there is nothing left to release).
+// Path storage is NOT recycled: committed Path slices may outlive the
+// net in the caller's plan metadata; only the headers array is reused.
+func (s *Session) FreeNet(net *Net) {
+	net.keys = net.keys[:0]
+	net.list = net.list[:0]
+	net.Paths = net.Paths[:0]
+	s.netFree = append(s.netFree, net)
 }
 
 // nodeAt reconstructs the node of a dense scratch index (the inverse of
@@ -311,17 +542,87 @@ func (s *Session) nodeAt(i int32, tBase, pes, cols, slots int) mrrg.Node {
 	return mrrg.Node{T: rest/pes + tBase, R: pe / cols, C: pe % cols, Class: cl, Idx: idx}
 }
 
+// heuristicAt is the admissible, consistent lower bound on the remaining
+// cost from n to the cheapest target, minimized over targets:
+//
+//	0.7·hops + 0.3·Δcycles
+//
+// where hops is the topology link distance to the target's PE and
+// Δcycles = target cycle − n's cycle. Each of the Δcycles time-advancing
+// edges enters a node costing ≥ 0.3, and each of the hops link crossings
+// additionally requires entering an output register at 1.0 (0.7 beyond
+// the 0.3 its time step already accounts for); when n itself is an
+// output register it can source the first crossing, so one 0.7 premium
+// is waived (the Out lane). A target is unreachable — skipped — when
+// Δcycles < hops (every crossing takes a full cycle) or Δcycles < 0
+// (time is monotone); a node with no reachable target returns -1 and is
+// pruned outright. Search paths never pass through net-owned (cost-0)
+// nodes — those are all seeds, and edges into them never relax — so
+// every remaining entry really does pay its class base cost. Consistency
+// (h(n) ≤ enterCost(m) + h(m) along every Succ edge) is exactly tight on
+// crossings into output registers (Δh = 1.0) and into RF write ports
+// (Δh = 0.3); see DESIGN.md for the per-edge-class case analysis.
+//
+// It depends only on the node's (cycle, PE, is-Out), so the per-target
+// loop runs once per (cycle, PE) of a search, cached in the scratch
+// (both the general and the Out-credit lanes fill from one target scan).
+//
+//himap:noalloc
+func (s *Session) heuristicAt(sc *Scratch, n mrrg.Node, targets []mrrg.Node, tBase, pes, cols int) float64 {
+	pi := (n.T-tBase)*pes + n.R*cols + n.C
+	if sc.hseen[pi] != sc.gen {
+		sc.hseen[pi] = sc.gen
+		h0, h1 := -1.0, -1.0
+		for _, t := range targets {
+			dt := t.T - n.T
+			if dt < 0 {
+				continue // time is monotone: target already in the past
+			}
+			d := s.G.Fab.HopDist(n.R, n.C, t.R, t.C)
+			if dt < d {
+				continue // each link crossing takes a cycle: unreachable
+			}
+			ht := 0.3 * float64(dt)
+			v0 := 0.7*float64(d) + ht
+			if d > 0 {
+				d--
+			}
+			v1 := 0.7*float64(d) + ht
+			if h0 < 0 || v0 < h0 {
+				h0 = v0
+			}
+			if h1 < 0 || v1 < h1 {
+				h1 = v1
+			}
+		}
+		sc.h0[pi] = h0
+		sc.h1[pi] = h1
+	}
+	if n.Class == mrrg.ClassOut {
+		return sc.h1[pi]
+	}
+	return sc.h0[pi]
+}
+
 // RouteSink extends the net with a least-cost path from any node the net
 // already owns to any node of targets. Newly entered nodes are charged to
 // the session occupancy (modulo II). The found path starts at an owned
 // node and ends at the reached target.
 //
-// The search is a Dijkstra over the implicit time-extended graph, pruned
-// at the latest target cycle, running entirely in the session's
-// generation-stamped scratch arrays: per call it allocates only the
-// returned Path (plus one-time scratch growth when a search spans more
-// cycles than any before it).
+// The search runs entirely in the session's generation-stamped scratch
+// arrays: per call it allocates only the returned Path (plus one-time
+// scratch growth when a search spans more cycles than any before it).
 func (s *Session) RouteSink(net *Net, targets []mrrg.Node) (Path, float64, error) {
+	return s.RouteSinkIn(&s.sc, net, targets)
+}
+
+// RouteSinkIn is RouteSink with an explicit search Scratch. Nets whose
+// occupancy footprints are provably disjoint (their search windows cover
+// disjoint cycle sets modulo II within the same spatial envelope) may be
+// routed concurrently on one Session, each call with its own Scratch:
+// such searches read and write disjoint occupancy entries, so results
+// are bit-identical to routing the nets sequentially in any order.
+func (s *Session) RouteSinkIn(sc *Scratch, net *Net, targets []mrrg.Node) (Path, float64, error) {
 	if len(targets) == 0 {
 		return nil, 0, fmt.Errorf("route: %w: no targets", ErrNoPath)
 	}
@@ -352,8 +653,7 @@ func (s *Session) RouteSink(net *Net, targets []mrrg.Node) (Path, float64, error
 	pes := s.G.Fab.NumPEs()
 	cols := s.G.Fab.Cols
 	slots := s.G.SlotsPerPE()
-	sc := &s.sc
-	sc.begin((maxT - tBase + 1) * pes * slots)
+	sc.begin((maxT-tBase+1)*pes*slots, (maxT-tBase+1)*pes)
 	gen := sc.gen
 	idxOf := func(n mrrg.Node) int32 {
 		return int32(((n.T-tBase)*pes+n.R*cols+n.C)*slots + s.G.SlotIndex(n.Class, n.Idx))
@@ -361,6 +661,17 @@ func (s *Session) RouteSink(net *Net, targets []mrrg.Node) (Path, float64, error
 
 	for _, t := range targets {
 		sc.tgt[idxOf(t)] = gen
+	}
+	astar := !s.Legacy
+	if astar {
+		// Dense-key precomputation: DenseKey(node) = search index +
+		// tdelta[node.T - tBase], because within one cycle the search
+		// index and the dense occupancy key share the (pe, slot) layout.
+		sc.tdelta = sc.tdelta[:0]
+		stride := pes * slots
+		for tr := 0; tr <= maxT-tBase; tr++ {
+			sc.tdelta = append(sc.tdelta, s.G.TimeBase(tBase+tr)-tr*stride)
+		}
 	}
 	seed := func(n mrrg.Node) {
 		if n.T > maxT {
@@ -371,6 +682,16 @@ func (s *Session) RouteSink(net *Net, targets []mrrg.Node) (Path, float64, error
 		sc.seen[i] = gen
 		sc.dist[i] = 0
 		sc.parent[i] = -1
+		if astar {
+			h := s.heuristicAt(sc, n, targets, tBase, pes, cols)
+			if h < 0 {
+				return // no target reachable from this seed in time
+			}
+			sc.hval[i] = h
+			sc.key[i] = mrrg.RealKey(n)
+			sc.bq.push(heapItem{cost: h, key: sc.key[i], idx: i})
+			return
+		}
 		sc.heap.push(heapItem{cost: 0, key: mrrg.RealKey(n), idx: i})
 	}
 	seed(net.Src)
@@ -380,6 +701,45 @@ func (s *Session) RouteSink(net *Net, targets []mrrg.Node) (Path, float64, error
 		}
 	}
 
+	var goal int32
+	var cost float64
+	var err error
+	if astar {
+		goal, cost, err = s.searchAStar(sc, net, targets, idxOf, tBase, maxT, pes, cols, slots)
+	} else {
+		goal, cost, err = s.searchDijkstra(sc, net, targets, idxOf, tBase, maxT, pes, cols, slots)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	n := 0
+	for i := goal; ; {
+		n++
+		p := sc.parent[i]
+		if p < 0 {
+			break
+		}
+		i = p
+	}
+	path := make(Path, n)
+	for i, j := goal, n-1; ; j-- {
+		path[j] = s.nodeAt(i, tBase, pes, cols, slots)
+		p := sc.parent[i]
+		if p < 0 {
+			break
+		}
+		i = p
+	}
+	s.commit(net, path)
+	return path, cost, nil
+}
+
+// searchDijkstra is the legacy core: a plain Dijkstra over one global
+// binary heap, returning at the first target popped. Kept bit-identical
+// to the historical router for the differential equivalence tests.
+func (s *Session) searchDijkstra(sc *Scratch, net *Net, targets []mrrg.Node,
+	idxOf func(mrrg.Node) int32, tBase, maxT, pes, cols, slots int) (int32, float64, error) {
+	gen := sc.gen
 	visits := 0
 	for len(sc.heap) > 0 {
 		it := sc.heap.pop()
@@ -389,29 +749,10 @@ func (s *Session) RouteSink(net *Net, targets []mrrg.Node) (Path, float64, error
 		sc.closed[it.idx] = gen
 		visits++
 		if visits > s.MaxVisits {
-			return nil, 0, fmt.Errorf("route: %w (limit %d)", ErrSearchLimit, s.MaxVisits)
+			return 0, 0, fmt.Errorf("route: %w (limit %d)", ErrSearchLimit, s.MaxVisits)
 		}
 		if sc.tgt[it.idx] == gen {
-			n := 0
-			for i := it.idx; ; {
-				n++
-				p := sc.parent[i]
-				if p < 0 {
-					break
-				}
-				i = p
-			}
-			path := make(Path, n)
-			for i, j := it.idx, n-1; ; j-- {
-				path[j] = s.nodeAt(i, tBase, pes, cols, slots)
-				p := sc.parent[i]
-				if p < 0 {
-					break
-				}
-				i = p
-			}
-			s.commit(net, path)
-			return path, it.cost, nil
+			return it.idx, it.cost, nil
 		}
 		cur := s.nodeAt(it.idx, tBase, pes, cols, slots)
 		base := it.cost
@@ -439,7 +780,115 @@ func (s *Session) RouteSink(net *Net, targets []mrrg.Node) (Path, float64, error
 			}
 		})
 	}
-	return nil, 0, fmt.Errorf("route: %w from net %d (src %v) to %v", ErrNoPath, net.ID, net.Src, targets[0])
+	return 0, 0, fmt.Errorf("route: %w from net %d (src %v) to %v", ErrNoPath, net.ID, net.Src, targets[0])
+}
+
+// searchAStar is the default core: A* over the Dial bucket queue. Pops
+// follow the exact (f, RealKey) order; parent slots are claimed by the
+// order-independent rule "equal tentative cost → smaller predecessor
+// RealKey wins"; when the first target pops, the rest of its deci bucket
+// is drained (same-cost parent claims and same-cost targets all live
+// there) and the (cost, RealKey)-minimal hit is committed — the same
+// target, path, and cost the legacy core returns.
+func (s *Session) searchAStar(sc *Scratch, net *Net, targets []mrrg.Node,
+	idxOf func(mrrg.Node) int32, tBase, maxT, pes, cols, slots int) (int32, float64, error) {
+	gen := sc.gen
+	visits := 0
+	goalBucket := -1
+	var gCur float64
+	var iCur int32
+	var curKey uint64
+	relax := func(m mrrg.Node) {
+		if m.T > maxT {
+			return
+		}
+		if s.Filter != nil && !s.Filter(m) {
+			return
+		}
+		mi := idxOf(m)
+		nd := gCur
+		if sc.owned[mi] != gen {
+			nd += s.enterCostAt(m, int(mi)+sc.tdelta[m.T-tBase])
+		}
+		if sc.seen[mi] != gen {
+			h := s.heuristicAt(sc, m, targets, tBase, pes, cols)
+			if h < 0 {
+				return // no target reachable in time: prune
+			}
+			sc.seen[mi] = gen
+			sc.hval[mi] = h
+			sc.key[mi] = mrrg.RealKey(m)
+			sc.dist[mi] = nd
+			sc.parent[mi] = iCur
+			sc.bq.push(heapItem{cost: nd + h, key: sc.key[mi], idx: mi})
+			return
+		}
+		if nd < sc.dist[mi] {
+			sc.dist[mi] = nd
+			sc.parent[mi] = iCur
+			if sc.closed[mi] == gen {
+				sc.closed[mi] = 0 // reopen (ulp-scale improvement)
+			}
+			sc.bq.push(heapItem{cost: nd + sc.hval[mi], key: sc.key[mi], idx: mi})
+			return
+		}
+		if nd == sc.dist[mi] {
+			// Deterministic, pop-order-independent parent tie-break: the
+			// predecessor with the smaller RealKey keeps the slot (exactly
+			// the first relaxer in Dijkstra's (g, key) pop order). Seeds
+			// (parent -1) are path heads and are never re-parented.
+			if p := sc.parent[mi]; p >= 0 && curKey < sc.key[p] {
+				sc.parent[mi] = iCur
+			}
+		}
+	}
+	for {
+		if goalBucket >= 0 {
+			if sc.bq.n == 0 || sc.bq.peek() > goalBucket {
+				break
+			}
+		} else if sc.bq.n == 0 {
+			return 0, 0, fmt.Errorf("route: %w from net %d (src %v) to %v", ErrNoPath, net.ID, net.Src, targets[0])
+		}
+		it := sc.bq.pop()
+		i := it.idx
+		if sc.closed[i] == gen {
+			continue
+		}
+		if it.cost > sc.dist[i]+sc.hval[i] {
+			continue // superseded by a cheaper later push
+		}
+		sc.closed[i] = gen
+		if goalBucket < 0 {
+			visits++
+			if visits > s.MaxVisits {
+				return 0, 0, fmt.Errorf("route: %w (limit %d)", ErrSearchLimit, s.MaxVisits)
+			}
+		}
+		if sc.tgt[i] == gen {
+			// Targets are hits, not relay points: collect and keep
+			// draining the bucket so every same-cost target (and every
+			// same-cost parent claim on the winning path) is seen.
+			if goalBucket < 0 {
+				goalBucket = sc.bq.cur
+			}
+			sc.hits = append(sc.hits, i)
+			continue
+		}
+		cur := s.nodeAt(i, tBase, pes, cols, slots)
+		gCur = sc.dist[i]
+		iCur = i
+		curKey = sc.key[i]
+		s.G.Succ(cur, relax)
+	}
+	goal := sc.hits[0]
+	for _, hi := range sc.hits[1:] {
+		if sc.dist[hi] < sc.dist[goal] ||
+			(sc.dist[hi] == sc.dist[goal] && sc.key[hi] < sc.key[goal]) {
+			goal = hi
+		}
+	}
+	return goal, sc.dist[goal], nil
 }
 
 // commit charges newly used path nodes to occupancy and records them in
@@ -447,14 +896,27 @@ func (s *Session) RouteSink(net *Net, targets []mrrg.Node) (Path, float64, error
 func (s *Session) commit(net *Net, path Path) {
 	for _, n := range path {
 		rk := mrrg.RealKey(n)
-		if net.nodes[rk] {
+		if rk == net.srcKey || containsKey(net.keys, rk) {
 			continue
 		}
-		net.nodes[rk] = true
+		net.keys = append(net.keys, rk)
 		net.list = append(net.list, n)
 		s.occ[s.G.DenseKey(n)]++
 	}
 	net.Paths = append(net.Paths, path)
+}
+
+// containsKey is a linear membership scan — net node lists are short
+// (bounded by the net's total path length), so this beats a hash map.
+//
+//himap:noalloc
+func containsKey(keys []uint64, k uint64) bool {
+	for _, have := range keys {
+		if have == k {
+			return true
+		}
+	}
+	return false
 }
 
 // Release rips up an entire net, returning its resources.
@@ -462,9 +924,20 @@ func (s *Session) Release(net *Net) {
 	for _, n := range net.list {
 		s.occ[s.G.DenseKey(n)]--
 	}
-	net.nodes = map[uint64]bool{mrrg.RealKey(net.Src): true}
-	net.list = nil
+	net.keys = net.keys[:0]
+	net.list = net.list[:0]
 	net.Paths = nil
+}
+
+// Recharge re-applies a previously routed net's occupancy charges after
+// ResetKeepHistory — how incremental re-route keeps a congestion-free
+// net across negotiated-congestion rounds instead of re-searching it.
+//
+//himap:noalloc
+func (s *Session) Recharge(net *Net) {
+	for _, n := range net.list {
+		s.occ[s.G.DenseKey(n)]++
+	}
 }
 
 // ChargeShifted charges a translated copy of the net's resources to the
@@ -479,16 +952,20 @@ func (s *Session) ChargeShifted(net *Net, dt, dr, dc int) {
 // OversubscribedIn returns the nodes of the given nets whose occupancy
 // exceeds capacity.
 func (s *Session) OversubscribedIn(nets []*Net) []mrrg.Node {
+	s.markGen++
+	if s.markGen == 0 {
+		clear(s.mark)
+		s.markGen = 1
+	}
 	var out []mrrg.Node
-	seen := map[int]bool{}
 	for _, net := range nets {
 		for _, p := range net.Paths {
 			for _, n := range p {
 				k := s.G.DenseKey(n)
-				if seen[k] {
+				if s.mark[k] == s.markGen {
 					continue
 				}
-				seen[k] = true
+				s.mark[k] = s.markGen
 				if int(s.occ[k]) > s.G.Capacity(n.Class) {
 					out = append(out, n)
 				}

@@ -18,3 +18,7 @@ go test -race ./...
 # himapd end-to-end smoke: ephemeral port, served-vs-direct byte diff,
 # cache hit, metrics, graceful SIGTERM shutdown.
 go run ./scripts/himapd_smoke
+# Route-stage alloc smoke: BenchmarkRouteSinkHotPath self-enforces the
+# 29 allocs/op floor (testing.AllocsPerRun in bench_test.go) and fails
+# the run if the router's steady-state search starts allocating.
+go test -run '^$' -bench BenchmarkRouteSinkHotPath -benchtime 10x .
