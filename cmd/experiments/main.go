@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"himap"
 	"himap/internal/exp"
 )
 
@@ -53,12 +54,14 @@ func main() {
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent experiment points (1 = sequential)")
 		benchJS = flag.String("bench-json", "", "write the compile-cost benchmark report (wall-clock, allocs, peak II per kernel) to this JSON file, e.g. BENCH_compile.json")
 		benchSz = flag.Int("bench-size", 8, "CGRA size for the -bench-json per-kernel rows")
+		explore = flag.Bool("explore", false, "design-space sweep: rank the fabric candidate set per kernel by MOPS/mW")
+		expSize = flag.Int("explore-size", 8, "array size for the -explore candidate set")
 	)
 	flag.Parse()
 	if *all {
 		*table1, *table2, *fig7, *fig8 = true, true, true, true
 	}
-	if !*table1 && !*table2 && !*fig7 && !*fig8 && !*env && *benchJS == "" {
+	if !*table1 && !*table2 && !*fig7 && !*fig8 && !*env && !*explore && *benchJS == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -103,6 +106,13 @@ func main() {
 		}
 		fmt.Println(exp.FormatEnvelope(pts))
 	}
+	if *explore {
+		pts := exp.Explore(exp.ExploreConfig{
+			Fabrics: himap.ExploreFabrics(*expSize, *expSize),
+			Workers: *workers,
+		})
+		fmt.Println(exp.FormatExplore(pts))
+	}
 	if *benchJS != "" {
 		rep, err := exp.BenchCompile(*benchSz, *workers)
 		if err != nil {
@@ -136,6 +146,13 @@ func main() {
 		for _, p := range rep.FabricSweep {
 			fmt.Fprintf(os.Stderr, "  fabric %-6s %2dx%-2d %9.1f ms (route %.1f, unique %.1f, %d rounds)\n",
 				p.Kernel, p.Size, p.Size, p.WallMS, p.RouteMS, p.UniqueMS, p.RouteRounds)
+		}
+		for _, p := range rep.ExploreSweep {
+			if p.OK {
+				fmt.Fprintf(os.Stderr, "  explore %-6s %-40s %6.1f MOPS/mW\n", p.Kernel, p.Fabric, p.Eff)
+			} else {
+				fmt.Fprintf(os.Stderr, "  explore %-6s %-40s %s\n", p.Kernel, p.Fabric, p.Fail)
+			}
 		}
 	}
 }

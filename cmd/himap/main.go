@@ -25,8 +25,10 @@ func main() {
 		name     = flag.String("kernel", "GEMM", "kernel name (ADI, ATAX, BICG, MVT, GEMM, SYRK, FW, TTM, CONV2D, CONV3D, NW, DOITGEN, DOTPROD, RELU)")
 		rows     = flag.Int("rows", 8, "CGRA rows")
 		cols     = flag.Int("cols", 8, "CGRA columns")
-		fabric   = flag.String("fabric", "mesh", "interconnect topology: mesh|torus|diag")
-		memPEs   = flag.String("mem-pes", "all", "memory-capable PEs: all|boundary (boundary = edge columns only)")
+		fabric   = flag.String("fabric", "mesh", "interconnect topology: "+himap.TopologyNames())
+		memPEs   = flag.String("mem-pes", "all", "memory-capable PEs: "+himap.MemPolicyNames()+" (boundary = edge columns only)")
+		bwClass  = flag.String("bandwidth", "unit", "link bandwidth class: "+himap.BandwidthNames())
+		cost     = flag.String("cost", "balanced", "silicon cost corner for the power model: "+himap.CostClassNames())
 		inner    = flag.Int("inner", 0, "inner block size b3.. for time-sequenced dimensions (0 = default)")
 		validate = flag.Bool("validate", false, "run cycle-accurate functional validation (3 pipelined blocks)")
 		render   = flag.Bool("render", false, "render the space-time schedule")
@@ -59,8 +61,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fab := himap.Fabric{CGRA: himap.DefaultCGRA(*rows, *cols), Topology: topo, Mem: mem}
-	model := himap.DefaultPowerModel()
+	bw, err := himap.ParseBandwidth(*bwClass)
+	if err != nil {
+		fatal(err)
+	}
+	cc, err := himap.ParseCostClass(*cost)
+	if err != nil {
+		fatal(err)
+	}
+	fab := himap.Fabric{CGRA: himap.DefaultCGRA(*rows, *cols), Topology: topo, Mem: mem, Bandwidth: bw, Cost: cc}
+	model := himap.PowerModelFor(fab)
 
 	if *useBase {
 		b := *block

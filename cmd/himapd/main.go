@@ -1,9 +1,11 @@
 // Command himapd serves the HiMap compiler over HTTP/JSON: POST
 // /v1/compile (named or inline kernels, fabric config, per-request
-// deadlines), GET /v1/kernels, GET /healthz, and GET /metrics. Results
-// are cached content-addressed (identical requests return byte-identical
-// bodies, coalesced onto one compile when concurrent), and admission is
-// bounded (overflow answers 429). See DESIGN.md, "Compile service".
+// deadlines), POST /v1/explore (one kernel ranked across a fabric
+// design space by MOPS/mW), GET /v1/kernels, GET /healthz, and GET
+// /metrics. Results are cached content-addressed (identical requests
+// return byte-identical bodies, coalesced onto one compile when
+// concurrent), and admission is bounded (overflow answers 429). See
+// DESIGN.md, "Compile service".
 package main
 
 import (
@@ -28,14 +30,16 @@ func main() {
 	maxQueue := flag.Int("max-queue", 16, "requests allowed to wait beyond -max-inflight (negative: none)")
 	cacheMB := flag.Int64("cache-mb", 64, "result cache budget in MiB (negative: disable)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "default per-request compile deadline")
+	maxExplore := flag.Int("max-explore", 16, "fabric candidates allowed per /v1/explore request")
 	flag.Parse()
 
 	cfg := serve.Config{
-		Workers:        *workers,
-		MaxInFlight:    *maxInFlight,
-		MaxQueue:       *maxQueue,
-		CacheBytes:     *cacheMB << 20,
-		DefaultTimeout: *timeout,
+		Workers:           *workers,
+		MaxInFlight:       *maxInFlight,
+		MaxQueue:          *maxQueue,
+		CacheBytes:        *cacheMB << 20,
+		DefaultTimeout:    *timeout,
+		MaxExploreFabrics: *maxExplore,
 	}
 	if err := run(cfg, *addr); err != nil {
 		fmt.Fprintf(os.Stderr, "himapd: %v\n", err)

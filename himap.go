@@ -52,6 +52,12 @@ type (
 	Topology = arch.Topology
 	// MemPolicy selects which PEs carry a memory port.
 	MemPolicy = arch.MemPolicy
+	// BandwidthClass selects the interconnect bandwidth model (link
+	// lanes, shared egress bus, narrowed register-file ports).
+	BandwidthClass = arch.BandwidthClass
+	// CostClass selects the silicon cost corner priced by the power
+	// model; it never changes routing.
+	CostClass = arch.CostClass
 	// PECaps is the capability class of one PE.
 	PECaps = arch.PECaps
 	// Link is one typed directed link of a fabric.
@@ -134,6 +140,10 @@ var (
 	// ErrMemPortInfeasible: the kernel demands more memory ports than the
 	// fabric's memory-capable PEs provide within any candidate sub-CGRA.
 	ErrMemPortInfeasible = diag.ErrMemPortInfeasible
+	// ErrBandwidthInfeasible: the placed schedule provably demands more
+	// same-cycle link departures than the fabric's bandwidth class
+	// provides (raised before congestion negotiation is attempted).
+	ErrBandwidthInfeasible = diag.ErrBandwidthInfeasible
 	// ErrCanceled: the compile's context was canceled or its deadline
 	// expired before a mapping was committed. Both mappers check their
 	// context at stage boundaries (HiMap additionally between speculative
@@ -144,8 +154,9 @@ var (
 	ErrCanceled = diag.ErrCanceled
 )
 
-// Fabric topologies and memory-port policies (see arch.Topology and
-// arch.MemPolicy for full documentation).
+// Fabric topologies, memory-port policies, bandwidth classes, and cost
+// classes (see arch.Topology, arch.MemPolicy, arch.BandwidthClass, and
+// arch.CostClass for full documentation).
 const (
 	TopoMesh     = arch.TopoMesh
 	TopoTorus    = arch.TopoTorus
@@ -153,6 +164,13 @@ const (
 	MemAll       = arch.MemAll
 	MemBoundary  = arch.MemBoundary
 	MemNone      = arch.MemNone
+	BWUnit       = arch.BWUnit
+	BWDouble     = arch.BWDouble
+	BWBus        = arch.BWBus
+	BWNarrowRF   = arch.BWNarrowRF
+	CostBalanced = arch.CostBalanced
+	CostLowPower = arch.CostLowPower
+	CostHighPerf = arch.CostHighPerf
 )
 
 // ParseTopology maps a CLI name (mesh|torus|diag) to a Topology.
@@ -160,6 +178,32 @@ func ParseTopology(s string) (Topology, error) { return arch.ParseTopology(s) }
 
 // ParseMemPolicy maps a CLI name (all|boundary|none) to a MemPolicy.
 func ParseMemPolicy(s string) (MemPolicy, error) { return arch.ParseMemPolicy(s) }
+
+// ParseBandwidth maps a CLI name (unit|double|bus|narrow-rf) to a
+// BandwidthClass; the empty string selects BWUnit.
+func ParseBandwidth(s string) (BandwidthClass, error) { return arch.ParseBandwidth(s) }
+
+// ParseCostClass maps a CLI name (balanced|low-power|high-perf) to a
+// CostClass; the empty string selects CostBalanced.
+func ParseCostClass(s string) (CostClass, error) { return arch.ParseCostClass(s) }
+
+// TopologyNames returns the accepted -topology CLI names, "|"-joined.
+func TopologyNames() string { return arch.TopologyNames() }
+
+// MemPolicyNames returns the accepted -mem-pes CLI names, "|"-joined.
+func MemPolicyNames() string { return arch.MemPolicyNames() }
+
+// BandwidthNames returns the accepted -bandwidth CLI names, "|"-joined.
+func BandwidthNames() string { return arch.BandwidthNames() }
+
+// CostClassNames returns the accepted -cost CLI names, "|"-joined.
+func CostClassNames() string { return arch.CostClassNames() }
+
+// ExploreFabrics returns the deterministic design-space candidate set a
+// rows×cols array spans: the default fabric plus topology, memory,
+// bandwidth, and cost-class variants (the set behind POST /v1/explore
+// and the experiments explore sweep).
+func ExploreFabrics(rows, cols int) []Fabric { return arch.ExploreFabrics(rows, cols) }
 
 // DefaultFabric returns the paper's evaluation architecture as a fabric:
 // mesh links, every PE memory-capable.
@@ -263,6 +307,11 @@ func ValidateConfig(cfg *Config, k *Kernel, block []int, nblocks int, seed int64
 // DefaultPowerModel returns the 40 nm / 510 MHz power coefficients used
 // by the evaluation.
 func DefaultPowerModel() PowerModel { return power.Default40nm() }
+
+// PowerModelFor returns the power model of a fabric: the evaluation's
+// balanced 40 nm point scaled by the fabric's cost corner and bandwidth
+// class. The default fabric maps to DefaultPowerModel exactly.
+func PowerModelFor(fab Fabric) PowerModel { return power.ModelFor(fab) }
 
 // RenderSchedule renders the space-time schedule grid of a configuration.
 func RenderSchedule(cfg *Config) string { return viz.ScheduleGrid(cfg) }

@@ -62,6 +62,34 @@ func concat(a, b string) string {
 	return a + b // want "string concatenation allocates"
 }
 
+// pricer mirrors the route.CostModel seam: an interface method can
+// never carry the //himap:noalloc annotation (there is no body to
+// annotate), so dispatching through the interface inside a hot path is
+// always flagged — annotated implementations notwithstanding. Hot
+// paths must materialize the model into flat tables up front (as
+// SetCostModel does) instead of pricing per node through the seam.
+type pricer interface {
+	price(occ int) int
+}
+
+type flatPricer struct{ base int }
+
+//himap:noalloc
+func (f flatPricer) price(occ int) int { return f.base * occ }
+
+//himap:noalloc
+func dispatches(p pricer) int {
+	return p.price(1) // want "dispatches calls \(noalloc.pricer\).price, which is not marked //himap:noalloc"
+}
+
+// callsImpl invokes the same method on the concrete value: a static,
+// annotated callee, so nothing is flagged.
+//
+//himap:noalloc
+func callsImpl(f flatPricer) int {
+	return f.price(1)
+}
+
 // unannotated may allocate freely: nothing here is flagged.
 func unannotated() []int {
 	return make([]int, 8)

@@ -59,11 +59,18 @@ func (cfg *Config) At(r, c, t int) *Instr {
 // unique instructions; the PE program counter regenerates the stream, §V).
 func (cfg *Config) Validate() error {
 	ndirs := cfg.Fabric.NumLinkDirs()
+	// Port limits come from the fabric's effective capacities, not the
+	// declared CGRA fields: a double-pumped RF legally serves twice the
+	// declared ports per cycle, and a narrowed RF must be held to one
+	// even if the base array declares more.
+	eff := cfg.Fabric.CGRA
+	eff.RFReadPorts = cfg.Fabric.RFReadCap()
+	eff.RFWritePorts = cfg.Fabric.RFWriteCap()
 	for r := 0; r < cfg.Fabric.Rows; r++ {
 		for c := 0; c < cfg.Fabric.Cols; c++ {
 			for t := 0; t < cfg.II; t++ {
 				in := &cfg.Slots[r][c][t]
-				if err := in.Validate(cfg.Fabric.CGRA); err != nil {
+				if err := in.Validate(eff); err != nil {
 					return fmt.Errorf("PE(%d,%d) slot %d: %v: %w", r, c, t, err, diag.ErrConfigInvalid)
 				}
 				for d := ndirs; d < int(MaxDirs); d++ {

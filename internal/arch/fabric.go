@@ -45,8 +45,13 @@ func ParseTopology(s string) (Topology, error) {
 	case "diag", "mesh+diag", "meshdiag":
 		return TopoMeshDiag, nil
 	}
-	return TopoMesh, fmt.Errorf("arch: unknown topology %q (want mesh|torus|diag): %w", s, diag.ErrConfigInvalid)
+	return TopoMesh, fmt.Errorf("arch: unknown topology %q (want %s): %w", s, TopologyNames(), diag.ErrConfigInvalid)
 }
+
+// TopologyNames enumerates the accepted -fabric / "topology" values,
+// pipe-separated. CLI help text and parse errors both render this, so
+// the accepted set cannot drift from the parser.
+func TopologyNames() string { return strings.Join(topoNames[:], "|") }
 
 // NumDirs returns how many link directions the topology uses per PE.
 //
@@ -100,8 +105,113 @@ func ParseMemPolicy(s string) (MemPolicy, error) {
 	case "none":
 		return MemNone, nil
 	}
-	return MemAll, fmt.Errorf("arch: unknown memory policy %q (want all|boundary|none): %w", s, diag.ErrConfigInvalid)
+	return MemAll, fmt.Errorf("arch: unknown memory policy %q (want %s): %w", s, MemPolicyNames(), diag.ErrConfigInvalid)
 }
+
+// MemPolicyNames enumerates the accepted -mem-pes / "mem_pes" values,
+// pipe-separated, from the same table the parser and String use.
+func MemPolicyNames() string { return strings.Join(memNames[:], "|") }
+
+// BandwidthClass selects the link bandwidth model of a fabric: how many
+// simultaneous values each inter-PE link (and each register-file port)
+// carries per cycle. It generalizes the implicit "one value per link per
+// cycle" assumption into a declared resource the router prices. The zero
+// value reproduces the legacy model exactly.
+type BandwidthClass uint8
+
+const (
+	// BWUnit is the legacy model: every link carries one value per
+	// cycle and register files keep their declared port counts.
+	BWUnit BandwidthClass = iota
+	// BWDouble double-pumps the PE-local register file: the effective
+	// read and write port counts are twice the declared ones, relaxing
+	// the RF bottleneck. Inter-PE links still carry one value per cycle
+	// — the configuration word encodes a single output selection per
+	// link per cycle, so link capacity is not an expressible axis.
+	BWDouble
+	// BWBus replaces the per-direction output registers with a single
+	// shared egress register per PE: at most one outgoing link departs
+	// per cycle (single-driver bus). Fanout to several neighbors takes
+	// successive cycles, one drive each.
+	BWBus
+	// BWNarrowRF narrows the register file to one read and one write
+	// port per cycle regardless of the declared port counts.
+	BWNarrowRF
+)
+
+var bwNames = [...]string{"unit", "double", "bus", "narrow-rf"}
+
+// String returns the CLI name of the bandwidth class.
+func (b BandwidthClass) String() string {
+	if int(b) < len(bwNames) {
+		return bwNames[b]
+	}
+	return fmt.Sprintf("BandwidthClass(%d)", uint8(b))
+}
+
+// ParseBandwidth maps a CLI name to a BandwidthClass.
+func ParseBandwidth(s string) (BandwidthClass, error) {
+	switch strings.ToLower(s) {
+	case "unit", "":
+		return BWUnit, nil
+	case "double":
+		return BWDouble, nil
+	case "bus":
+		return BWBus, nil
+	case "narrow-rf", "narrowrf":
+		return BWNarrowRF, nil
+	}
+	return BWUnit, fmt.Errorf("arch: unknown bandwidth class %q (want %s): %w", s, BandwidthNames(), diag.ErrConfigInvalid)
+}
+
+// BandwidthNames enumerates the accepted -bandwidth / "bandwidth"
+// values, pipe-separated.
+func BandwidthNames() string { return strings.Join(bwNames[:], "|") }
+
+// CostClass selects the per-PE cost model of a fabric: the silicon
+// corner the array is implemented in. It scales the power model (clock,
+// static and per-activity dynamic power) without changing routing. The
+// zero value is the balanced 40 nm corner the paper evaluates.
+type CostClass uint8
+
+const (
+	// CostBalanced is the default corner; power.ModelFor returns the
+	// paper's 40 nm model unchanged.
+	CostBalanced CostClass = iota
+	// CostLowPower is a low-leakage corner: slower clock, markedly
+	// lower static and dynamic power.
+	CostLowPower
+	// CostHighPerf is a high-frequency corner: faster clock at a
+	// superlinear power premium.
+	CostHighPerf
+)
+
+var costNames = [...]string{"balanced", "low-power", "high-perf"}
+
+// String returns the CLI name of the cost class.
+func (cc CostClass) String() string {
+	if int(cc) < len(costNames) {
+		return costNames[cc]
+	}
+	return fmt.Sprintf("CostClass(%d)", uint8(cc))
+}
+
+// ParseCostClass maps a CLI name to a CostClass.
+func ParseCostClass(s string) (CostClass, error) {
+	switch strings.ToLower(s) {
+	case "balanced", "":
+		return CostBalanced, nil
+	case "low-power", "lowpower":
+		return CostLowPower, nil
+	case "high-perf", "highperf":
+		return CostHighPerf, nil
+	}
+	return CostBalanced, fmt.Errorf("arch: unknown cost class %q (want %s): %w", s, CostClassNames(), diag.ErrConfigInvalid)
+}
+
+// CostClassNames enumerates the accepted -cost / "cost_class" values,
+// pipe-separated.
+func CostClassNames() string { return strings.Join(costNames[:], "|") }
 
 // PECaps is the capability class of one PE.
 type PECaps uint8
@@ -124,16 +234,20 @@ type Link struct {
 }
 
 // Fabric is the full architecture model: the PE array parameters (CGRA)
-// plus the interconnect topology and the per-PE capability layout. The
-// zero Topology/Mem values reproduce the pre-Fabric model (mesh links,
-// every PE memory-capable), so Fabric{CGRA: cg} is a drop-in upgrade.
+// plus the interconnect topology, the per-PE capability layout, the link
+// bandwidth class, and the PE cost class. The zero values of all four
+// axes reproduce the pre-Fabric model (mesh links, every PE
+// memory-capable, unit bandwidth, balanced cost), so Fabric{CGRA: cg}
+// is a drop-in upgrade.
 //
 // Fabric is a comparable value type (no slices or maps) so it can key
 // memo tables and print deterministically with %+v.
 type Fabric struct {
 	CGRA
-	Topology Topology
-	Mem      MemPolicy
+	Topology  Topology
+	Mem       MemPolicy
+	Bandwidth BandwidthClass
+	Cost      CostClass
 }
 
 // DefaultFabric returns the evaluation architecture of §VI as a fabric:
@@ -146,6 +260,53 @@ func DefaultFabric(rows, cols int) Fabric {
 //
 //himap:noalloc
 func (f Fabric) NumLinkDirs() int { return f.Topology.NumDirs() }
+
+// LinkCapacity returns how many distinct values one inter-PE link
+// carries per cycle. This is 1 for every bandwidth class: each link's
+// output register holds a single value per cycle and the configuration
+// word encodes a single source selection per link per cycle, so no
+// class can widen it. Bandwidth classes instead act on the register
+// file (BWDouble, BWNarrowRF) or share the egress lane (BWBus). The
+// helper stays as the seam the routing capacity model and the
+// feasibility pre-check read, rather than hardcoding 1 at each site.
+//
+//himap:noalloc
+func (f Fabric) LinkCapacity() int { return 1 }
+
+// SharedOutBus reports whether all output directions of a PE share one
+// egress lane per cycle (BWBus). When true the MRRG collapses the
+// per-direction output registers of a PE into a single routing resource.
+//
+//himap:noalloc
+func (f Fabric) SharedOutBus() bool { return f.Bandwidth == BWBus }
+
+// RFReadCap returns the effective register-file read port count under
+// this fabric's bandwidth class.
+//
+//himap:noalloc
+func (f Fabric) RFReadCap() int {
+	switch f.Bandwidth {
+	case BWDouble:
+		return 2 * f.RFReadPorts
+	case BWNarrowRF:
+		return 1
+	}
+	return f.RFReadPorts
+}
+
+// RFWriteCap returns the effective register-file write port count under
+// this fabric's bandwidth class.
+//
+//himap:noalloc
+func (f Fabric) RFWriteCap() int {
+	switch f.Bandwidth {
+	case BWDouble:
+		return 2 * f.RFWritePorts
+	case BWNarrowRF:
+		return 1
+	}
+	return f.RFWritePorts
+}
 
 // Caps returns the capability class of PE (r, c).
 func (f Fabric) Caps(r, c int) PECaps {
@@ -266,18 +427,57 @@ func (f Fabric) Validate() error {
 	if int(f.Mem) >= len(memNames) {
 		return fmt.Errorf("arch: bad memory policy %d: %w", f.Mem, diag.ErrConfigInvalid)
 	}
+	if int(f.Bandwidth) >= len(bwNames) {
+		return fmt.Errorf("arch: bad bandwidth class %d: %w", f.Bandwidth, diag.ErrConfigInvalid)
+	}
+	if int(f.Cost) >= len(costNames) {
+		return fmt.Errorf("arch: bad cost class %d: %w", f.Cost, diag.ErrConfigInvalid)
+	}
 	return nil
 }
 
-// String renders the fabric. The default mesh/all-mem fabric renders
-// exactly like the bare array size ("8x8") so diagnostics and error
-// stamps are unchanged from the pre-Fabric model; other fabrics append
-// their topology and memory layout.
+// String renders the fabric. The default mesh/all-mem/unit-bandwidth/
+// balanced-cost fabric renders exactly like the bare array size ("8x8")
+// so diagnostics and error stamps are unchanged from the pre-Fabric
+// model; other fabrics append the axes that differ from the default.
 func (f Fabric) String() string {
-	if f.Topology == TopoMesh && f.Mem == MemAll {
-		return f.CGRA.String()
+	s := f.CGRA.String()
+	if f.Topology != TopoMesh || f.Mem != MemAll {
+		s = fmt.Sprintf("%s/%s/mem-%s", s, f.Topology, f.Mem)
 	}
-	return fmt.Sprintf("%s/%s/mem-%s", f.CGRA.String(), f.Topology, f.Mem)
+	if f.Bandwidth != BWUnit {
+		s += "/bw-" + f.Bandwidth.String()
+	}
+	if f.Cost != CostBalanced {
+		s += "/cost-" + f.Cost.String()
+	}
+	return s
+}
+
+// ExploreFabrics returns the default design-space candidate set for a
+// rows×cols array: one fabric per interesting point on each axis
+// (topology, memory layout, bandwidth, cost corner). The set is
+// deterministic and intentionally includes bandwidth-constrained points
+// that may be infeasible for some kernels — an explore sweep reports
+// those as typed failures rather than omitting them.
+func ExploreFabrics(rows, cols int) []Fabric {
+	base := DefaultFabric(rows, cols)
+	out := make([]Fabric, 0, 9)
+	add := func(mut func(*Fabric)) {
+		f := base
+		mut(&f)
+		out = append(out, f)
+	}
+	add(func(*Fabric) {})
+	add(func(f *Fabric) { f.Topology = TopoTorus })
+	add(func(f *Fabric) { f.Topology = TopoMeshDiag })
+	add(func(f *Fabric) { f.Mem = MemBoundary })
+	add(func(f *Fabric) { f.Bandwidth = BWDouble })
+	add(func(f *Fabric) { f.Bandwidth = BWBus })
+	add(func(f *Fabric) { f.Bandwidth = BWNarrowRF })
+	add(func(f *Fabric) { f.Cost = CostLowPower })
+	add(func(f *Fabric) { f.Topology = TopoTorus; f.Cost = CostHighPerf })
+	return out
 }
 
 //himap:noalloc

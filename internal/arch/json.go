@@ -11,8 +11,9 @@ import (
 // configJSON is the serialized form of a mapping: the architecture, the
 // schedule, and the memory correlation metadata, with a format version
 // for forward compatibility. Version 2 adds the fabric fields (topology,
-// mem_pes, caps); version 1 files (bare cgra, implicitly mesh/all-mem)
-// still decode.
+// mem_pes, caps); version 3 adds the resource/cost axes (bandwidth,
+// cost_class). Version 1 and 2 files (implicitly mesh/all-mem and
+// unit-bandwidth/balanced-cost respectively) still decode.
 type configJSON struct {
 	Version  int    `json:"version"`
 	CGRA     CGRA   `json:"cgra"`
@@ -21,15 +22,19 @@ type configJSON struct {
 	// Caps renders the per-PE capability grid, one string per row,
 	// 'M' for memory-capable PEs and 'C' for compute-only ones. It is
 	// derived from mem_pes and validated against it on decode.
-	Caps   []string    `json:"caps,omitempty"`
-	II     int         `json:"ii"`
-	Slots  [][][]Instr `json:"slots"`
-	Loads  []IOSpec    `json:"loads,omitempty"`
-	Stores []IOSpec    `json:"stores,omitempty"`
+	Caps []string `json:"caps,omitempty"`
+	// Bandwidth and CostClass are the v3 resource/cost axes; they are
+	// rejected in files declaring version < 3.
+	Bandwidth string      `json:"bandwidth,omitempty"`
+	CostClass string      `json:"cost_class,omitempty"`
+	II        int         `json:"ii"`
+	Slots     [][][]Instr `json:"slots"`
+	Loads     []IOSpec    `json:"loads,omitempty"`
+	Stores    []IOSpec    `json:"stores,omitempty"`
 }
 
 // configFormatVersion is bumped on breaking schema changes.
-const configFormatVersion = 2
+const configFormatVersion = 3
 
 // maxConfigDim bounds decoded array dimensions and register counts so a
 // hostile or corrupt file cannot make the decoder allocate gigabytes
@@ -59,15 +64,17 @@ func (cfg *Config) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(configJSON{
-		Version:  configFormatVersion,
-		CGRA:     cfg.Fabric.CGRA,
-		Topology: cfg.Fabric.Topology.String(),
-		MemPEs:   cfg.Fabric.Mem.String(),
-		Caps:     capsGrid(cfg.Fabric),
-		II:       cfg.II,
-		Slots:    cfg.Slots,
-		Loads:    cfg.Loads,
-		Stores:   cfg.Stores,
+		Version:   configFormatVersion,
+		CGRA:      cfg.Fabric.CGRA,
+		Topology:  cfg.Fabric.Topology.String(),
+		MemPEs:    cfg.Fabric.Mem.String(),
+		Caps:      capsGrid(cfg.Fabric),
+		Bandwidth: cfg.Fabric.Bandwidth.String(),
+		CostClass: cfg.Fabric.Cost.String(),
+		II:        cfg.II,
+		Slots:     cfg.Slots,
+		Loads:     cfg.Loads,
+		Stores:    cfg.Stores,
 	})
 }
 
@@ -100,7 +107,18 @@ func ReadJSON(r io.Reader) (*Config, error) {
 	if err != nil {
 		return nil, err
 	}
-	fab := Fabric{CGRA: cj.CGRA, Topology: topo, Mem: mem}
+	if cj.Version < 3 && (cj.Bandwidth != "" || cj.CostClass != "") {
+		return nil, fmt.Errorf("arch: bandwidth/cost_class fields require configuration version 3, file declares %d: %w", cj.Version, diag.ErrConfigInvalid)
+	}
+	bw, err := ParseBandwidth(cj.Bandwidth)
+	if err != nil {
+		return nil, err
+	}
+	cost, err := ParseCostClass(cj.CostClass)
+	if err != nil {
+		return nil, err
+	}
+	fab := Fabric{CGRA: cj.CGRA, Topology: topo, Mem: mem, Bandwidth: bw, Cost: cost}
 	if err := fab.Validate(); err != nil {
 		return nil, err
 	}

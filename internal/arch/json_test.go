@@ -2,9 +2,11 @@ package arch
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
+	"himap/internal/diag"
 	"himap/internal/ir"
 )
 
@@ -128,5 +130,93 @@ func TestReadJSONVersion1(t *testing.T) {
 	}
 	if cfg.Fabric.Topology != TopoMesh || cfg.Fabric.Mem != MemAll {
 		t.Errorf("version-1 file decoded as %+v, want mesh/all-mem", cfg.Fabric)
+	}
+}
+
+// minimalJSON renders a 1x1 all-nop configuration with the given header
+// fields spliced in, for the version-compatibility table.
+func minimalJSON(version int, extra string) string {
+	return `{"version":` + extra + `,"cgra":{"Rows":1,"Cols":1,"NumRegs":4,"RFReadPorts":2,"RFWritePorts":2,"ConfigDepth":32,"DataMemWords":64,"ClockMHz":510},"ii":1,"slots":[[[{"Op":0}]]]}`
+}
+
+// TestConfigJSONV3RoundTrip pins the version-3 schema: the bandwidth
+// and cost-class axes survive a write/read cycle for every enum value,
+// and the re-encoding is byte-identical.
+func TestConfigJSONV3RoundTrip(t *testing.T) {
+	for _, bw := range []BandwidthClass{BWUnit, BWDouble, BWBus, BWNarrowRF} {
+		for _, cost := range []CostClass{CostBalanced, CostLowPower, CostHighPerf} {
+			fab := Fabric{CGRA: Default(2, 3), Bandwidth: bw, Cost: cost}
+			cfg := NewConfig(fab, 1)
+			in := cfg.At(0, 0, 0)
+			in.Op = ir.OpAdd
+			in.SrcA = FromConst(1)
+			in.SrcB = FromConst(2)
+			var buf bytes.Buffer
+			if err := cfg.WriteJSON(&buf); err != nil {
+				t.Fatalf("%s: %v", fab, err)
+			}
+			first := buf.String()
+			got, err := ReadJSON(strings.NewReader(first))
+			if err != nil {
+				t.Fatalf("%s: %v", fab, err)
+			}
+			if got.Fabric != fab {
+				t.Fatalf("fabric mismatch: wrote %+v, read %+v", fab, got.Fabric)
+			}
+			var buf2 bytes.Buffer
+			if err := got.WriteJSON(&buf2); err != nil {
+				t.Fatalf("%s: %v", fab, err)
+			}
+			if buf2.String() != first {
+				t.Errorf("%s: re-encoding is not byte-identical", fab)
+			}
+		}
+	}
+}
+
+// TestReadJSONV3Rejections is the strict-decode table for the v3 axes:
+// unknown enum names and resource fields in pre-v3 files are typed
+// rejections, and legacy files without the fields keep decoding with
+// the unit/balanced defaults.
+func TestReadJSONV3Rejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		header string // splices after "version":
+		ok     bool
+	}{
+		{"v3 bare", `3`, true},
+		{"v3 explicit defaults", `3,"bandwidth":"unit","cost_class":"balanced"`, true},
+		{"v3 bus low-power", `3,"bandwidth":"bus","cost_class":"low-power"`, true},
+		{"v2 bare", `2`, true},
+		{"unknown bandwidth", `3,"bandwidth":"quad"`, false},
+		{"unknown cost class", `3,"cost_class":"military"`, false},
+		{"bandwidth needs v3", `2,"bandwidth":"bus"`, false},
+		{"cost class needs v3", `1,"cost_class":"low-power"`, false},
+		{"both need v3", `2,"bandwidth":"double","cost_class":"high-perf"`, false},
+	}
+	for _, tc := range cases {
+		cfg, err := ReadJSON(strings.NewReader(minimalJSON(0, tc.header)))
+		if tc.ok {
+			if err != nil {
+				t.Errorf("%s: unexpected rejection: %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: accepted, want typed rejection (decoded %+v)", tc.name, cfg.Fabric)
+			continue
+		}
+		if !errors.Is(err, diag.ErrConfigInvalid) {
+			t.Errorf("%s: rejection not typed ErrConfigInvalid: %v", tc.name, err)
+		}
+	}
+	// Pre-v3 files without the fields decode as the legacy resource
+	// model exactly.
+	cfg, err := ReadJSON(strings.NewReader(minimalJSON(0, `2`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Fabric.Bandwidth != BWUnit || cfg.Fabric.Cost != CostBalanced {
+		t.Errorf("v2 file decoded as %s/%s, want unit/balanced", cfg.Fabric.Bandwidth, cfg.Fabric.Cost)
 	}
 }

@@ -56,6 +56,11 @@ var (
 	// ports (loads/stores) than the fabric's memory-capable PEs provide
 	// within the candidate sub-CGRA shapes.
 	ErrMemPortInfeasible = errors.New("memory-port demand infeasible on fabric")
+	// ErrBandwidthInfeasible: the placed schedule provably demands more
+	// simultaneous link departures than the fabric's bandwidth class
+	// provides — no routing can satisfy it, so the congestion loop is
+	// skipped and the demand excess is reported directly.
+	ErrBandwidthInfeasible = errors.New("link-bandwidth demand infeasible on fabric")
 	// ErrCanceled: the compile's context.Context was canceled or its
 	// deadline expired before a mapping was committed. The pipelines check
 	// the context between stages (and the baseline between SA chain
@@ -143,7 +148,7 @@ var classes = []error{
 	ErrNoSubMapping, ErrSchemeInfeasible, ErrRouteCongested,
 	ErrBlockPinConflict, ErrBlockTooSmall, ErrPlacementInfeasible,
 	ErrReplicaConflict, ErrConfigInvalid, ErrMemPortInfeasible,
-	ErrCanceled,
+	ErrBandwidthInfeasible, ErrCanceled,
 }
 
 // Classify coerces an arbitrary stage failure into a StageError: an error

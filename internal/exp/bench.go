@@ -50,6 +50,11 @@ type BenchReport struct {
 	// kernels, tracking the route and unique stage costs the router
 	// rewrite targets.
 	FabricSweep []FabricPoint `json:"fabric_sweep"`
+	// ExploreSweep ranks the 8×8 design-space candidates for GEMM —
+	// the serving-layer /v1/explore workload, kept in the bench report
+	// so cost-model regressions surface as ranking or wall-clock
+	// shifts.
+	ExploreSweep []ExplorePoint `json:"explore_sweep"`
 }
 
 // FabricPoint is one cell of the fabric-size scaling sweep: one kernel
@@ -156,6 +161,14 @@ func BenchCompile(size, workers int) (*BenchReport, error) {
 			})
 		}
 	}
+
+	// Design-space sweep: GEMM across the fabric candidate set, ranked
+	// by power efficiency under each fabric's own power model.
+	rep.ExploreSweep = Explore(ExploreConfig{
+		Kernels: []*kernel.Kernel{kernel.GEMM()},
+		Fabrics: arch.ExploreFabrics(8, 8),
+		Workers: rep.Workers,
+	})
 	return rep, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"himap/internal/arch"
 	"himap/internal/kernel"
 )
 
@@ -153,5 +154,56 @@ func TestEnvelopeSmall(t *testing.T) {
 	}
 	if s := FormatEnvelope(pts); !strings.Contains(s, "GEMM") {
 		t.Error("format broken")
+	}
+}
+
+// TestExploreDeterministicAndTyped pins the sweep contract: two runs of
+// the same exploration (at different worker counts, so completion order
+// differs) produce identical points in identical order — wall time
+// aside — every point is either a priced success or carries a typed
+// failure class, and the per-kernel ranking is ordered as documented.
+func TestExploreDeterministicAndTyped(t *testing.T) {
+	cfg := ExploreConfig{
+		Kernels: []*kernel.Kernel{kernel.MVT(), kernel.ATAX()},
+		Fabrics: arch.ExploreFabrics(4, 4),
+	}
+	a := Explore(ExploreConfig{Kernels: cfg.Kernels, Fabrics: cfg.Fabrics, Workers: 1})
+	b := Explore(ExploreConfig{Kernels: cfg.Kernels, Fabrics: cfg.Fabrics, Workers: 8})
+	if len(a) != len(b) || len(a) != 2*len(cfg.Fabrics) {
+		t.Fatalf("point counts: %d vs %d, want %d", len(a), len(b), 2*len(cfg.Fabrics))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		x.WallMS, y.WallMS = 0, 0
+		if x != y {
+			t.Errorf("point %d differs across runs:\n%+v\n%+v", i, x, y)
+		}
+	}
+	seenOK := false
+	for i, p := range a {
+		if p.OK == (p.Fail != "") {
+			t.Errorf("point %d: OK=%v with fail class %q", i, p.OK, p.Fail)
+		}
+		if p.OK {
+			seenOK = true
+			if p.MOPS <= 0 || p.PowerMW <= 0 || p.Eff <= 0 || p.IIB < 1 {
+				t.Errorf("point %d: unpriced success %+v", i, p)
+			}
+		}
+		if i > 0 && a[i-1].Kernel == p.Kernel {
+			prev := a[i-1]
+			if !prev.OK && p.OK {
+				t.Errorf("point %d: success ranked after failure", i)
+			}
+			if prev.OK && p.OK && prev.Eff < p.Eff {
+				t.Errorf("point %d: efficiency ranking inverted (%v after %v)", i, p.Eff, prev.Eff)
+			}
+		}
+	}
+	if !seenOK {
+		t.Error("no fabric candidate succeeded — sweep degenerate")
+	}
+	if a[0].Kernel != "MVT" || a[len(a)-1].Kernel != "ATAX" {
+		t.Errorf("kernels reordered: first %s last %s", a[0].Kernel, a[len(a)-1].Kernel)
 	}
 }

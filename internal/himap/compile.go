@@ -11,6 +11,7 @@ import (
 	"himap/internal/ir"
 	"himap/internal/kernel"
 	"himap/internal/par"
+	"himap/internal/route"
 	"himap/internal/systolic"
 )
 
@@ -65,6 +66,10 @@ type Options struct {
 	// routeLegacy selects the pre-A* global-heap Dijkstra router core —
 	// kept for differential testing of the A*+bucket-queue rewrite.
 	routeLegacy bool
+	// costModel overrides the router's congestion-pricing model (the
+	// fabric-derived route.For selection otherwise) — kept for
+	// differential testing of the CostModel seam.
+	costModel route.CostModel
 	// Tracer receives one span per executed pipeline stage (see
 	// internal/diag). nil means no tracing.
 	Tracer diag.Tracer

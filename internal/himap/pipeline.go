@@ -360,6 +360,7 @@ func runRoute(c *CompileContext) error {
 		workers:     c.Opts.Workers,
 		incremental: c.Opts.IncrementalRoute,
 		legacy:      c.Opts.routeLegacy,
+		costModel:   c.Opts.costModel,
 	}
 	plans, rstats, err := c.lay.routeCanonical(c.Opts.MaxRouteRounds)
 	c.RStats = rstats

@@ -44,6 +44,9 @@ type layout struct {
 	// legacy selects the pre-A* Dijkstra router core (differential
 	// testing only; see route.Session.Legacy).
 	legacy bool
+	// costModel, when non-nil, overrides the fabric-derived congestion
+	// pricing (differential testing only; see Options.costModel).
+	costModel route.CostModel
 	// waveScratch holds one router search Scratch per wave position, so
 	// concurrent searches never share working memory.
 	waveScratch []*route.Scratch
@@ -280,6 +283,17 @@ func (l *layout) routeCanonical(maxRounds int) ([][]canonNet, RouteStats, error)
 	ses := route.NewSession(g)
 	ses.Legacy = l.legacy
 	stats := RouteStats{UniqueIters: len(l.classes)}
+	if l.costModel != nil {
+		if err := ses.SetCostModel(l.costModel); err != nil {
+			return nil, stats, err
+		}
+	}
+	// Provable-infeasibility pre-check: on bandwidth-constrained fabrics,
+	// forced link departures of the placed schedule are counted against
+	// the fabric's lanes before any congestion negotiation is attempted.
+	if err := l.checkBandwidth(); err != nil {
+		return nil, stats, err
+	}
 	l.computePins()
 	l.loadRel = make([]map[int]RelPlace, len(l.classes))
 	for i := range l.loadRel {
@@ -419,14 +433,14 @@ func (l *layout) classClean(ses *route.Session, g *mrrg.Graph, classIdx int, cl 
 		for i := range nets {
 			for _, n := range nets[i].net.NodeList() {
 				sn := n.Shifted(dt, dr, dc)
-				if ses.Occ(sn) > g.Capacity(sn.Class) {
+				if ses.Occ(sn) > ses.CapacityOf(sn.Class) {
 					return false
 				}
 			}
 		}
 		for _, lr := range l.loadRel[classIdx] {
 			sn := mrrg.Node{T: mt + lr.T, R: mr + lr.R, C: mc + lr.C, Class: mrrg.ClassMemRead}
-			if ses.Occ(sn) > g.Capacity(mrrg.ClassMemRead) {
+			if ses.Occ(sn) > ses.CapacityOf(mrrg.ClassMemRead) {
 				return false
 			}
 		}

@@ -42,6 +42,10 @@ const (
 	numClasses
 )
 
+// NumClasses is the number of resource node classes — exported so cost
+// models can size per-class tables without hardcoding the count.
+const NumClasses = int(numClasses)
+
 var classNames = [...]string{"FU", "OUT", "REG", "RFR", "RFW", "MRD", "MWR"}
 
 // String returns the class mnemonic.
@@ -97,18 +101,25 @@ type Graph struct {
 	// the successor enumeration on the router's hot path is table lookups
 	// instead of repeated topology math.
 	links []int32
+
+	// sharedOut folds every ClassOut direction of a PE onto one
+	// occupancy slot (BWBus fabrics): all egress directions then charge
+	// a single capacity-1 resource per cycle, modelling the shared
+	// single-driver bus. Dense slot *indices* keep the per-direction
+	// layout (with holes) so search scratch arrays are unaffected.
+	sharedOut bool
 }
 
 // New returns the MRRG of the fabric, time-extended to ii cycles with
 // modulo wrap-around for resource accounting (H_II of §IV).
 func New(f arch.Fabric, ii int) *Graph {
-	return &Graph{Fab: f, II: ii, Wrap: true, links: buildLinks(f)}
+	return &Graph{Fab: f, II: ii, Wrap: true, links: buildLinks(f), sharedOut: f.SharedOutBus()}
 }
 
 // NewAcyclic returns a non-wrapping time extension of depth cycles (used
 // for IDFG → sub-CGRA mapping, H” of §IV).
 func NewAcyclic(f arch.Fabric, depth int) *Graph {
-	return &Graph{Fab: f, II: depth, Wrap: false, links: buildLinks(f)}
+	return &Graph{Fab: f, II: depth, Wrap: false, links: buildLinks(f), sharedOut: f.SharedOutBus()}
 }
 
 func buildLinks(f arch.Fabric) []int32 {
@@ -233,9 +244,22 @@ func (g *Graph) SlotResource(slot int) (Class, uint8) {
 //himap:noalloc
 func (g *Graph) DenseKey(n Node) int {
 	r, c := g.Fab.WrapCoord(n.R, n.C)
+	idx := n.Idx
+	if g.sharedOut && n.Class == ClassOut {
+		idx = 0 // all egress directions share one bus slot
+	}
 	return (g.WrapTime(n.T)*g.Fab.NumPEs()+r*g.Fab.Cols+c)*g.SlotsPerPE() +
-		g.SlotIndex(n.Class, n.Idx)
+		g.SlotIndex(n.Class, idx)
 }
+
+// SharedOut reports whether DenseKey collapses the output-register
+// directions of a PE onto one occupancy slot (BWBus fabrics). When true
+// the dense key of a node is no longer a pure linear function of its
+// per-direction slot index, so search cores must not derive occupancy
+// keys by offsetting dense search indices.
+//
+//himap:noalloc
+func (g *Graph) SharedOut() bool { return g.sharedOut }
 
 // NumDenseKeys returns the size of the dense occupancy key space.
 //
@@ -254,15 +278,20 @@ func (g *Graph) TimeBase(t int) int {
 	return g.WrapTime(t) * g.Fab.NumPEs() * g.SlotsPerPE()
 }
 
-// Capacity returns the occupancy capacity of a node class.
+// Capacity returns the occupancy capacity of a node class under the
+// fabric's bandwidth class: RF ports come from the (possibly narrowed)
+// port counts, output registers from the link capacity (1 for the
+// collapsed shared-bus slot), everything else is single-occupancy.
 //
 //himap:noalloc
 func (g *Graph) Capacity(c Class) int {
 	switch c {
 	case ClassRFRead:
-		return g.Fab.RFReadPorts
+		return g.Fab.RFReadCap()
 	case ClassRFWrite:
-		return g.Fab.RFWritePorts
+		return g.Fab.RFWriteCap()
+	case ClassOut:
+		return g.Fab.LinkCapacity()
 	default:
 		return 1
 	}

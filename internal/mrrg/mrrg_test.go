@@ -228,6 +228,88 @@ func TestCapacity(t *testing.T) {
 	}
 }
 
+// TestCapacityPerBandwidthClass pins how each bandwidth class
+// materializes as occupancy capacities: the RF axes move, link and
+// single-occupancy resources never do (the configuration word encodes
+// one value per link per cycle in every class).
+func TestCapacityPerBandwidthClass(t *testing.T) {
+	cases := []struct {
+		bw              arch.BandwidthClass
+		rfRead, rfWrite int
+	}{
+		{arch.BWUnit, 2, 2},
+		{arch.BWDouble, 4, 4},
+		{arch.BWBus, 2, 2},
+		{arch.BWNarrowRF, 1, 1},
+	}
+	for _, tc := range cases {
+		g := New(arch.Fabric{CGRA: arch.Default(2, 2), Bandwidth: tc.bw}, 2)
+		if got := g.Capacity(ClassRFRead); got != tc.rfRead {
+			t.Errorf("%s: RF read capacity %d, want %d", tc.bw, got, tc.rfRead)
+		}
+		if got := g.Capacity(ClassRFWrite); got != tc.rfWrite {
+			t.Errorf("%s: RF write capacity %d, want %d", tc.bw, got, tc.rfWrite)
+		}
+		for _, c := range []Class{ClassFU, ClassOut, ClassReg, ClassMemRead, ClassMemWrite} {
+			if got := g.Capacity(c); got != 1 {
+				t.Errorf("%s: Capacity(%s) = %d, want 1", tc.bw, c, got)
+			}
+		}
+	}
+}
+
+// TestDenseKeyBusCollapse pins the shared-bus occupancy semantics: on a
+// BWBus fabric every egress direction of a PE folds onto one dense
+// occupancy slot (so the router charges them as a single lane), other
+// classes keep distinct keys, and the SharedOut flag — which disables
+// the router's linear-key fast path — is set exactly there.
+func TestDenseKeyBusCollapse(t *testing.T) {
+	bus := New(arch.Fabric{CGRA: arch.Default(3, 3), Bandwidth: arch.BWBus}, 4)
+	mesh := New(arch.DefaultFabric(3, 3), 4)
+	if !bus.SharedOut() || mesh.SharedOut() {
+		t.Fatalf("SharedOut: bus %v, mesh %v", bus.SharedOut(), mesh.SharedOut())
+	}
+	nd := bus.NumDirs()
+	base := Node{T: 1, R: 1, C: 1, Class: ClassOut, Idx: 0}
+	for d := 1; d < nd; d++ {
+		n := base
+		n.Idx = uint8(d)
+		if bus.DenseKey(n) != bus.DenseKey(base) {
+			t.Errorf("bus: direction %d has its own occupancy slot", d)
+		}
+		if mesh.DenseKey(n) == mesh.DenseKey(base) {
+			t.Errorf("mesh: directions 0 and %d collide", d)
+		}
+	}
+	// The collapse is confined to ClassOut: registers keep one key per
+	// index on the bus fabric too.
+	r0 := Node{T: 1, R: 1, C: 1, Class: ClassReg, Idx: 0}
+	r1 := Node{T: 1, R: 1, C: 1, Class: ClassReg, Idx: 1}
+	if bus.DenseKey(r0) == bus.DenseKey(r1) {
+		t.Error("bus: register indices collapsed")
+	}
+	// Dense keys must stay injective over distinct (wrapped) resources,
+	// with exactly the Out directions identified.
+	seen := map[int]Node{}
+	for _, n := range []Node{
+		{T: 0, R: 0, C: 0, Class: ClassFU},
+		{T: 0, R: 0, C: 0, Class: ClassOut, Idx: 0},
+		{T: 0, R: 0, C: 1, Class: ClassOut, Idx: 0},
+		{T: 1, R: 0, C: 0, Class: ClassOut, Idx: 0},
+		{T: 0, R: 0, C: 0, Class: ClassRFRead},
+		{T: 0, R: 0, C: 0, Class: ClassRFWrite},
+		{T: 0, R: 0, C: 0, Class: ClassMemRead},
+		{T: 0, R: 0, C: 0, Class: ClassMemWrite},
+		{T: 0, R: 0, C: 0, Class: ClassReg, Idx: 3},
+	} {
+		k := bus.DenseKey(n)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("dense key collision between %v and %v", prev, n)
+		}
+		seen[k] = n
+	}
+}
+
 func TestNumVirtualNodes(t *testing.T) {
 	g := New(arch.DefaultFabric(64, 64), 128)
 	// 64*64 PEs * 128 cycles * 13 resources/PE — millions of nodes, never allocated.

@@ -43,6 +43,49 @@ func Default40nm() Model {
 	}
 }
 
+// ModelFor returns the power model of a fabric: the paper's balanced
+// 40 nm point scaled by the fabric's cost class (silicon corner) and
+// bandwidth class (interconnect implementation). The default fabric
+// maps to Default40nm exactly.
+//
+// Cost corners: the low-power corner trades 20% clock for markedly
+// lower leakage and switching energy (high-Vt cells); the
+// high-performance corner buys 25% clock at a superlinear dynamic
+// premium and 40% more leakage (low-Vt, stronger drive).
+//
+// Bandwidth classes price the resource they change: a double-pumped
+// register file clocks its port logic twice per cycle; a shared egress
+// bus replaces the per-direction link drivers with one; a narrowed
+// register file drops port muxing energy.
+func ModelFor(f arch.Fabric) Model {
+	m := Default40nm()
+	switch f.Cost {
+	case arch.CostLowPower:
+		m.ClockMHz = 408
+		m.StaticMW = 1.50
+		m.FUMW = 1.05
+		m.RouteMW = 0.14
+		m.RFMW = 0.28
+		m.MemMW = 0.56
+	case arch.CostHighPerf:
+		m.ClockMHz = 637.5
+		m.StaticMW = 2.80
+		m.FUMW = 2.40
+		m.RouteMW = 0.32
+		m.RFMW = 0.64
+		m.MemMW = 1.28
+	}
+	switch f.Bandwidth {
+	case arch.BWDouble:
+		m.RFMW *= 2
+	case arch.BWBus:
+		m.RouteMW *= 0.5
+	case arch.BWNarrowRF:
+		m.RFMW *= 0.6
+	}
+	return m
+}
+
 // Activity summarizes the switching activity of a configuration.
 type Activity struct {
 	FU    float64 // busy FU slots / total FU slots
@@ -93,7 +136,7 @@ func MeasureActivity(cfg *arch.Config) Activity {
 	return Activity{
 		FU:    float64(fu) / slots,
 		Route: float64(routes) / (slots * float64(ndirs)),
-		RF:    float64(rfports) / (slots * float64(a.RFReadPorts+a.RFWritePorts)),
+		RF:    float64(rfports) / (slots * float64(a.RFReadCap()+a.RFWriteCap())),
 		Mem:   float64(mem) / (slots * 2),
 	}
 }

@@ -137,3 +137,60 @@ func TestHiMapBeatsBaselineEfficiencyShape(t *testing.T) {
 		t.Errorf("efficiency %v MOPS/mW far from the paper's ~10^2 scale", effHi)
 	}
 }
+
+// TestModelForDefaultIsPaperModel pins the resource/cost seam's zero
+// point: the default fabric must price exactly as the paper's 40 nm
+// model — any drift would silently move every published number.
+func TestModelForDefaultIsPaperModel(t *testing.T) {
+	if got, want := ModelFor(arch.DefaultFabric(8, 8)), Default40nm(); got != want {
+		t.Fatalf("ModelFor(default) = %+v, want Default40nm %+v", got, want)
+	}
+}
+
+// TestModelForCornersAndBandwidth checks the direction and composition
+// of the cost-corner and bandwidth scalings without restating every
+// constant: corners move all terms one way, bandwidth classes touch
+// only the resource they change, and the two compose multiplicatively.
+func TestModelForCornersAndBandwidth(t *testing.T) {
+	base := Default40nm()
+	low := ModelFor(arch.Fabric{CGRA: arch.Default(8, 8), Cost: arch.CostLowPower})
+	high := ModelFor(arch.Fabric{CGRA: arch.Default(8, 8), Cost: arch.CostHighPerf})
+	if !(low.ClockMHz < base.ClockMHz && base.ClockMHz < high.ClockMHz) {
+		t.Errorf("clock ordering wrong: %v / %v / %v", low.ClockMHz, base.ClockMHz, high.ClockMHz)
+	}
+	for _, tc := range []struct {
+		name        string
+		lo, mid, hi float64
+	}{
+		{"static", low.StaticMW, base.StaticMW, high.StaticMW},
+		{"fu", low.FUMW, base.FUMW, high.FUMW},
+		{"route", low.RouteMW, base.RouteMW, high.RouteMW},
+		{"rf", low.RFMW, base.RFMW, high.RFMW},
+		{"mem", low.MemMW, base.MemMW, high.MemMW},
+	} {
+		if !(tc.lo < tc.mid && tc.mid < tc.hi) {
+			t.Errorf("%s power ordering wrong: %v / %v / %v", tc.name, tc.lo, tc.mid, tc.hi)
+		}
+	}
+
+	double := ModelFor(arch.Fabric{CGRA: arch.Default(8, 8), Bandwidth: arch.BWDouble})
+	if double.RFMW != 2*base.RFMW {
+		t.Errorf("double-pumped RF power %v, want %v", double.RFMW, 2*base.RFMW)
+	}
+	if double.RouteMW != base.RouteMW || double.FUMW != base.FUMW || double.ClockMHz != base.ClockMHz {
+		t.Error("BWDouble must scale only the RF term")
+	}
+	bus := ModelFor(arch.Fabric{CGRA: arch.Default(8, 8), Bandwidth: arch.BWBus})
+	if bus.RouteMW != 0.5*base.RouteMW || bus.RFMW != base.RFMW {
+		t.Errorf("bus scaling wrong: route %v rf %v", bus.RouteMW, bus.RFMW)
+	}
+	narrow := ModelFor(arch.Fabric{CGRA: arch.Default(8, 8), Bandwidth: arch.BWNarrowRF})
+	if narrow.RFMW != 0.6*base.RFMW || narrow.RouteMW != base.RouteMW {
+		t.Errorf("narrow-rf scaling wrong: rf %v route %v", narrow.RFMW, narrow.RouteMW)
+	}
+
+	both := ModelFor(arch.Fabric{CGRA: arch.Default(8, 8), Cost: arch.CostHighPerf, Bandwidth: arch.BWDouble})
+	if both.RFMW != 2*high.RFMW {
+		t.Errorf("corner and bandwidth must compose: RF %v, want %v", both.RFMW, 2*high.RFMW)
+	}
+}

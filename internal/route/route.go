@@ -145,6 +145,20 @@ type Session struct {
 	// on the net side.
 	netFree []*Net
 
+	// model is the installed congestion-pricing model; baseTab/capTab
+	// are its per-class materialization (see SetCostModel), so the
+	// pricing on every relaxed edge stays two array loads with no
+	// interface dispatch. NewSession installs For(G).
+	model   CostModel
+	baseTab [mrrg.NumClasses]float64
+	capTab  [mrrg.NumClasses]int32
+
+	// linearKeys records that DenseKey is a pure linear function of the
+	// dense search index (true except on shared-bus fabrics, where the
+	// Out directions collapse onto one occupancy slot). The A* core's
+	// index+tdelta occupancy-key fast path is valid only when set.
+	linearKeys bool
+
 	sc Scratch
 }
 
@@ -167,15 +181,21 @@ func defaultMaxVisits(denseKeys int) int {
 // in place rather than reallocating.
 func NewSession(g *mrrg.Graph) *Session {
 	n := g.NumDenseKeys()
-	return &Session{
-		G:         g,
-		PresFac:   2.0,
-		HistBump:  3.0,
-		MaxVisits: defaultMaxVisits(n),
-		occ:       make([]int32, n),
-		hist:      make([]float64, n),
-		mark:      make([]uint32, n),
+	s := &Session{
+		G:          g,
+		PresFac:    2.0,
+		HistBump:   3.0,
+		MaxVisits:  defaultMaxVisits(n),
+		occ:        make([]int32, n),
+		hist:       make([]float64, n),
+		mark:       make([]uint32, n),
+		linearKeys: !g.SharedOut(),
 	}
+	if err := s.SetCostModel(For(g)); err != nil {
+		// The built-in models satisfy the invariants by construction.
+		panic(err)
+	}
+	return s
 }
 
 // ResetKeepHistory clears all occupancy and nets but keeps the
@@ -200,10 +220,12 @@ func (s *Session) Reset() {
 	s.netSeq = 0
 }
 
-// baseCost is the intrinsic cost of occupying one resource node. Every
-// value is an exact multiple of 0.1 — together with integral PresFac and
-// HistBump multiples this keeps all accumulated costs on the deci-unit
-// grid the bucket queue quantizes into.
+// baseCost is the legacy intrinsic cost of occupying one resource node
+// — the UnitModel's table and the admissibility floor every CostModel
+// is validated against. Every value is an exact multiple of 0.1 —
+// together with integral PresFac and HistBump multiples this keeps all
+// accumulated costs on the deci-unit grid the bucket queue quantizes
+// into.
 //
 //himap:noalloc
 func baseCost(c mrrg.Class) float64 {
@@ -234,13 +256,12 @@ func (s *Session) enterCost(n mrrg.Node) float64 {
 //
 //himap:noalloc
 func (s *Session) enterCostAt(n mrrg.Node, key int) float64 {
-	cap := s.G.Capacity(n.Class)
-	over := int(s.occ[key]) + 1 - cap
+	over := int(s.occ[key]) + 1 - int(s.capTab[n.Class])
 	pen := 1.0
 	if over > 0 {
 		pen = 1.0 + float64(over)*s.PresFac
 	}
-	return baseCost(n.Class)*pen + s.hist[key]
+	return s.baseTab[n.Class]*pen + s.hist[key]
 }
 
 // Reserve marks a placement node (FU slot, memory port) occupied outside
@@ -808,7 +829,11 @@ func (s *Session) searchAStar(sc *Scratch, net *Net, targets []mrrg.Node,
 		mi := idxOf(m)
 		nd := gCur
 		if sc.owned[mi] != gen {
-			nd += s.enterCostAt(m, int(mi)+sc.tdelta[m.T-tBase])
+			key := int(mi) + sc.tdelta[m.T-tBase]
+			if !s.linearKeys {
+				key = s.G.DenseKey(m) // shared-bus collapse: no linear shortcut
+			}
+			nd += s.enterCostAt(m, key)
 		}
 		if sc.seen[mi] != gen {
 			h := s.heuristicAt(sc, m, targets, tBase, pes, cols)
@@ -966,7 +991,7 @@ func (s *Session) OversubscribedIn(nets []*Net) []mrrg.Node {
 					continue
 				}
 				s.mark[k] = s.markGen
-				if int(s.occ[k]) > s.G.Capacity(n.Class) {
+				if int(s.occ[k]) > int(s.capTab[n.Class]) {
 					out = append(out, n)
 				}
 			}

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"himap"
+)
+
+func postExplore(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/explore", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/explore: %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, b
+}
+
+// TestExploreEndToEnd sweeps one kernel over the default candidate set
+// with real compiles and pins the response contract: every candidate
+// accounted for, successes priced and ranked by efficiency, failures
+// typed, and a repeated sweep served entirely from the per-fabric cache
+// with a byte-identical body.
+func TestExploreEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	req := `{"kernel":"MVT","rows":4,"cols":4,"options":{}}`
+	resp, body := postExplore(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var er ExploreResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatalf("response not valid JSON: %v", err)
+	}
+	ncand := len(himap.ExploreFabrics(4, 4))
+	if er.SchemaVersion != SchemaVersion || er.Kernel != "MVT" || len(er.Entries) != ncand {
+		t.Fatalf("header wrong: version=%d kernel=%q entries=%d (want %d)",
+			er.SchemaVersion, er.Kernel, len(er.Entries), ncand)
+	}
+	if !er.Entries[0].OK {
+		t.Fatalf("no fabric candidate succeeded: first entry %+v", er.Entries[0])
+	}
+	for i, e := range er.Entries {
+		if e.OK {
+			if e.II < 1 || e.MOPS <= 0 || e.PowerMW <= 0 || e.Eff <= 0 || len(e.Block) == 0 {
+				t.Errorf("entry %d (%s): unpriced success %+v", i, e.Fabric, e)
+			}
+			if len(e.StageMS) == 0 {
+				t.Errorf("entry %d (%s): no per-stage wall breakdown", i, e.Fabric)
+			}
+			if e.Error != nil {
+				t.Errorf("entry %d (%s): success with error body", i, e.Fabric)
+			}
+		} else {
+			if e.Error == nil || e.Error.Code == "" {
+				t.Errorf("entry %d (%s): failure without typed error body: %+v", i, e.Fabric, e)
+			}
+		}
+		if i == 0 {
+			continue
+		}
+		prev := er.Entries[i-1]
+		if !prev.OK && e.OK {
+			t.Errorf("entry %d: success ranked after failure", i)
+		}
+		if prev.OK && e.OK && prev.Eff < e.Eff {
+			t.Errorf("entry %d: efficiency ranking inverted (%v after %v)", i, e.Eff, prev.Eff)
+		}
+	}
+
+	resp2, body2 := postExplore(t, ts.URL, req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("repeat status %d", resp2.StatusCode)
+	}
+	if !bytes.Equal(body, body2) {
+		t.Error("repeated sweep body differs — cache entries not deterministic")
+	}
+	snap := s.Metrics().Snapshot()
+	if snap.Explores != 2 || snap.Requests != 2 {
+		t.Errorf("explores=%d requests=%d, want 2/2", snap.Explores, snap.Requests)
+	}
+	if snap.Compiles != int64(ncand) {
+		t.Errorf("compiles=%d, want %d (second sweep must be pure cache hits)", snap.Compiles, ncand)
+	}
+	if snap.CacheHits != int64(ncand) || snap.CacheMisses != int64(ncand) {
+		t.Errorf("hits=%d misses=%d, want %d/%d", snap.CacheHits, snap.CacheMisses, ncand, ncand)
+	}
+
+	// The explore counter reaches the text metrics rendering.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	mb, _ := io.ReadAll(mresp.Body)
+	if !strings.Contains(string(mb), "himapd_explores_total 2") {
+		t.Error("metrics text missing himapd_explores_total 2")
+	}
+}
+
+// TestExploreValidation is the rejection table of the explore wire
+// contract: strict decoding, candidate-set rules, and kernel selection
+// errors all answer before any compile runs, with the right status.
+func TestExploreValidation(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxExploreFabrics: 2})
+	cases := []struct {
+		name   string
+		body   string
+		status int
+	}{
+		{"unknown field", `{"kernel":"MVT","rows":4,"cols":4,"bogus":1}`, http.StatusBadRequest},
+		{"future schema", `{"schema_version":99,"kernel":"MVT","rows":4,"cols":4}`, http.StatusBadRequest},
+		{"rows and fabrics", `{"kernel":"MVT","rows":4,"cols":4,"fabrics":[{"rows":4,"cols":4}]}`, http.StatusBadRequest},
+		{"neither rows nor fabrics", `{"kernel":"MVT"}`, http.StatusBadRequest},
+		{"array too small", `{"kernel":"MVT","rows":1,"cols":1}`, http.StatusBadRequest},
+		{"bad bandwidth", `{"kernel":"MVT","fabrics":[{"rows":4,"cols":4,"bandwidth":"quad"}]}`, http.StatusBadRequest},
+		{"bad cost class", `{"kernel":"MVT","fabrics":[{"rows":4,"cols":4,"cost_class":"military"}]}`, http.StatusBadRequest},
+		{"too many fabrics", `{"kernel":"MVT","fabrics":[{"rows":4,"cols":4},{"rows":4,"cols":5},{"rows":5,"cols":4}]}`, http.StatusBadRequest},
+		{"unknown kernel", `{"kernel":"NOPE","rows":4,"cols":4}`, http.StatusNotFound},
+		{"kernel and spec", `{"kernel":"MVT","spec":{"name":"x","dim":1,"tensors":[],"body":[]},"rows":4,"cols":4}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, body := postExplore(t, ts.URL, tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d: %s", tc.name, resp.StatusCode, tc.status, body)
+			continue
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(body, &er); err != nil || er.Error.Code == "" {
+			t.Errorf("%s: error body not machine-readable: %s", tc.name, body)
+		}
+	}
+	snap := s.Metrics().Snapshot()
+	if snap.BadRequests != int64(len(cases)) {
+		t.Errorf("bad_requests=%d, want %d", snap.BadRequests, len(cases))
+	}
+	if snap.Compiles != 0 {
+		t.Errorf("compiles=%d, want 0 — rejections must answer before any compile", snap.Compiles)
+	}
+}
+
+// TestExploreDeadlineNotCached: a candidate that dies on the sweep's
+// deadline answers with the deadline code and is NOT cached, so a retry
+// after transient pressure re-runs the compile instead of replaying the
+// timeout forever.
+func TestExploreDeadlineNotCached(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.SetCompileFunc(func(ctx context.Context, req himap.Request) (*himap.Result, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	req := `{"kernel":"MVT","fabrics":[{"rows":4,"cols":4}],"options":{"timeout_ms":40}}`
+	for i := 0; i < 2; i++ {
+		resp, body := postExplore(t, ts.URL, req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		var er ExploreResponse
+		if err := json.Unmarshal(body, &er); err != nil {
+			t.Fatal(err)
+		}
+		if len(er.Entries) != 1 || er.Entries[0].OK {
+			t.Fatalf("run %d: entries %+v", i, er.Entries)
+		}
+		if got := er.Entries[0].Error.Code; got != "deadline" {
+			t.Fatalf("run %d: error code %q, want deadline", i, got)
+		}
+	}
+	if snap := s.Metrics().Snapshot(); snap.CacheHits != 0 {
+		t.Errorf("cache hits %d after two deadline sweeps, want 0 (deadlines must not be cached)", snap.CacheHits)
+	}
+}

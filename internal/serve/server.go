@@ -43,6 +43,9 @@ type Config struct {
 	MaxArraySide int
 	// MaxBlock bounds each requested block extent. Default 64.
 	MaxBlock int
+	// MaxExploreFabrics bounds the candidate count of one /v1/explore
+	// request. Default 16.
+	MaxExploreFabrics int
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +72,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBlock <= 0 {
 		c.MaxBlock = 64
+	}
+	if c.MaxExploreFabrics <= 0 {
+		c.MaxExploreFabrics = 16
 	}
 	return c
 }
@@ -124,6 +130,7 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	mux.HandleFunc("POST /v1/explore", s.handleExplore)
 	mux.HandleFunc("GET /v1/kernels", s.handleKernels)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -162,21 +169,10 @@ func BuildRequest(w *CompileRequestWire, cfg Config) (himap.Request, error) {
 		return req, fmt.Errorf("%w: one of kernel or spec is required", ErrBadRequest)
 	}
 
-	f := w.Fabric
-	if f.Rows < 2 || f.Cols < 2 || f.Rows > cfg.MaxArraySide || f.Cols > cfg.MaxArraySide {
-		return req, fmt.Errorf("%w: fabric %dx%d outside [2,%d]", ErrBadRequest, f.Rows, f.Cols, cfg.MaxArraySide)
-	}
-	topo, err := himap.ParseTopology(f.Topology)
+	fab, err := BuildFabric(w.Fabric, cfg)
 	if err != nil {
-		return req, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		return req, err
 	}
-	mem, err := himap.ParseMemPolicy(f.MemPEs)
-	if err != nil {
-		return req, fmt.Errorf("%w: %v", ErrBadRequest, err)
-	}
-	fab := himap.DefaultFabric(f.Rows, f.Cols)
-	fab.Topology = topo
-	fab.Mem = mem
 	req.Fabric = fab
 
 	o := w.Options

@@ -56,10 +56,12 @@ type CompileRequestWire struct {
 
 // FabricSpec selects the target architecture.
 type FabricSpec struct {
-	Rows     int    `json:"rows"`
-	Cols     int    `json:"cols"`
-	Topology string `json:"topology,omitempty"` // mesh (default) | torus | diag
-	MemPEs   string `json:"mem_pes,omitempty"`  // all (default) | boundary | none
+	Rows      int    `json:"rows"`
+	Cols      int    `json:"cols"`
+	Topology  string `json:"topology,omitempty"`   // mesh (default) | torus | diag
+	MemPEs    string `json:"mem_pes,omitempty"`    // all (default) | boundary | none
+	Bandwidth string `json:"bandwidth,omitempty"`  // unit (default) | double | bus | narrow-rf
+	CostClass string `json:"cost_class,omitempty"` // balanced (default) | low-power | high-perf
 }
 
 // OptionsSpec tunes the compile. TimeoutMS bounds the request's wall
@@ -140,6 +142,57 @@ type StoreWire struct {
 	Map    []AffineRow `json:"map"`
 }
 
+// ExploreRequestWire is the POST /v1/explore request body: one kernel
+// (name or inline spec, exactly as /v1/compile) swept across a set of
+// fabric candidates and ranked by power efficiency. When Fabrics is
+// empty the server sweeps the default candidate set of a Rows×Cols
+// array (himap.ExploreFabrics); an explicit list overrides it and then
+// Rows/Cols must be omitted.
+type ExploreRequestWire struct {
+	SchemaVersion int                `json:"schema_version,omitempty"`
+	Kernel        string             `json:"kernel,omitempty"`
+	Spec          *KernelSpec        `json:"spec,omitempty"`
+	Rows          int                `json:"rows,omitempty"`
+	Cols          int                `json:"cols,omitempty"`
+	Fabrics       []FabricSpec       `json:"fabrics,omitempty"`
+	Options       ExploreOptionsSpec `json:"options"`
+}
+
+// ExploreOptionsSpec tunes the sweep. TimeoutMS bounds the whole
+// request (all candidate compiles together), not each candidate.
+type ExploreOptionsSpec struct {
+	InnerBlock int `json:"inner_block,omitempty"`
+	TimeoutMS  int `json:"timeout_ms,omitempty"`
+}
+
+// ExploreResponse is the POST /v1/explore success body: every fabric
+// candidate with its outcome, ranked by MOPS/mW (successes first, then
+// typed failures; full order documented on the handler). The ranking is
+// deterministic across identical requests — only StageMS (wall clock)
+// may differ between cold entries.
+type ExploreResponse struct {
+	SchemaVersion int            `json:"schema_version"`
+	Kernel        string         `json:"kernel"`
+	Entries       []ExploreEntry `json:"entries"`
+}
+
+// ExploreEntry is one fabric candidate's outcome. Failed candidates
+// carry the compile's wire error body (code/class) instead of metrics,
+// so an infeasible bandwidth point reads exactly like the /v1/compile
+// rejection it would have been.
+type ExploreEntry struct {
+	Fabric      string             `json:"fabric"`
+	OK          bool               `json:"ok"`
+	Error       *ErrorBody         `json:"error,omitempty"`
+	II          int                `json:"ii,omitempty"`
+	Block       []int              `json:"block,omitempty"`
+	Utilization float64            `json:"utilization,omitempty"`
+	MOPS        float64            `json:"mops,omitempty"`
+	PowerMW     float64            `json:"power_mw,omitempty"`
+	Eff         float64            `json:"eff_mops_per_mw,omitempty"`
+	StageMS     map[string]float64 `json:"stage_ms,omitempty"`
+}
+
 // CompileResponse is the POST /v1/compile success body. Config is the
 // canonical configuration JSON (himap.SaveConfig bytes) and Bitstream
 // the canonical binary configuration-memory image (BitstreamBytes),
@@ -198,6 +251,25 @@ func DecodeRequest(r io.Reader) (*CompileRequestWire, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	var req CompileRequestWire
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data after request object", ErrBadRequest)
+	}
+	if req.SchemaVersion != 0 && req.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("%w: unsupported schema_version %d (server speaks %d)",
+			ErrBadRequest, req.SchemaVersion, SchemaVersion)
+	}
+	return &req, nil
+}
+
+// DecodeExploreRequest strictly decodes an explore request, with the
+// same unknown-field and schema-version policy as DecodeRequest.
+func DecodeExploreRequest(r io.Reader) (*ExploreRequestWire, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var req ExploreRequestWire
 	if err := dec.Decode(&req); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
