@@ -56,12 +56,15 @@ func main() {
 		benchSz = flag.Int("bench-size", 8, "CGRA size for the -bench-json per-kernel rows")
 		explore = flag.Bool("explore", false, "design-space sweep: rank the fabric candidate set per kernel by MOPS/mW")
 		expSize = flag.Int("explore-size", 8, "array size for the -explore candidate set")
+		gap     = flag.Bool("gap", false, "quality-gap table: exact vs HiMap vs SA II on small kernels")
+		gapSize = flag.Int("gap-size", 4, "array size for the -gap instances")
+		gapBS   = flag.Int("gap-block", 2, "uniform block size for the -gap exact/SA instances")
 	)
 	flag.Parse()
 	if *all {
 		*table1, *table2, *fig7, *fig8 = true, true, true, true
 	}
-	if !*table1 && !*table2 && !*fig7 && !*fig8 && !*env && !*explore && *benchJS == "" {
+	if !*table1 && !*table2 && !*fig7 && !*fig8 && !*env && !*explore && !*gap && *benchJS == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -113,6 +116,13 @@ func main() {
 		})
 		fmt.Println(exp.FormatExplore(pts))
 	}
+	if *gap {
+		rows, err := exp.ExactGap(*gapSize, *gapBS, *budget)
+		if err != nil {
+			fatal(err)
+		}
+		exp.WriteGapTable(os.Stdout, rows)
+	}
 	if *benchJS != "" {
 		rep, err := exp.BenchCompile(*benchSz, *workers)
 		if err != nil {
@@ -153,6 +163,14 @@ func main() {
 			} else {
 				fmt.Fprintf(os.Stderr, "  explore %-6s %-40s %s\n", p.Kernel, p.Fabric, p.Fail)
 			}
+		}
+		for _, p := range rep.ExactGap {
+			cert := p.Certificate
+			if !p.Proved {
+				cert = "unproven"
+			}
+			fmt.Fprintf(os.Stderr, "  exact_gap %-6s exact II %d (%s, %.1f ms)  SA II %d  himap II %d\n",
+				p.Kernel, p.ExactII, cert, p.ExactMS, p.SAII, p.HiMapII)
 		}
 	}
 }

@@ -1,21 +1,26 @@
-// Command himap maps a benchmark kernel onto a CGRA with the HiMap
-// hierarchical algorithm, optionally validates the mapping on the
-// cycle-accurate simulator, and renders the resulting schedule.
+// Command himap maps a benchmark kernel onto a CGRA, optionally
+// validates the mapping on the cycle-accurate simulator, and renders the
+// resulting schedule. The -mapper flag selects the backend: the HiMap
+// hierarchical algorithm (default), the conventional flat mapper, or the
+// exact branch-and-bound mapper with optimality certificates.
 //
 // Usage:
 //
 //	himap -kernel GEMM -rows 8 -cols 8 -validate -render
-//	himap -kernel BICG -rows 8 -cols 1            # §II's linear array
-//	himap -kernel MVT -baseline -block 4          # conventional mapper
-//	himap -kernel GEMM -fabric torus              # wrap-around links
+//	himap -kernel BICG -rows 8 -cols 1                  # §II's linear array
+//	himap -kernel MVT -mapper conventional -block 4     # conventional mapper
+//	himap -kernel MVT -mapper exact -rows 4 -cols 4 -block 2  # proved-minimal II
+//	himap -kernel GEMM -fabric torus                    # wrap-around links
 //	himap -kernel FW -fabric torus -mem-pes boundary -validate
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"himap"
 )
@@ -29,14 +34,15 @@ func main() {
 		memPEs   = flag.String("mem-pes", "all", "memory-capable PEs: "+himap.MemPolicyNames()+" (boundary = edge columns only)")
 		bwClass  = flag.String("bandwidth", "unit", "link bandwidth class: "+himap.BandwidthNames())
 		cost     = flag.String("cost", "balanced", "silicon cost corner for the power model: "+himap.CostClassNames())
-		inner    = flag.Int("inner", 0, "inner block size b3.. for time-sequenced dimensions (0 = default)")
+		inner    = flag.Int("inner", 0, "inner block size b3.. for time-sequenced dimensions (0 = default; himap mapper only)")
 		validate = flag.Bool("validate", false, "run cycle-accurate functional validation (3 pipelined blocks)")
 		render   = flag.Bool("render", false, "render the space-time schedule")
 		program  = flag.Bool("program", false, "print PE(0,0)'s instruction stream")
 		itermap  = flag.Bool("itermap", false, "print the unique-iteration schedule map (Fig. 2 style)")
 		bits     = flag.Bool("bitstream", false, "encode the configuration and report its size")
-		useBase  = flag.Bool("baseline", false, "use the conventional (BHC stand-in) mapper instead of HiMap")
-		block    = flag.Int("block", 0, "baseline block size (default: largest under the 400-node wall)")
+		mapper   = flag.String("mapper", "himap", "compilation backend: "+himap.BackendNames())
+		block    = flag.Int("block", 0, "uniform block size for the conventional and exact mappers (0 = their defaults)")
+		budget   = flag.Duration("exact-budget", 60*time.Second, "exact mapper search budget (0 = unbounded)")
 		seed     = flag.Int64("seed", 42, "validation input seed")
 		save     = flag.String("save", "", "write the mapping as JSON to this file")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "compilation worker count (1 = fully sequential; the mapping is identical either way)")
@@ -72,46 +78,51 @@ func main() {
 	fab := himap.Fabric{CGRA: himap.DefaultCGRA(*rows, *cols), Topology: topo, Mem: mem, Bandwidth: bw, Cost: cc}
 	model := himap.PowerModelFor(fab)
 
-	if *useBase {
-		b := *block
-		if b == 0 {
-			b = 4
-		}
-		res, err := himap.CompileBaselineFabric(k, fab, k.UniformBlock(b), himap.BaselineOptions{Seed: *seed, Workers: *workers, Tracer: tracer})
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(res.Summary())
-		fmt.Printf("performance: %.0f MOPS, power: %.1f mW, efficiency: %.1f MOPS/mW\n",
-			model.PerformanceMOPS(res.Config), model.PowerMW(res.Config), model.EfficiencyMOPSPerMW(res.Config))
-		if *validate {
-			if err := himap.ValidateConfig(res.Config, k, res.Block, 3, *seed); err != nil {
-				fatal(err)
-			}
-			fmt.Println("functional validation: PASS (3 pipelined blocks, cycle-accurate)")
-		}
-		if *render {
-			fmt.Print(himap.RenderSchedule(res.Config))
-		}
-		return
+	req := himap.Request{
+		Kernel:   k,
+		Fabric:   fab,
+		Mapper:   himap.Mapper(*mapper),
+		Options:  himap.Options{InnerBlock: *inner, Workers: *workers, Tracer: tracer},
+		Baseline: himap.BaselineOptions{Seed: *seed, Workers: *workers, Tracer: tracer},
+		Exact:    himap.ExactOptions{TimeBudget: *budget, Tracer: tracer},
+	}
+	if *block > 0 {
+		req.Block = k.UniformBlock(*block)
 	}
 
-	res, err := himap.CompileFabric(k, fab, himap.Options{InnerBlock: *inner, Workers: *workers, Tracer: tracer})
+	res, err := himap.CompileRequest(context.Background(), req)
 	if err != nil {
 		fatal(err)
 	}
+
 	fmt.Println(res.Summary())
-	fmt.Printf("systolic mapping: %s\n", res.Mapping)
-	fmt.Printf("compile time: %v (map %v, place %v, route %v; %d canonical nets, %d rounds)\n",
-		res.Stats.Total, res.Stats.MapTime, res.Stats.PlaceTime, res.Stats.RouteTime,
-		res.Stats.CanonicalNets, res.Stats.RouteRounds)
+	switch {
+	case res.Exact != nil:
+		opt := res.Optimality
+		if opt.ProvedMinimal {
+			fmt.Printf("optimality: II %d proved minimal (certificate: %s, %d states explored)\n",
+				res.Config.II, opt.Certificate, opt.Explored)
+		} else {
+			fmt.Printf("optimality: II %d not proved minimal (lower bound %d, %d states explored)\n",
+				res.Config.II, opt.IILowerBound, opt.Explored)
+		}
+		fmt.Printf("solve time: %v (%d routed leaves, horizon %d)\n",
+			res.Exact.Time, res.Exact.RoutedLeaves, opt.Horizon)
+	case res.Conventional == nil:
+		fmt.Printf("systolic mapping: %s\n", res.Mapping)
+		fmt.Printf("compile time: %v (map %v, place %v, route %v; %d canonical nets, %d rounds)\n",
+			res.Stats.Total, res.Stats.MapTime, res.Stats.PlaceTime, res.Stats.RouteTime,
+			res.Stats.CanonicalNets, res.Stats.RouteRounds)
+	}
 	fmt.Printf("performance: %.0f MOPS, power: %.1f mW, efficiency: %.1f MOPS/mW\n",
 		model.PerformanceMOPS(res.Config), model.PowerMW(res.Config), model.EfficiencyMOPSPerMW(res.Config))
-	fmt.Printf("configuration memory: max %d unique words per PE (depth %d)\n",
-		res.Config.MaxUniqueInstrs(), fab.ConfigDepth)
+	if res.Conventional == nil && res.Exact == nil {
+		fmt.Printf("configuration memory: max %d unique words per PE (depth %d)\n",
+			res.Config.MaxUniqueInstrs(), fab.ConfigDepth)
+	}
 
 	if *validate {
-		if err := himap.Validate(res, 3, *seed); err != nil {
+		if err := himap.ValidateConfig(res.Config, k, res.Block, 3, *seed); err != nil {
 			fatal(err)
 		}
 		fmt.Println("functional validation: PASS (3 pipelined blocks, cycle-accurate)")
@@ -122,7 +133,7 @@ func main() {
 	if *program {
 		fmt.Print(himap.RenderPEProgram(res.Config, 0, 0))
 	}
-	if *itermap {
+	if *itermap && res.Conventional == nil && res.Exact == nil {
 		fmt.Print(res.IterationMap())
 	}
 	if *bits {

@@ -31,6 +31,7 @@ func main() {
 	cacheMB := flag.Int64("cache-mb", 64, "result cache budget in MiB (negative: disable)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "default per-request compile deadline")
 	maxExplore := flag.Int("max-explore", 16, "fabric candidates allowed per /v1/explore request")
+	maxExactCells := flag.Int("max-exact-cells", 128, "DFG cell budget accepted by the exact mapper per request")
 	flag.Parse()
 
 	cfg := serve.Config{
@@ -40,6 +41,7 @@ func main() {
 		CacheBytes:        *cacheMB << 20,
 		DefaultTimeout:    *timeout,
 		MaxExploreFabrics: *maxExplore,
+		MaxExactCells:     *maxExactCells,
 	}
 	if err := run(cfg, *addr); err != nil {
 		fmt.Fprintf(os.Stderr, "himapd: %v\n", err)

@@ -1,6 +1,7 @@
 package himap_test
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -266,5 +267,35 @@ func TestCompileErrorUnwrapExposesStages(t *testing.T) {
 		if se.Stage == "" {
 			t.Errorf("aggregated stage failure missing stage name: %+v", se)
 		}
+	}
+}
+
+// TestNilKernelTypedError pins satellite #1 of the backend-registry
+// refactor: a nil Request.Kernel fails with a typed diag error wrapping
+// ErrInvalidRequest — never a panic — for every registered backend and
+// for the empty (default) mapper, before any backend code runs.
+func TestNilKernelTypedError(t *testing.T) {
+	mappers := append([]himap.Mapper{""}, himap.Backends()...)
+	for _, m := range mappers {
+		m := m
+		t.Run(string(m), func(t *testing.T) {
+			_, err := himap.CompileRequest(context.Background(), himap.Request{
+				Mapper: m,
+				Fabric: himap.DefaultFabric(4, 4),
+			})
+			if err == nil {
+				t.Fatal("nil kernel compiled")
+			}
+			if !errors.Is(err, himap.ErrInvalidRequest) {
+				t.Errorf("error %v does not wrap ErrInvalidRequest", err)
+			}
+			var se *himap.StageError
+			if !errors.As(err, &se) {
+				t.Fatalf("error %v is not a *StageError", err)
+			}
+			if se.Stage != "request" {
+				t.Errorf("stage %q, want %q", se.Stage, "request")
+			}
+		})
 	}
 }

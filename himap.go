@@ -29,6 +29,7 @@ import (
 	"himap/internal/arch"
 	"himap/internal/baseline"
 	"himap/internal/diag"
+	"himap/internal/exact"
 	core "himap/internal/himap"
 	"himap/internal/ir"
 	"himap/internal/kernel"
@@ -82,6 +83,20 @@ type (
 	// BaselineTimeoutError reports an exhausted
 	// BaselineOptions.TimeBudget; match with errors.As.
 	BaselineTimeoutError = baseline.ErrTimeout
+	// ExactOptions tunes the exact branch-and-bound mapper.
+	ExactOptions = exact.Options
+	// ExactResult is a completed exact mapping with its certificate.
+	ExactResult = exact.Result
+	// Optimality is the certificate block of an exact mapping: whether
+	// the II was proved minimal, the best lower bound, and the kind of
+	// proof backing it.
+	Optimality = exact.Optimality
+	// Certificate names the kind of optimality proof.
+	Certificate = exact.Certificate
+	// ExactTooLargeError reports a DFG past ExactOptions.MaxNodes — the
+	// exact mapper refuses rather than search hopelessly; match with
+	// errors.As.
+	ExactTooLargeError = exact.ErrTooLarge
 	// PowerModel converts configurations to MOPS and mW.
 	PowerModel = power.Model
 	// Scheme is a block-size-independent systolic space-time template.
@@ -144,6 +159,18 @@ var (
 	// same-cycle link departures than the fabric's bandwidth class
 	// provides (raised before congestion negotiation is attempted).
 	ErrBandwidthInfeasible = diag.ErrBandwidthInfeasible
+	// ErrInvalidRequest: the request was malformed before any mapping was
+	// attempted (nil kernel, invalid fabric) — a caller bug, not a
+	// mapping failure.
+	ErrInvalidRequest = diag.ErrInvalidRequest
+	// ErrExactTimeout: the exact mapper's ExactOptions.TimeBudget expired
+	// before it could either map or refute; the best lower bound reached
+	// is reported in the error message.
+	ErrExactTimeout = diag.ErrExactTimeout
+	// ErrProvedInfeasible: the exact mapper exhaustively refuted every II
+	// in its search range within the schedule horizon — the instance
+	// (kernel × block × fabric) needs a bigger fabric or a smaller block.
+	ErrProvedInfeasible = diag.ErrProvedInfeasible
 	// ErrCanceled: the compile's context was canceled or its deadline
 	// expired before a mapping was committed. Both mappers check their
 	// context at stage boundaries (HiMap additionally between speculative
@@ -172,6 +199,25 @@ const (
 	CostLowPower = arch.CostLowPower
 	CostHighPerf = arch.CostHighPerf
 )
+
+// Optimality certificate kinds (see exact.Certificate).
+const (
+	// CertNone: no proof — the II is an upper bound only.
+	CertNone = exact.CertNone
+	// CertResMII: the mapping's II equals the static resource/recurrence
+	// lower bound, so it is minimal regardless of schedule horizon.
+	CertResMII = exact.CertResMII
+	// CertExhaustive: every smaller II was exhaustively refuted within
+	// the search horizon.
+	CertExhaustive = exact.CertExhaustive
+)
+
+// ExactLowerBound returns the static II lower bound (max of resource
+// MII and recurrence MII) the exact mapper deepens from — usable on its
+// own to sanity-check any mapper's II without running a search.
+func ExactLowerBound(k *Kernel, fab Fabric, block []int) (int, error) {
+	return exact.LowerBound(k, fab, block)
+}
 
 // ParseTopology maps a CLI name (mesh|torus|diag) to a Topology.
 func ParseTopology(s string) (Topology, error) { return arch.ParseTopology(s) }

@@ -103,6 +103,7 @@ func DefaultScope() Scope {
 		"himap/internal/route",
 		"himap/internal/systolic",
 		"himap/internal/baseline",
+		"himap/internal/exact",
 		"himap/internal/mrrg",
 	}
 	return Scope{

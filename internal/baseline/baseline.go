@@ -23,7 +23,6 @@ import (
 	"himap/internal/diag"
 	"himap/internal/ir"
 	"himap/internal/kernel"
-	"himap/internal/mrrg"
 	"himap/internal/par"
 	"himap/internal/route"
 )
@@ -102,9 +101,9 @@ func (e ErrTimeout) Error() string {
 	return fmt.Sprintf("baseline: time budget %v exhausted without a valid mapping", e.Budget)
 }
 
-type place struct {
-	T, R, C int
-}
+// place aliases the shared routing layer's slot type so SA chains hand
+// their winning placement straight to route.RouteDFG.
+type place = route.Placement
 
 // Compile maps the kernel's block DFG onto the CGRA (mesh links, every
 // PE memory-capable). Use CompileFabric to target other fabrics.
@@ -241,7 +240,7 @@ func CompileRequest(ctx context.Context, k *kernel.Kernel, cg arch.Fabric, block
 		opts.Tracer.Emit(placeSpan)
 		pl := outs[best].pl
 		routeStart := time.Now() //lint:ignore determinism wall-clock span timing only; does not influence mapping
-		cfg, err := routeAndEmit(d, cg, ii, pl, opts.RouteRound)
+		cfg, err := route.RouteDFG(d, cg, ii, pl, opts.RouteRound)
 		routeSpan := diag.Span{Stage: "route", Attempt: ii, Wall: time.Since(routeStart)}
 		if err != nil {
 			se := diag.Classify(err, diag.ErrRouteCongested).Stamp("route", k.Name, cg.String(), ii)
@@ -467,151 +466,6 @@ func anneal(ctx context.Context, d *ir.DFG, cg arch.Fabric, ii, moves int, rng *
 	return pl, true, total
 }
 
-// routeAndEmit performs detailed routing of every DFG edge over the MRRG
-// and emits the validated configuration.
-func routeAndEmit(d *ir.DFG, cg arch.Fabric, ii int, pl []place, rounds int) (*arch.Config, error) {
-	g := mrrg.New(cg, ii)
-	placeNode := func(id int) mrrg.Node {
-		n := d.Nodes[id]
-		p := pl[id]
-		switch n.Kind {
-		case ir.OpLoad:
-			return g.MemReadNode(p.T, p.R, p.C)
-		case ir.OpStore:
-			return g.MemWriteNode(p.T, p.R, p.C)
-		default:
-			return g.FUNode(p.T, p.R, p.C)
-		}
-	}
-	ses := route.NewSession(g)
-	order, _ := d.TopoOrder()
-
-	var nets []*route.Net
-	netOf := make([]*route.Net, len(d.Nodes))
-	routeAll := func() error {
-		for _, id := range order {
-			n := d.Nodes[id]
-			if n.Kind == ir.OpStore || len(d.OutEdges(id)) == 0 {
-				continue
-			}
-			net := ses.NewNet(placeNode(id))
-			netOf[id] = net
-			nets = append(nets, net)
-			for _, ei := range d.OutEdges(id) {
-				e := d.Edges[ei]
-				to := d.Nodes[e.To]
-				var targets []mrrg.Node
-				if to.Kind == ir.OpStore {
-					targets = []mrrg.Node{placeNode(e.To)}
-				} else {
-					cp := pl[e.To]
-					targets = g.OperandTargets(cp.T, cp.R, cp.C)
-				}
-				if _, _, err := ses.RouteSink(net, targets); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
-	}
-	for _, id := range order {
-		if d.Nodes[id].Kind == ir.OpStore {
-			continue // the producer's routed path claims the write port
-		}
-		ses.Reserve(placeNode(id))
-	}
-	ok := false
-	for round := 0; round < rounds; round++ {
-		for _, net := range nets {
-			ses.Release(net)
-		}
-		nets = nets[:0]
-		if err := routeAll(); err != nil {
-			return nil, err
-		}
-		if ses.BumpHistory(nets) == 0 {
-			ok = true
-			break
-		}
-	}
-	if !ok {
-		return nil, fmt.Errorf("baseline: %w at II %d", diag.ErrRouteCongested, ii)
-	}
-
-	cfg := arch.NewConfig(cg, ii)
-	em := route.NewEmitter(cfg)
-	for _, id := range order {
-		n := d.Nodes[id]
-		tag := fmt.Sprintf("n%d", id)
-		pn := placeNode(id)
-		switch {
-		case n.Kind.IsCompute():
-			if err := em.PlaceOp(pn, n.Kind, tag); err != nil {
-				return nil, err
-			}
-			if n.HasConst {
-				if err := em.SetConstOperand(pn, n.Const, tag+":const"); err != nil {
-					return nil, err
-				}
-			}
-		case n.Kind == ir.OpRoute:
-			// A conventional mapper has no routing pseudo-ops: data
-			// propagation occupies an FU as a move (add #0).
-			if err := em.PlaceOp(pn, ir.OpAdd, tag); err != nil {
-				return nil, err
-			}
-			if err := em.SetConstOperand(pn, 0, tag+":mov"); err != nil {
-				return nil, err
-			}
-		case n.Kind == ir.OpLoad:
-			if err := em.PlaceLoad(pn, tag, n.Tensor); err != nil {
-				return nil, err
-			}
-			cfg.Loads = append(cfg.Loads, arch.IOSpec{
-				R: pn.R, C: pn.C,
-				Slot:   ((pn.T % ii) + ii) % ii,
-				Phase:  floorDiv(pn.T, ii),
-				Tensor: n.Tensor, Index: append([]int(nil), n.Index...),
-			})
-		}
-	}
-	for _, id := range order {
-		net := netOf[id]
-		if net == nil {
-			continue
-		}
-		tag := fmt.Sprintf("n%d", id)
-		outs := d.OutEdges(id)
-		for i, path := range net.Paths {
-			e := d.Edges[outs[i]]
-			to := d.Nodes[e.To]
-			storeElem := ""
-			if to.Kind == ir.OpStore {
-				storeElem = fmt.Sprintf("%s@%s", to.Tensor, to.Index.Key())
-				last := path[len(path)-1]
-				cfg.Stores = append(cfg.Stores, arch.IOSpec{
-					R: last.R, C: last.C,
-					Slot:   ((last.T % ii) + ii) % ii,
-					Phase:  floorDiv(last.T, ii),
-					Tensor: to.Tensor, Index: append([]int(nil), to.Index...),
-				})
-			}
-			if err := em.EmitPath(path, tag, storeElem); err != nil {
-				return nil, err
-			}
-			if to.Kind.IsCompute() || to.Kind == ir.OpRoute {
-				if err := em.SetOperand(placeNode(e.To), e.ToPort, path, tag); err != nil {
-					return nil, err
-				}
-			}
-		}
-	}
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	return cfg, nil
-}
-
 // LargestFeasibleBlock returns the biggest uniform block size whose DFG
 // stays under the node wall — how a user would drive the baseline on a
 // large CGRA (§VI: "BHC maps the small DFG keeping the block size small").
@@ -638,9 +492,4 @@ func absInt(x int) int {
 		return -x
 	}
 	return x
-}
-
-func floorDiv(t, m int) int {
-	w := ((t % m) + m) % m
-	return (t - w) / m
 }

@@ -61,6 +61,22 @@ var (
 	// provides — no routing can satisfy it, so the congestion loop is
 	// skipped and the demand excess is reported directly.
 	ErrBandwidthInfeasible = errors.New("link-bandwidth demand infeasible on fabric")
+	// ErrInvalidRequest: the compile request is structurally unusable
+	// before any mapping work can start — a nil kernel, or a field
+	// combination no backend accepts. Every backend reports this class
+	// (never a panic) so callers can dispatch uniformly.
+	ErrInvalidRequest = errors.New("invalid compile request")
+	// ErrExactTimeout: the exact mapper's search budget (TimeBudget or
+	// context deadline polled inside the branch-and-bound loop) expired
+	// before the iterative deepening either found a mapping or refuted
+	// every candidate II. The cause records the strongest II lower bound
+	// proved before the budget ran out.
+	ErrExactTimeout = errors.New("exact search budget exhausted")
+	// ErrProvedInfeasible: the exact mapper exhausted the search space at
+	// every II up to its bound without finding a feasible placement — a
+	// certificate (relative to the scheduling horizon) that no mapping
+	// exists, as opposed to a heuristic giving up.
+	ErrProvedInfeasible = errors.New("mapping proved infeasible")
 	// ErrCanceled: the compile's context.Context was canceled or its
 	// deadline expired before a mapping was committed. The pipelines check
 	// the context between stages (and the baseline between SA chain
@@ -148,7 +164,8 @@ var classes = []error{
 	ErrNoSubMapping, ErrSchemeInfeasible, ErrRouteCongested,
 	ErrBlockPinConflict, ErrBlockTooSmall, ErrPlacementInfeasible,
 	ErrReplicaConflict, ErrConfigInvalid, ErrMemPortInfeasible,
-	ErrBandwidthInfeasible, ErrCanceled,
+	ErrBandwidthInfeasible, ErrInvalidRequest, ErrExactTimeout,
+	ErrProvedInfeasible, ErrCanceled,
 }
 
 // Classify coerces an arbitrary stage failure into a StageError: an error

@@ -55,6 +55,11 @@ type BenchReport struct {
 	// so cost-model regressions surface as ranking or wall-clock
 	// shifts.
 	ExploreSweep []ExplorePoint `json:"explore_sweep"`
+	// ExactGap pins the heuristic mappers against the exact solver on
+	// small instances: per kernel, the exact II (with its certificate and
+	// solver runtime) next to the SA II on the same block and the HiMap
+	// II on the same fabric.
+	ExactGap []ExactGapPoint `json:"exact_gap"`
 }
 
 // FabricPoint is one cell of the fabric-size scaling sweep: one kernel
@@ -169,6 +174,15 @@ func BenchCompile(size, workers int) (*BenchReport, error) {
 		Fabrics: arch.ExploreFabrics(8, 8),
 		Workers: rep.Workers,
 	})
+
+	// Quality gap vs the exact solver on 4×4 block-2 instances. The
+	// budget bounds each kernel's search, not the proved-minimal rows
+	// (those close in milliseconds).
+	gap, err := ExactGap(4, 2, 30*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	rep.ExactGap = gap
 	return rep, nil
 }
 

@@ -412,3 +412,78 @@ func TestCacheKeyIgnoresTimeout(t *testing.T) {
 		t.Error("different fabrics share a cache key")
 	}
 }
+
+// TestExactMapperWire drives the exact backend end to end over HTTP:
+// "mapper": "exact" compiles, the response stamps the backend identity,
+// and the optimality block carries the proved-minimal certificate.
+func TestExactMapperWire(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := `{"kernel":"MVT","fabric":{"rows":4,"cols":4},"options":{"mapper":"exact","block":[2,2]}}`
+	resp, b := postCompile(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	var cr CompileResponse
+	if err := json.Unmarshal(b, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Mapper != string(himap.MapperExact) {
+		t.Errorf("mapper %q, want %q", cr.Mapper, himap.MapperExact)
+	}
+	if cr.Optimality == nil {
+		t.Fatal("optimality block missing from exact response")
+	}
+	if !cr.Optimality.ProvedMinimal || cr.Optimality.Certificate != string(himap.CertResMII) {
+		t.Errorf("optimality %+v, want proved minimal with resmii certificate", cr.Optimality)
+	}
+	if cr.II != cr.Optimality.IILowerBound {
+		t.Errorf("proved-minimal ii %d != lower bound %d", cr.II, cr.Optimality.IILowerBound)
+	}
+
+	// The himap and conventional paths must not grow an optimality block.
+	resp, b = postCompile(t, ts.URL, kernelRequest("MVT", 4, 4))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("himap status %d: %s", resp.StatusCode, b)
+	}
+	cr = CompileResponse{}
+	if err := json.Unmarshal(b, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Optimality != nil {
+		t.Errorf("himap response grew an optimality block: %+v", cr.Optimality)
+	}
+}
+
+// TestExactCellGuard pins the -max-exact-cells admission wall: an
+// instance past the configured cell budget is refused as infeasible
+// without searching.
+func TestExactCellGuard(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxExactCells: 4})
+	body := `{"kernel":"MVT","fabric":{"rows":4,"cols":4},"options":{"mapper":"exact","block":[2,2]}}`
+	resp, b := postCompile(t, ts.URL, body)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422: %s", resp.StatusCode, b)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(b, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Error.Code != "infeasible" || !strings.Contains(er.Error.Message, "exact-search wall") {
+		t.Errorf("error %+v, want infeasible citing the exact-search wall", er.Error)
+	}
+}
+
+// TestExactMapperRejectsForeignOptions: seed and inner_block belong to
+// the other backends and are rejected with the usual 400 discipline.
+func TestExactMapperRejectsForeignOptions(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, body := range []string{
+		`{"kernel":"MVT","fabric":{"rows":4,"cols":4},"options":{"mapper":"exact","seed":7}}`,
+		`{"kernel":"MVT","fabric":{"rows":4,"cols":4},"options":{"mapper":"exact","inner_block":2}}`,
+	} {
+		resp, b := postCompile(t, ts.URL, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("status %d, want 400: %s", resp.StatusCode, b)
+		}
+	}
+}

@@ -46,6 +46,10 @@ type Config struct {
 	// MaxExploreFabrics bounds the candidate count of one /v1/explore
 	// request. Default 16.
 	MaxExploreFabrics int
+	// MaxExactCells bounds the unrolled DFG node count the exact mapper
+	// accepts over the wire (branch-and-bound is exponential; this guard
+	// keeps one request from monopolizing a worker slot). Default 128.
+	MaxExactCells int
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +79,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxExploreFabrics <= 0 {
 		c.MaxExploreFabrics = 16
+	}
+	if c.MaxExactCells <= 0 {
+		c.MaxExactCells = 128
 	}
 	return c
 }
@@ -190,8 +197,20 @@ func BuildRequest(w *CompileRequestWire, cfg Config) (himap.Request, error) {
 		if o.InnerBlock != 0 {
 			return req, fmt.Errorf("%w: options.inner_block applies to the himap mapper only", ErrBadRequest)
 		}
+	case string(himap.MapperExact):
+		req.Mapper = himap.MapperExact
+		if o.InnerBlock != 0 {
+			return req, fmt.Errorf("%w: options.inner_block applies to the himap mapper only", ErrBadRequest)
+		}
+		if o.Seed != 0 {
+			return req, fmt.Errorf("%w: options.seed applies to the conventional mapper only", ErrBadRequest)
+		}
+		// Bound the search: branch-and-bound is exponential, so the wire
+		// refuses instances past the configured cell budget (the mapper
+		// reports the excess as an infeasible-class error).
+		req.Exact.MaxNodes = cfg.MaxExactCells
 	default:
-		return req, fmt.Errorf("%w: unknown mapper %q (want himap|conventional)", ErrBadRequest, o.Mapper)
+		return req, fmt.Errorf("%w: unknown mapper %q (want %s)", ErrBadRequest, o.Mapper, himap.BackendNames())
 	}
 	if o.InnerBlock < 0 || o.InnerBlock > cfg.MaxBlock {
 		return req, fmt.Errorf("%w: inner_block %d outside [0,%d]", ErrBadRequest, o.InnerBlock, cfg.MaxBlock)
@@ -355,7 +374,7 @@ func EncodeResponse(res *himap.Result) ([]byte, error) {
 		SchemaVersion: SchemaVersion,
 		Kernel:        res.Kernel.Name,
 		Fabric:        res.Fabric.String(),
-		Mapper:        string(himap.MapperHiMap),
+		Mapper:        res.Backend,
 		Block:         res.Block,
 		II:            res.Config.II,
 		UniqueIters:   res.UniqueIters,
@@ -364,8 +383,25 @@ func EncodeResponse(res *himap.Result) ([]byte, error) {
 		Config:        json.RawMessage(bytes.TrimRight(cfgJSON.Bytes(), "\n")),
 		Bitstream:     BitstreamBytes(bs),
 	}
-	if res.Conventional != nil {
-		resp.Mapper = string(himap.MapperConventional)
+	if resp.Mapper == "" {
+		// Results built outside the registry dispatcher (tests, direct
+		// backend calls) carry no Backend stamp; infer from the payload.
+		resp.Mapper = string(himap.MapperHiMap)
+		if res.Conventional != nil {
+			resp.Mapper = string(himap.MapperConventional)
+		}
+		if res.Exact != nil {
+			resp.Mapper = string(himap.MapperExact)
+		}
+	}
+	if res.Optimality != nil {
+		resp.Optimality = &OptimalityWire{
+			ProvedMinimal: res.Optimality.ProvedMinimal,
+			IILowerBound:  res.Optimality.IILowerBound,
+			Certificate:   string(res.Optimality.Certificate),
+			Explored:      res.Optimality.Explored,
+			Horizon:       res.Optimality.Horizon,
+		}
 	}
 	body, err := json.Marshal(resp)
 	if err != nil {
@@ -398,6 +434,10 @@ func classifyError(err error) (int, ErrorBody) {
 		errors.Is(err, context.DeadlineExceeded),
 		errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout, ErrorBody{Code: "deadline", Message: msg, Class: diag.ErrCanceled.Error()}
+	case errors.Is(err, diag.ErrInvalidRequest):
+		// A malformed himap.Request (nil kernel) that slipped past wire
+		// validation is a caller bug, not a mapping infeasibility.
+		return http.StatusBadRequest, ErrorBody{Code: "bad_request", Message: msg, Class: diag.ErrInvalidRequest.Error()}
 	}
 	var se *diag.StageError
 	if errors.As(err, &se) {
@@ -405,7 +445,8 @@ func classifyError(err error) (int, ErrorBody) {
 	}
 	var tooLarge himap.BaselineTooLargeError
 	var timedOut himap.BaselineTimeoutError
-	if errors.As(err, &tooLarge) || errors.As(err, &timedOut) {
+	var exactTooLarge himap.ExactTooLargeError
+	if errors.As(err, &tooLarge) || errors.As(err, &timedOut) || errors.As(err, &exactTooLarge) {
 		return http.StatusUnprocessableEntity, ErrorBody{Code: "infeasible", Message: msg}
 	}
 	return http.StatusInternalServerError, ErrorBody{Code: "internal", Message: msg}

@@ -68,9 +68,9 @@ type FabricSpec struct {
 // clock and is the only field excluded from the cache key (it cannot
 // change the mapping, only whether the compile finishes).
 type OptionsSpec struct {
-	Mapper     string `json:"mapper,omitempty"` // himap (default) | conventional
+	Mapper     string `json:"mapper,omitempty"` // himap (default) | conventional | exact
 	InnerBlock int    `json:"inner_block,omitempty"`
-	Block      []int  `json:"block,omitempty"` // conventional mapper only
+	Block      []int  `json:"block,omitempty"` // conventional and exact mappers only
 	Seed       int64  `json:"seed,omitempty"`  // conventional mapper only
 	TimeoutMS  int    `json:"timeout_ms,omitempty"`
 }
@@ -209,8 +209,22 @@ type CompileResponse struct {
 	UniqueIters   int             `json:"unique_iters,omitempty"`
 	Attempts      int             `json:"attempts,omitempty"`
 	Utilization   float64         `json:"utilization"`
+	Optimality    *OptimalityWire `json:"optimality,omitempty"`
 	Config        json.RawMessage `json:"config"`
 	Bitstream     []byte          `json:"bitstream"`
+}
+
+// OptimalityWire is the certificate block of an exact-mapper response:
+// whether the returned II was proved minimal, the best lower bound
+// established, and the kind of proof ("resmii": II equals the static
+// resource/recurrence bound; "exhaustive": every smaller II refuted).
+// Only responses from "mapper": "exact" carry it.
+type OptimalityWire struct {
+	ProvedMinimal bool   `json:"proved_minimal"`
+	IILowerBound  int    `json:"ii_lower_bound"`
+	Certificate   string `json:"certificate,omitempty"`
+	Explored      int64  `json:"explored,omitempty"`
+	Horizon       int    `json:"horizon,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

@@ -4,11 +4,12 @@ import (
 	"context"
 	"fmt"
 
-	"himap/internal/baseline"
-	core "himap/internal/himap"
+	"himap/internal/diag"
 )
 
-// Mapper selects which compilation flow a Request runs.
+// Mapper selects which compilation flow a Request runs. Mappers resolve
+// through the backend registry (RegisterBackend / Backends); the three
+// built-in flows register during package initialization.
 type Mapper string
 
 const (
@@ -19,6 +20,12 @@ const (
 	// MapperConventional is the flat DFG → MRRG simulated-annealing
 	// mapper the paper evaluates against (the "BHC" stand-in).
 	MapperConventional Mapper = "conventional"
+	// MapperExact is the branch-and-bound exact mapper: iterative
+	// deepening on II from the static lower bound, with an optimality
+	// certificate in Result.Optimality when the minimum is proved. Meant
+	// for small blocks — it is the quality oracle the heuristic flows are
+	// measured against, not a production compiler.
+	MapperExact Mapper = "exact"
 )
 
 // Request is the unified compilation request: one kernel, one target
@@ -27,60 +34,56 @@ const (
 // CompileBaseline, and CompileBaselineFabric entry points are thin
 // wrappers constructing a Request.
 type Request struct {
-	// Kernel is the loop kernel to map. Required.
+	// Kernel is the loop kernel to map. Required; a nil Kernel fails with
+	// an error wrapping ErrInvalidRequest for every mapper.
 	Kernel *Kernel
 	// Fabric is the target architecture. Fabric{CGRA: cg} reproduces the
 	// classic mesh/all-memory model.
 	Fabric Fabric
 	// Mapper selects the flow; the zero value is MapperHiMap.
 	Mapper Mapper
-	// Options tunes the HiMap flow (ignored by MapperConventional).
+	// Options tunes the HiMap flow (ignored by the other mappers).
 	Options Options
-	// Block is the unrolled block extent per loop dimension, used only by
-	// MapperConventional (the HiMap flow derives its own block from the
-	// systolic scheme). Nil defaults to Kernel.UniformBlock(4).
+	// Block is the unrolled block extent per loop dimension, used by
+	// MapperConventional (nil defaults to Kernel.UniformBlock(4)) and
+	// MapperExact (nil defaults to Kernel.UniformBlock(2)); the HiMap
+	// flow derives its own block from the systolic scheme.
 	Block []int
-	// Baseline tunes the conventional flow (ignored by MapperHiMap).
+	// Baseline tunes the conventional flow (ignored by the other mappers).
 	Baseline BaselineOptions
+	// Exact tunes the exact flow (ignored by the other mappers).
+	Exact ExactOptions
 }
 
-// CompileRequest is the canonical compilation entry point: it dispatches
-// the request to the selected mapper, honoring ctx for cancellation and
-// deadlines (a canceled compile fails with an error wrapping
-// ErrCanceled). A nil ctx is treated as context.Background().
+// CompileRequest is the canonical compilation entry point: it resolves
+// the requested mapper in the backend registry, dispatches the request,
+// and stamps the backend identity into Result.Backend. It honors ctx for
+// cancellation and deadlines (a canceled compile fails with an error
+// wrapping ErrCanceled). A nil ctx is treated as context.Background().
 //
 // For MapperHiMap the Result is the familiar hierarchical mapping. For
 // MapperConventional the shared fields (Kernel, Fabric, CGRA, Block,
 // Config, Utilization) are filled from the conventional mapping and
-// Result.Conventional holds the full *BaselineResult; the
-// hierarchical-only fields are nil/zero.
+// Result.Conventional holds the full *BaselineResult. For MapperExact
+// the shared fields are filled from the exact mapping, Result.Exact
+// holds the full *ExactResult, and Result.Optimality carries the
+// certificate. Unset fields of other flows stay nil/zero.
 func CompileRequest(ctx context.Context, req Request) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	switch req.Mapper {
-	case MapperHiMap, "":
-		return core.CompileRequest(ctx, req.Kernel, req.Fabric, req.Options)
-	case MapperConventional:
-		block := req.Block
-		if block == nil && req.Kernel != nil {
-			block = req.Kernel.UniformBlock(4)
-		}
-		res, err := baseline.CompileRequest(ctx, req.Kernel, req.Fabric, block, req.Baseline)
-		if err != nil {
-			return nil, err
-		}
-		return &Result{
-			Kernel:       res.Kernel,
-			Fabric:       req.Fabric,
-			CGRA:         req.Fabric.CGRA,
-			Block:        res.Block,
-			Config:       res.Config,
-			Utilization:  res.Utilization,
-			Conventional: res,
-		}, nil
-	default:
-		return nil, fmt.Errorf("himap: unknown mapper %q (want %q or %q)",
-			req.Mapper, MapperHiMap, MapperConventional)
+	if req.Kernel == nil {
+		return nil, diag.Failf(diag.ErrInvalidRequest, "nil kernel").
+			Stamp("request", "", req.Fabric.String(), 0)
 	}
+	b, ok := BackendFor(req.Mapper)
+	if !ok {
+		return nil, fmt.Errorf("himap: unknown mapper %q (want %s)", req.Mapper, BackendNames())
+	}
+	res, err := b.Compile(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	res.Backend = string(b.Name())
+	return res, nil
 }

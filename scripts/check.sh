@@ -18,6 +18,10 @@ go test -race ./...
 # himapd end-to-end smoke: ephemeral port, served-vs-direct byte diff,
 # cache hit, metrics, graceful SIGTERM shutdown.
 go run ./scripts/himapd_smoke
+# Exact-backend smoke: a tiny instance must close with a proved-minimal
+# certificate within a short budget.
+exact_out=$(go run ./cmd/himap -mapper exact -kernel MVT -rows 4 -cols 4 -block 2 -exact-budget 30s)
+echo "$exact_out" | grep -q "proved minimal"
 # Route-stage alloc smoke: BenchmarkRouteSinkHotPath self-enforces the
 # 29 allocs/op floor (testing.AllocsPerRun in bench_test.go) and fails
 # the run if the router's steady-state search starts allocating.
