@@ -1,0 +1,66 @@
+package himap_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"himap"
+)
+
+// pollCountCtx implements context.Context with an instrumented Err: it
+// reports context.Canceled on every call and counts how often it is
+// polled. Done returns nil, so the only way a loop can observe the
+// cancellation is an explicit Err poll on its spine — exactly the
+// discipline the ctxflow analyzer enforces. The counter then measures
+// cancellation latency in polls: a compile that kept working after the
+// cancellation would keep polling once per stride, so a small bound on
+// the total count certifies that every loop bailed out within its
+// first stride after the cancellation became visible.
+type pollCountCtx struct {
+	calls atomic.Int64
+}
+
+func (c *pollCountCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *pollCountCtx) Done() <-chan struct{}       { return nil }
+func (c *pollCountCtx) Value(any) any               { return nil }
+func (c *pollCountCtx) Err() error {
+	c.calls.Add(1)
+	return context.Canceled
+}
+
+// TestCancellationLatencyBounded compiles the FW kernel — the largest
+// stock kernel, whose conventional anneal would otherwise run tens of
+// thousands of moves per II attempt — under an already-canceled context
+// and asserts the compile both fails with ErrCanceled and returns after
+// a bounded number of cancellation polls. The bound is the number of
+// polling sites (II loop, per-worker SA chains, seeding, routing
+// rounds), not anything proportional to the workload, so a regression
+// that drops a poll from a hot loop shows up here as a count explosion.
+func TestCancellationLatencyBounded(t *testing.T) {
+	const workers = 4
+	ctx := &pollCountCtx{}
+	res, err := himap.CompileRequest(ctx, himap.Request{
+		Kernel: himap.KernelFW(),
+		Fabric: himap.DefaultFabric(4, 4),
+		Mapper: himap.MapperConventional,
+		Options: himap.Options{
+			Workers: workers,
+			Memo:    himap.NewMemo(), // cold cache: the canceled stages really run
+		},
+	})
+	if err == nil {
+		t.Fatalf("compile committed a mapping despite cancellation: %v", res.Summary())
+	}
+	if !errors.Is(err, himap.ErrCanceled) {
+		t.Fatalf("errors.Is(err, ErrCanceled) = false: %v", err)
+	}
+	// Every polling site observes the cancellation on its first poll and
+	// returns; a generous per-site allowance still stays far below even
+	// one fully-annealed II attempt's poll count.
+	if got, limit := ctx.calls.Load(), int64(16*(workers+2)); got == 0 || got > limit {
+		t.Fatalf("canceled compile polled ctx.Err %d times, want 1..%d", got, limit)
+	}
+}

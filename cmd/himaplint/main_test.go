@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module and chdirs into it (restored
+// on cleanup) — run() loads the module containing the working
+// directory, exactly like the real CLI.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.22\n"
+	for name, src := range files {
+		p := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(wd) })
+	return dir
+}
+
+const cleanSrc = `package tmpmod
+
+func Add(a, b int) int { return a + b }
+`
+
+const dirtySrc = `package tmpmod
+
+//himap:noalloc
+func Hot(n int) []int {
+	return make([]int, n)
+}
+`
+
+func lint(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestCleanModuleExitsZero(t *testing.T) {
+	writeModule(t, map[string]string{"tmpmod.go": cleanSrc})
+	if code, out, errOut := lint(t, "./..."); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, out, errOut)
+	}
+}
+
+func TestFindingsExitOne(t *testing.T) {
+	writeModule(t, map[string]string{"tmpmod.go": dirtySrc})
+	code, out, _ := lint(t, "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s", code, out)
+	}
+	if !strings.Contains(out, "builtin make allocates") {
+		t.Fatalf("finding not printed:\n%s", out)
+	}
+}
+
+func TestAnalyzerFilter(t *testing.T) {
+	writeModule(t, map[string]string{"tmpmod.go": dirtySrc})
+	// The violation is a noalloc finding: filtering to determinism
+	// must not report it...
+	if code, out, _ := lint(t, "-analyzer", "determinism", "./..."); code != 0 {
+		t.Fatalf("determinism-only exit = %d, want 0\nstdout: %s", code, out)
+	}
+	// ...and filtering to noalloc must.
+	if code, _, _ := lint(t, "-analyzer", "noalloc", "./..."); code != 1 {
+		t.Fatalf("noalloc-only exit = %d, want 1", code)
+	}
+}
+
+func TestUnknownAnalyzerUsageError(t *testing.T) {
+	writeModule(t, map[string]string{"tmpmod.go": cleanSrc})
+	code, _, errOut := lint(t, "-analyzer", "nosuch", "./...")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "unknown analyzer") {
+		t.Fatalf("no usage error on stderr:\n%s", errOut)
+	}
+}
+
+func TestLoadFailureExitsTwo(t *testing.T) {
+	writeModule(t, map[string]string{"tmpmod.go": "package tmpmod\n\nfunc broken( {\n"})
+	if code, _, _ := lint(t, "./..."); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestBaselineRatchet(t *testing.T) {
+	dir := writeModule(t, map[string]string{"tmpmod.go": dirtySrc})
+	bl := filepath.Join(dir, "bl.json")
+
+	// Record the debt, then verify the comparison is exact.
+	if code, out, errOut := lint(t, "-write-baseline", bl, "./..."); code != 0 {
+		t.Fatalf("write exit = %d\nstdout: %s\nstderr: %s", code, out, errOut)
+	}
+	if code, out, _ := lint(t, "-baseline", bl, "./..."); code != 0 {
+		t.Fatalf("recorded debt still fails: exit = %d\nstdout: %s", code, out)
+	}
+
+	// New debt fails the ratchet.
+	extra := dirtySrc + "\n//himap:noalloc\nfunc Hot2(n int) []int {\n\treturn make([]int, n)\n}\n"
+	if err := os.WriteFile(filepath.Join(dir, "tmpmod.go"), []byte(extra), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := lint(t, "-baseline", bl, "./...")
+	if code != 1 || !strings.Contains(out, "new finding not in baseline") {
+		t.Fatalf("new debt: exit = %d\nstdout: %s", code, out)
+	}
+
+	// Fixed debt also fails (shrink guard): the entry must be removed.
+	if err := os.WriteFile(filepath.Join(dir, "tmpmod.go"), []byte(cleanSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ = lint(t, "-baseline", bl, "./...")
+	if code != 1 || !strings.Contains(out, "stale baseline entry") {
+		t.Fatalf("stale debt: exit = %d\nstdout: %s", code, out)
+	}
+}
+
+func TestWriteBaselineRejectsAnalyzerFilter(t *testing.T) {
+	writeModule(t, map[string]string{"tmpmod.go": cleanSrc})
+	if code, _, _ := lint(t, "-analyzer", "noalloc", "-write-baseline", "bl.json", "./..."); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestWriteBaselineIsDeterministic(t *testing.T) {
+	dir := writeModule(t, map[string]string{"tmpmod.go": dirtySrc})
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	if code, _, errOut := lint(t, "-write-baseline", a, "./..."); code != 0 {
+		t.Fatalf("write a: %s", errOut)
+	}
+	if code, _, errOut := lint(t, "-write-baseline", b, "./..."); code != 0 {
+		t.Fatalf("write b: %s", errOut)
+	}
+	da, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(da, db) {
+		t.Fatalf("two writes over one module differ:\n%s\nvs\n%s", da, db)
+	}
+}

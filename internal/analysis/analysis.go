@@ -1,7 +1,9 @@
 // Package analysis is the repo's custom static-analysis layer: a small
-// stdlib-only (go/parser + go/ast + go/types, no x/tools) driver plus
-// four project-specific analyzers that guard invariants no Go compiler
-// checks but the rest of the repository depends on:
+// stdlib-only (go/parser + go/ast + go/types, no x/tools) driver, an
+// interprocedural summary layer (module-wide call graph with interface
+// and function-value devirtualization, per-function ctx/alloc facts),
+// and six project-specific analyzers that guard invariants no Go
+// compiler checks but the rest of the repository depends on:
 //
 //   - determinism: the mapping a compile emits must be a pure function of
 //     (kernel, fabric, options minus Workers). Wall-clock reads, globally
@@ -11,13 +13,21 @@
 //     typed — wrapping a diag sentinel or a package-level sentinel with
 //     %w — so errors.Is/As dispatch keeps working through the public API.
 //   - noalloc: functions annotated //himap:noalloc (the router's Dijkstra
-//     scratch / heap hot path) must not contain allocating constructs.
+//     scratch / heap hot path) must not contain allocating constructs,
+//     judged by escape-based reasoning with summary-transitive callees.
 //   - lockcheck: mutexes must not be copied, and goroutines must not
 //     capture loop variables by reference.
+//   - ctxflow: unbounded loops reachable from the CompileRequest boundary
+//     or a serve handler must poll cancellation, and received contexts
+//     must not be dropped for context.Background()/TODO().
+//   - lockset: fields written by may-happen-in-parallel code must be
+//     written under consistent lock sets.
 //
 // The driver (Load + Run) parses and type-checks every package of the
-// module from source, runs each analyzer over its configured package
-// scope, and filters diagnostics through //lint:ignore suppressions.
+// module from source, builds the summaries, runs each analyzer over its
+// configured package scope, and filters diagnostics through
+// //lint:ignore suppressions — reporting ignores that are malformed or
+// suppress nothing under the pseudo-analyzer name "suppress".
 // cmd/himaplint is the CLI; the fixture harness in fixture.go backs the
 // golden tests under testdata/.
 package analysis
@@ -54,9 +64,18 @@ type Pass struct {
 
 	// NoAlloc is the module-wide annotation fact set: every function
 	// object carrying a //himap:noalloc annotation, keyed by its
-	// *types.Func. The noalloc analyzer uses it to enforce that annotated
-	// functions only call other annotated functions (or builtins).
+	// *types.Func. The noalloc analyzer combines it with the summary
+	// layer's AllocFree fact.
 	NoAlloc map[*types.Func]bool
+
+	// Sum is the module-wide interprocedural summary layer: call graph,
+	// reachability from cancellation roots, PollsCtx and AllocFree
+	// fixpoints. Built once per program by the driver.
+	Sum *Summaries
+
+	// P is the loaded package this pass runs over (the typed view of
+	// Files/Pkg/Info).
+	P *Package
 
 	diags []Diagnostic
 }
@@ -78,9 +97,28 @@ type Analyzer struct {
 	Run  func(*Pass)
 }
 
-// All returns the four project analyzers in catalogue order.
+// All returns the six project analyzers in catalogue order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, ErrDiscipline, NoAlloc, LockCheck}
+	return []*Analyzer{Determinism, ErrDiscipline, NoAlloc, LockCheck, Ctxflow, Lockset}
+}
+
+// SuppressName is the pseudo-analyzer name under which the driver
+// reports malformed or dead //lint:ignore directives. It is not a
+// valid suppression target itself.
+const SuppressName = "suppress"
+
+// knownAnalyzerNames is the set of names valid in //lint:ignore
+// directives: the full catalogue plus whatever extra analyzers a
+// caller passes to Run.
+func knownAnalyzerNames(analyzers []*Analyzer) map[string]bool {
+	names := map[string]bool{}
+	for _, a := range All() {
+		names[a.Name] = true
+	}
+	for _, a := range analyzers {
+		names[a.Name] = true
+	}
+	return names
 }
 
 // Scope maps an analyzer name to the module package paths it runs on.
@@ -94,9 +132,11 @@ type Scope map[string][]string
 //     decisions are made (the paper pipeline, the router, the systolic
 //     search, the baseline mapper, and the MRRG).
 //   - errdiscipline runs on the compile-path packages plus the
-//     architecture model and the simulator — the packages whose failures
-//     escape through the public API and must stay errors.Is-able.
-//   - noalloc and lockcheck are annotation/type driven and run module-wide.
+//     architecture model, the simulator, and the analysis layer itself
+//     (himaplint self-hosts) — the packages whose failures escape
+//     through a public API and must stay errors.Is-able.
+//   - noalloc, lockcheck, ctxflow, and lockset are annotation, type, or
+//     summary driven and run module-wide (internal/analysis included).
 func DefaultScope() Scope {
 	compilePath := []string{
 		"himap/internal/himap",
@@ -112,9 +152,11 @@ func DefaultScope() Scope {
 		// in cached bodies) would break the byte-identity contract between
 		// served and direct compiles — it is compile-path for this purpose.
 		Determinism.Name:   append(append([]string(nil), compilePath...), "himap/internal/serve"),
-		ErrDiscipline.Name: append(append([]string(nil), compilePath...), "himap/internal/arch", "himap/internal/sim"),
+		ErrDiscipline.Name: append(append([]string(nil), compilePath...), "himap/internal/arch", "himap/internal/sim", "himap/internal/analysis"),
 		NoAlloc.Name:       nil,
 		LockCheck.Name:     nil,
+		Ctxflow.Name:       nil,
+		Lockset.Name:       nil,
 	}
 }
 
@@ -132,9 +174,12 @@ func (s Scope) includes(analyzer, pkgPath string) bool {
 }
 
 // Run executes the analyzers over every package of the program within
-// the scope, applies //lint:ignore suppression, and returns the
-// surviving diagnostics sorted by position.
+// the scope, applies //lint:ignore suppression (reporting malformed and
+// dead directives), and returns the surviving diagnostics sorted by
+// position.
 func Run(prog *Program, analyzers []*Analyzer, scope Scope) []Diagnostic {
+	sum := prog.Summaries()
+	known := knownAnalyzerNames(analyzers)
 	var out []Diagnostic
 	for _, pkg := range prog.Pkgs {
 		var pkgDiags []Diagnostic
@@ -149,11 +194,15 @@ func Run(prog *Program, analyzers []*Analyzer, scope Scope) []Diagnostic {
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
 				NoAlloc:  prog.NoAlloc,
+				Sum:      sum,
+				P:        pkg,
 			}
 			a.Run(pass)
 			pkgDiags = append(pkgDiags, pass.diags...)
 		}
-		out = append(out, filterSuppressed(prog.Fset, pkg.Files, pkgDiags)...)
+		dirs := collectIgnores(prog.Fset, pkg.Files)
+		out = append(out, filterSuppressed(dirs, pkgDiags)...)
+		out = append(out, suppressionFindings(prog.Fset, dirs, known, analyzers, scope, pkg.Path)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]

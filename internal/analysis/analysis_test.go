@@ -19,6 +19,8 @@ func TestFixtures(t *testing.T) {
 		{"errdiscipline", ErrDiscipline},
 		{"noalloc", NoAlloc},
 		{"lockcheck", LockCheck},
+		{"ctxflow", Ctxflow},
+		{"lockset", Lockset},
 		{"suppress", Determinism},
 	}
 	for _, tc := range cases {
@@ -52,11 +54,36 @@ func TestModuleClean(t *testing.T) {
 	}
 }
 
+// TestSummariesDeterministic pins the summary layer's determinism: two
+// independent builds over the same program, and two independent loads of
+// the same fixture tree, must agree fact for fact. The Fingerprint is a
+// stable text rendering of every summary, so any map-iteration leak in
+// the fixpoints shows up as a diff here.
+func TestSummariesDeterministic(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "ctxflow")
+	prog, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := BuildSummaries(prog).Fingerprint()
+	b := BuildSummaries(prog).Fingerprint()
+	if a != b {
+		t.Fatalf("two builds over one program disagree:\n%s\nvs\n%s", a, b)
+	}
+	prog2, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := BuildSummaries(prog2).Fingerprint(); c != a {
+		t.Fatalf("independent loads disagree:\n%s\nvs\n%s", a, c)
+	}
+}
+
 // TestAnalyzerCatalogue pins the published analyzer set: names are part
 // of the //lint:ignore grammar, so renaming one silently disables every
 // existing suppression for it.
 func TestAnalyzerCatalogue(t *testing.T) {
-	want := []string{"determinism", "errdiscipline", "noalloc", "lockcheck"}
+	want := []string{"determinism", "errdiscipline", "noalloc", "lockcheck", "ctxflow", "lockset"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("All() = %d analyzers, want %d", len(got), len(want))

@@ -1,0 +1,402 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Ctxflow verifies the repository's cancellation discipline over the
+// interprocedural summary layer (summary.go). Roots are functions
+// marked //himap:ctxroot (the public CompileRequest boundary) and http
+// handler signatures; reachability closes over static calls,
+// class-hierarchy devirtualized interface calls (the backend registry
+// dispatch), and signature-devirtualized function-value calls (pipeline
+// stages, the serve compile hook). Inside every reachable function that
+// takes a context.Context, two rules apply:
+//
+//   - every unbounded loop must poll cancellation on its spine — a
+//     ctx.Err()/ctx.Done() call, or a call forwarding ctx to a callee
+//     whose summary proves it polls. A loop is unbounded unless its
+//     condition compares against a constant or a len/cap expression
+//     (range loops are bounded by construction). The spine is the loop
+//     body descending through if/switch/select/blocks but not into
+//     nested loops or function literals; a poll behind a stride guard
+//     (if steps&255 == 0 { ctx.Err() }) therefore counts — the contract
+//     is bounded cancellation latency, not a check on every iteration.
+//   - the received context must not be dropped: context.Background()
+//     and context.TODO() below the API boundary are flagged unless they
+//     sit inside an `if ctx == nil` guard (the documented nil-tolerant
+//     entry points).
+//
+// Under-approximations (documented in DESIGN.md): functions without a
+// ctx parameter are not charged for loops (they cannot poll what they
+// never received — the gap shows up at their ctx-bearing caller only if
+// that caller loops), and a spine poll need not dominate every path.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "verifies unbounded loops on cancellation paths poll ctx and that received contexts are never dropped",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(p *Pass) {
+	sum := p.Sum
+	if sum == nil {
+		return
+	}
+	for _, fs := range sum.order {
+		s := sum.Funcs[fs]
+		if s.Pkg.Types != p.Pkg || s.Decl.Body == nil {
+			continue
+		}
+		if !sum.Reachable(fs) && !s.CtxRoot {
+			continue
+		}
+		if s.CtxParam == nil {
+			continue
+		}
+		cf := &ctxflowFunc{pass: p, sum: sum, fs: s}
+		cf.checkLoops()
+		cf.checkDrops()
+	}
+}
+
+type ctxflowFunc struct {
+	pass *Pass
+	sum  *Summaries
+	fs   *FuncSummary
+
+	singleInit map[*types.Var]ast.Expr // locals assigned exactly once: var -> initializer
+}
+
+// checkLoops flags every unbounded for-loop without a spine poll.
+func (c *ctxflowFunc) checkLoops() {
+	ast.Inspect(c.fs.Decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literals run on their own goroutine/path budget
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok {
+			return true
+		}
+		if c.boundedCond(loop.Cond) {
+			return true
+		}
+		if !c.spinePolls(loop.Body.List) {
+			c.pass.Reportf(loop.Pos(), "unbounded loop in %s (reachable from a cancellation root) never polls ctx.Err/ctx.Done on its spine", c.fs.Fn.Name())
+		}
+		return true
+	})
+}
+
+// boundedCond reports whether a for condition provably bounds the trip
+// count: a comparison where one operand is a constant, a len/cap call,
+// or a local assigned exactly once from such an expression (the
+// SSA-lite view: n := len(order) bounds k < n). A nil condition, bare
+// booleans, and variable-vs-variable comparisons (round < rounds,
+// mv < moves) are unbounded.
+func (c *ctxflowFunc) boundedCond(cond ast.Expr) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	return c.boundingOperand(be.X) || c.boundingOperand(be.Y)
+}
+
+func (c *ctxflowFunc) boundingOperand(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if tv, ok := c.pass.Info.Types[e]; ok && tv.Value != nil {
+		return true // constant bound
+	}
+	if call, ok := e.(*ast.CallExpr); ok {
+		switch calleeBuiltin(c.pass.Info, call) {
+		case "len", "cap":
+			return true
+		}
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		c.ensureSingleInit()
+		if obj, ok := c.pass.Info.Uses[id].(*types.Var); ok {
+			if init, ok := c.singleInit[obj]; ok {
+				return c.boundingInit(init)
+			}
+		}
+	}
+	return false
+}
+
+// boundingInit judges the single initializer of a local without
+// re-entering single-assignment resolution (one level is enough for
+// the n := len(order) idiom).
+func (c *ctxflowFunc) boundingInit(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if tv, ok := c.pass.Info.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	if call, ok := e.(*ast.CallExpr); ok {
+		switch calleeBuiltin(c.pass.Info, call) {
+		case "len", "cap":
+			return true
+		}
+	}
+	return false
+}
+
+// ensureSingleInit builds the map of body locals assigned exactly once
+// and never address-taken, with their initializer expression.
+func (c *ctxflowFunc) ensureSingleInit() {
+	if c.singleInit != nil {
+		return
+	}
+	c.singleInit = map[*types.Var]ast.Expr{}
+	info := c.pass.Info
+	counts := map[*types.Var]int{}
+	disqualified := map[*types.Var]bool{}
+	note := func(id *ast.Ident, init ast.Expr) {
+		var v *types.Var
+		if d, ok := info.Defs[id].(*types.Var); ok {
+			v = d
+		} else if u, ok := info.Uses[id].(*types.Var); ok {
+			v = u
+		}
+		if v == nil {
+			return
+		}
+		counts[v]++
+		if init != nil && counts[v] == 1 {
+			c.singleInit[v] = init
+		}
+	}
+	ast.Inspect(c.fs.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, l := range n.Lhs {
+				if id, ok := l.(*ast.Ident); ok {
+					var init ast.Expr
+					if len(n.Lhs) == len(n.Rhs) {
+						init = n.Rhs[i]
+					}
+					note(id, init)
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+				note(id, nil)
+			}
+		case *ast.RangeStmt:
+			if id, ok := n.Key.(*ast.Ident); ok && id != nil {
+				note(id, nil)
+			}
+			if id, ok := n.Value.(*ast.Ident); ok && id != nil {
+				note(id, nil)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					if v, ok := info.Uses[id].(*types.Var); ok {
+						disqualified[v] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	for v, n := range counts {
+		if n != 1 || disqualified[v] {
+			delete(c.singleInit, v)
+		}
+	}
+}
+
+// spinePolls walks the loop spine — statement lists descending through
+// if/switch/select/block/labeled statements but not nested loops or
+// function literals — looking for a cancellation poll.
+func (c *ctxflowFunc) spinePolls(stmts []ast.Stmt) bool {
+	for _, st := range stmts {
+		if c.stmtPolls(st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *ctxflowFunc) stmtPolls(st ast.Stmt) bool {
+	switch st := st.(type) {
+	case *ast.LabeledStmt:
+		return c.stmtPolls(st.Stmt)
+	case *ast.BlockStmt:
+		return c.spinePolls(st.List)
+	case *ast.IfStmt:
+		if st.Init != nil && c.stmtPolls(st.Init) {
+			return true
+		}
+		if st.Cond != nil && c.exprPolls(st.Cond) {
+			return true
+		}
+		if c.spinePolls(st.Body.List) {
+			return true
+		}
+		return st.Else != nil && c.stmtPolls(st.Else)
+	case *ast.SwitchStmt:
+		if st.Init != nil && c.stmtPolls(st.Init) {
+			return true
+		}
+		if st.Tag != nil && c.exprPolls(st.Tag) {
+			return true
+		}
+		return c.clausesPoll(st.Body)
+	case *ast.TypeSwitchStmt:
+		return c.clausesPoll(st.Body)
+	case *ast.SelectStmt:
+		for _, cl := range st.Body.List {
+			comm := cl.(*ast.CommClause)
+			if comm.Comm != nil && c.nodePolls(comm.Comm) {
+				return true
+			}
+			if c.spinePolls(comm.Body) {
+				return true
+			}
+		}
+		return false
+	case *ast.ForStmt, *ast.RangeStmt:
+		return false // nested loops answer for themselves
+	case *ast.ExprStmt, *ast.AssignStmt, *ast.ReturnStmt, *ast.DeclStmt,
+		*ast.SendStmt, *ast.IncDecStmt, *ast.GoStmt, *ast.DeferStmt, *ast.BranchStmt:
+		return c.nodePolls(st)
+	}
+	return false
+}
+
+func (c *ctxflowFunc) clausesPoll(body *ast.BlockStmt) bool {
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if c.exprPolls(e) {
+				return true
+			}
+		}
+		if c.spinePolls(cc.Body) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *ctxflowFunc) exprPolls(e ast.Expr) bool { return c.nodePolls(e) }
+
+// nodePolls scans a spine statement or expression (stopping at nested
+// function literals) for a direct ctx poll or a ctx-forwarding call to
+// a callee whose summary polls.
+func (c *ctxflowFunc) nodePolls(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isCtxPollCall(c.pass.Info, call) {
+			found = true
+			return false
+		}
+		if forwardsContext(c.pass.Info, call) && c.calleePolls(call) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// calleePolls resolves the call's target set — static, interface
+// (class-hierarchy), or function-value (signature) — and reports
+// whether every candidate's summary polls its context.
+func (c *ctxflowFunc) calleePolls(call *ast.CallExpr) bool {
+	info := c.pass.Info
+	if fn := calleeFunc(info, call); fn != nil {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
+			return c.allPoll(c.sum.chaOf(fn))
+		}
+		fs := c.sum.Funcs[fn]
+		return fs != nil && fs.PollsCtx
+	}
+	if tv, ok := info.Types[call.Fun]; ok {
+		if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+			return c.allPoll(c.sum.addrTakenOf(sig))
+		}
+	}
+	return false
+}
+
+func (c *ctxflowFunc) allPoll(cands []*types.Func) bool {
+	if len(cands) == 0 {
+		return false
+	}
+	for _, fn := range cands {
+		if fs := c.sum.Funcs[fn]; fs == nil || !fs.PollsCtx {
+			return false
+		}
+	}
+	return true
+}
+
+// checkDrops flags context.Background()/context.TODO() below the API
+// boundary, excepting calls inside an `if ctx == nil` guard.
+func (c *ctxflowFunc) checkDrops() {
+	scan := newBodyScan(c.fs.Pkg, c.fs.Decl)
+	ast.Inspect(c.fs.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(c.pass.Info, call)
+		if fn == nil || funcPkgPath(fn) != "context" {
+			return true
+		}
+		if fn.Name() != "Background" && fn.Name() != "TODO" {
+			return true
+		}
+		if c.underNilGuard(scan, call) {
+			return true
+		}
+		c.pass.Reportf(call.Pos(), "%s drops its received context with context.%s (allowed only under an `if ctx == nil` guard)", c.fs.Fn.Name(), fn.Name())
+		return true
+	})
+}
+
+// underNilGuard reports whether the node sits inside an if whose
+// condition nil-checks the function's context parameter.
+func (c *ctxflowFunc) underNilGuard(scan *bodyScan, n ast.Node) bool {
+	scan.ensureParents()
+	for p := scan.parents[n]; p != nil && p != c.fs.Decl; p = scan.parents[p] {
+		ifs, ok := p.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		be, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+		if !ok {
+			continue
+		}
+		if c.isCtxNilCheck(be.X, be.Y) || c.isCtxNilCheck(be.Y, be.X) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *ctxflowFunc) isCtxNilCheck(x, y ast.Expr) bool {
+	id, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok || c.pass.Info.Uses[id] != c.fs.CtxParam {
+		return false
+	}
+	yid, ok := ast.Unparen(y).(*ast.Ident)
+	return ok && yid.Name == "nil"
+}

@@ -1,0 +1,588 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the escape-based allocation scanner behind noalloc v2
+// and the summary layer's AllocFree fact. It replaces the v1 construct
+// blacklist with semantic reasoning:
+//
+//   - &T{...} and slice literals are allocations only when the value
+//     escapes the function (flow-insensitive local escape analysis over
+//     an assignment graph; anything not provably local escapes);
+//   - function literals allocate only when they capture enclosing
+//     variables AND escape — a non-capturing literal is a static
+//     closure, and a non-escaping capture can live on the stack;
+//   - append is growth only beyond proven capacity: appending into
+//     persistent scratch (selector/deref/index bases, params) or into a
+//     local derived from scratch (buf := s.scratch[:0]) is the
+//     documented amortized warm-up and passes;
+//   - interface boxing is checked at every call with a known signature,
+//     and map literals, make/new, string concatenation, go/defer stay
+//     unconditional allocations.
+//
+// The same walk drives two consumers: the noalloc analyzer (reporting
+// inside //himap:noalloc functions, with calls accepted when the callee
+// is annotated or summary-proven AllocFree) and BuildSummaries
+// (deciding IntrinsicAlloc for every module function, with declared
+// callees deferred to the AllocFree fixpoint).
+
+type reportFn func(pos token.Pos, format string, args ...any)
+
+// bodyScan is the per-function scan state. The escape, scratch, and
+// literal-binding tables are computed lazily — most functions decide on
+// unconditional constructs alone.
+type bodyScan struct {
+	pkg *Package
+	fd  *ast.FuncDecl
+
+	parents  map[ast.Node]ast.Node
+	escVar   map[*types.Var]bool
+	scratch  map[*types.Var]bool
+	litBound map[*types.Var]*ast.FuncLit
+}
+
+func newBodyScan(pkg *Package, fd *ast.FuncDecl) *bodyScan {
+	return &bodyScan{pkg: pkg, fd: fd}
+}
+
+// hasIntrinsicAlloc reports whether the function body allocates
+// independently of what its declared module callees do: calls to
+// functions satisfying declared are accepted here (the AllocFree
+// fixpoint strikes them out later), everything else runs under the
+// full v2 rules.
+func hasIntrinsicAlloc(pkg *Package, fd *ast.FuncDecl, declared func(*types.Func) bool) bool {
+	if fd.Body == nil {
+		return true // no body to prove anything about
+	}
+	found := false
+	newBodyScan(pkg, fd).run(declared, func(token.Pos, string, ...any) { found = true })
+	return found
+}
+
+// run walks the body and reports every allocating construct. calleeOK
+// decides whether a direct call to a declared function is acceptable.
+func (b *bodyScan) run(calleeOK func(*types.Func) bool, report reportFn) {
+	name := b.fd.Name.Name
+	info := b.pkg.Info
+	ast.Inspect(b.fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if b.capturingLit(n) && b.allocEscapes(n) {
+				report(n.Pos(), "closure captures enclosing variables and escapes in noalloc function %s", name)
+			}
+			return true // literal bodies execute on the hot path too
+		case *ast.CompositeLit:
+			b.checkComposite(n, name, report)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok && b.allocEscapes(n) {
+					report(n.Pos(), "&composite literal escapes and allocates in noalloc function %s", name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringOperand(info, n.X) {
+				report(n.Pos(), "string concatenation allocates in noalloc function %s", name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringOperand(info, n.Lhs[0]) {
+				report(n.Pos(), "string concatenation allocates in noalloc function %s", name)
+			}
+		case *ast.CallExpr:
+			b.checkCall(n, name, calleeOK, report)
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement in noalloc function %s allocates a goroutine", name)
+		case *ast.DeferStmt:
+			report(n.Pos(), "defer in noalloc function %s allocates a deferred frame", name)
+		}
+		return true
+	})
+}
+
+func (b *bodyScan) checkComposite(lit *ast.CompositeLit, name string, report reportFn) {
+	tv, ok := b.pkg.Info.Types[lit]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		// &composite handles the address-taken form.
+		if p, ok := b.parentOf(lit).(*ast.UnaryExpr); ok && p.Op == token.AND {
+			return
+		}
+		if b.allocEscapes(lit) {
+			report(lit.Pos(), "slice literal escapes and allocates in noalloc function %s", name)
+		}
+	case *types.Map:
+		report(lit.Pos(), "map literal allocates in noalloc function %s", name)
+	}
+}
+
+func (b *bodyScan) checkCall(call *ast.CallExpr, name string, calleeOK func(*types.Func) bool, report reportFn) {
+	info := b.pkg.Info
+	// Type conversion?
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) {
+			report(call.Pos(), "conversion to interface boxes its operand in noalloc function %s", name)
+		} else if isStringType(tv.Type) && len(call.Args) == 1 && !isStringOperand(info, call.Args[0]) {
+			report(call.Pos(), "conversion to string copies in noalloc function %s", name)
+		}
+		return
+	}
+	// Builtin?
+	if bi := calleeBuiltin(info, call); bi != "" {
+		switch {
+		case allocFreeBuiltins[bi]:
+		case bi == "append":
+			b.checkAppend(call, name, report)
+		default:
+			report(call.Pos(), "builtin %s allocates in noalloc function %s", bi, name)
+		}
+		return
+	}
+	fn := calleeFunc(info, call)
+	if fn != nil {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
+			report(call.Pos(), "interface method call in noalloc function %s cannot be verified allocation-free", name)
+			return
+		}
+		if !calleeOK(fn) {
+			report(call.Pos(), "%s calls %s, which is neither //himap:noalloc nor provably allocation-free", name, fn.FullName())
+			return
+		}
+		b.checkBoxing(call, name, report)
+		return
+	}
+	// Indirect call: acceptable only through a local bound once to a
+	// function literal (the literal's body is scanned in place).
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if v, ok := info.Uses[id].(*types.Var); ok {
+			b.ensureLitBound()
+			if b.litBound[v] != nil {
+				b.checkBoxing(call, name, report)
+				return
+			}
+		}
+	}
+	report(call.Pos(), "indirect call in noalloc function %s cannot be verified allocation-free", name)
+}
+
+// checkAppend allows append into persistent scratch — selector, deref,
+// or index bases, params and receivers, and locals derived from scratch
+// by reslicing (buf := s.scratch[:0]) — and flags append that grows a
+// slice of unproven capacity local to the function.
+func (b *bodyScan) checkAppend(call *ast.CallExpr, name string, report reportFn) {
+	if len(call.Args) == 0 {
+		return
+	}
+	if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+		v, _ := b.pkg.Info.Uses[id].(*types.Var)
+		if v != nil && declaredWithin(v, b.fd.Body) {
+			b.ensureScratch()
+			if !b.scratch[v] {
+				report(call.Pos(), "append grows function-local slice %s beyond proven capacity in noalloc function %s", id.Name, name)
+			}
+		}
+	}
+}
+
+// checkBoxing flags concrete values passed into interface-typed
+// parameters (including variadic ...any expansion).
+func (b *bodyScan) checkBoxing(call *ast.CallExpr, name string, report reportFn) {
+	tv, ok := b.pkg.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos && i == params.Len()-1 {
+				pt = params.At(params.Len() - 1).Type() // slice passed through, no boxing
+			} else {
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at, ok := b.pkg.Info.Types[arg]
+		if !ok || at.IsNil() || types.IsInterface(at.Type) {
+			continue
+		}
+		report(arg.Pos(), "argument boxes %s into interface %s in noalloc function %s", at.Type, pt, name)
+	}
+}
+
+// capturingLit reports whether the literal references variables
+// declared in the enclosing function outside the literal itself — the
+// captures that force a closure allocation.
+func (b *bodyScan) capturingLit(lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := b.pkg.Info.Uses[id].(*types.Var); ok &&
+			declaredWithin(v, b.fd) && !declaredWithin(v, lit) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isStringOperand(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Type != nil && isStringType(tv.Type)
+}
+
+// ---- lazy tables ----
+
+func (b *bodyScan) ensureParents() {
+	if b.parents != nil {
+		return
+	}
+	b.parents = map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(b.fd, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			b.parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+func (b *bodyScan) parentOf(n ast.Node) ast.Node {
+	b.ensureParents()
+	p := b.parents[n]
+	for {
+		if pe, ok := p.(*ast.ParenExpr); ok {
+			p = b.parents[pe]
+			continue
+		}
+		return p
+	}
+}
+
+// allocEscapes decides whether the value produced at n leaves the
+// function. Only a value consumed by a plain assignment into a
+// non-escaping local is proven captive; every other context —
+// returns, call arguments, composite elements, stores through
+// pointers — counts as escaping.
+func (b *bodyScan) allocEscapes(n ast.Node) bool {
+	b.ensureEscapes()
+	switch p := b.parentOf(n).(type) {
+	case *ast.AssignStmt:
+		if v := b.simpleAssignTarget(p, n); v != nil {
+			return b.escVar[v]
+		}
+	case *ast.ValueSpec:
+		if v := b.valueSpecTarget(p, n); v != nil {
+			return b.escVar[v]
+		}
+	}
+	return true
+}
+
+// simpleAssignTarget returns the local variable that directly receives
+// the value of rhs in a 1:1 assignment, or nil.
+func (b *bodyScan) simpleAssignTarget(a *ast.AssignStmt, rhs ast.Node) *types.Var {
+	if len(a.Lhs) != len(a.Rhs) {
+		return nil
+	}
+	for i, r := range a.Rhs {
+		if ast.Unparen(r) != rhs && r != rhs {
+			continue
+		}
+		id, ok := a.Lhs[i].(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		var v *types.Var
+		if a.Tok == token.DEFINE {
+			v, _ = b.pkg.Info.Defs[id].(*types.Var)
+		} else {
+			v, _ = b.pkg.Info.Uses[id].(*types.Var)
+		}
+		if v != nil && b.isLocal(v) {
+			return v
+		}
+		return nil
+	}
+	return nil
+}
+
+func (b *bodyScan) valueSpecTarget(vs *ast.ValueSpec, rhs ast.Node) *types.Var {
+	if len(vs.Names) != len(vs.Values) {
+		return nil
+	}
+	for i, r := range vs.Values {
+		if ast.Unparen(r) != rhs && r != rhs {
+			continue
+		}
+		v, _ := b.pkg.Info.Defs[vs.Names[i]].(*types.Var)
+		if v != nil && b.isLocal(v) {
+			return v
+		}
+		return nil
+	}
+	return nil
+}
+
+func (b *bodyScan) isLocal(v *types.Var) bool {
+	return declaredWithin(v, b.fd)
+}
+
+// ensureEscapes computes the escaping-locals set: direct escaping uses
+// (returns, call args, address-of, captures, stores into non-locals)
+// plus propagation along local-to-local assignments.
+func (b *bodyScan) ensureEscapes() {
+	if b.escVar != nil {
+		return
+	}
+	b.ensureParents()
+	b.escVar = map[*types.Var]bool{}
+	flowsInto := map[*types.Var][]*types.Var{} // src -> dsts
+	info := b.pkg.Info
+	ast.Inspect(b.fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, _ := info.Uses[id].(*types.Var)
+		if v == nil || !b.isLocal(v) {
+			return true
+		}
+		if b.capturedUse(id, v) {
+			b.escVar[v] = true
+			return true
+		}
+		if dst, esc := b.classifyUse(id, v); esc {
+			b.escVar[v] = true
+		} else if dst != nil {
+			flowsInto[v] = append(flowsInto[v], dst)
+		}
+		return true
+	})
+	for changed := true; changed; {
+		changed = false
+		for src, dsts := range flowsInto {
+			if b.escVar[src] {
+				continue
+			}
+			for _, dst := range dsts {
+				if b.escVar[dst] {
+					b.escVar[src] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// capturedUse reports whether the use sits inside a function literal
+// that does not also declare v — a closure capture.
+func (b *bodyScan) capturedUse(id *ast.Ident, v *types.Var) bool {
+	for n := b.parents[id]; n != nil && n != b.fd; n = b.parents[n] {
+		if lit, ok := n.(*ast.FuncLit); ok && !declaredWithin(v, lit) {
+			return true
+		}
+	}
+	return false
+}
+
+// classifyUse inspects one use of a local: it returns a destination
+// local when the use is a plain local-to-local assignment (an escape
+// propagation edge), and whether the use escapes outright.
+func (b *bodyScan) classifyUse(id *ast.Ident, v *types.Var) (dst *types.Var, escapes bool) {
+	switch p := b.parentOf(id).(type) {
+	case *ast.AssignStmt:
+		for _, l := range p.Lhs {
+			if l == id {
+				return nil, false // write target
+			}
+		}
+		if w := b.simpleAssignTarget(p, id); w != nil {
+			return w, false
+		}
+		return nil, true // stored into a non-local location
+	case *ast.ValueSpec:
+		for _, nm := range p.Names {
+			if nm == id {
+				return nil, false
+			}
+		}
+		if w := b.valueSpecTarget(p, id); w != nil {
+			return w, false
+		}
+		return nil, true
+	case *ast.CallExpr:
+		if ast.Unparen(p.Fun) == id {
+			return nil, false // being called
+		}
+		switch calleeBuiltin(b.pkg.Info, p) {
+		case "len", "cap", "delete", "clear":
+			return nil, false
+		case "append":
+			if len(p.Args) > 0 && ast.Unparen(p.Args[0]) == id {
+				return nil, false // appended-into base, handled by checkAppend
+			}
+		}
+		return nil, true // callee may retain the argument
+	case *ast.UnaryExpr:
+		return nil, p.Op == token.AND // address taken
+	case *ast.StarExpr, *ast.SelectorExpr, *ast.BinaryExpr, *ast.IncDecStmt,
+		*ast.IfStmt, *ast.ForStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt,
+		*ast.CaseClause, *ast.ExprStmt, *ast.BlockStmt:
+		return nil, false // reads and control flow
+	case *ast.IndexExpr:
+		return nil, false // reading or writing an element, base stays put
+	case *ast.RangeStmt:
+		return nil, id != p.X && id != p.Key && id != p.Value // ranging over v reads it
+	case *ast.SendStmt:
+		return nil, id == p.Value // sent values escape; the channel does not
+	}
+	return nil, true // returns, composite elements, slices, defers, unknown contexts
+}
+
+// ensureScratch computes the scratch-derived locals: variables assigned
+// from reslicing persistent storage (or from append on such a base),
+// iterated to a fixpoint so chains of derivations resolve.
+func (b *bodyScan) ensureScratch() {
+	if b.scratch != nil {
+		return
+	}
+	b.scratch = map[*types.Var]bool{}
+	info := b.pkg.Info
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(b.fd.Body, func(n ast.Node) bool {
+			a, ok := n.(*ast.AssignStmt)
+			if !ok || len(a.Lhs) != len(a.Rhs) {
+				return true
+			}
+			for i, r := range a.Rhs {
+				id, ok := a.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				var v *types.Var
+				if a.Tok == token.DEFINE {
+					v, _ = info.Defs[id].(*types.Var)
+				} else {
+					v, _ = info.Uses[id].(*types.Var)
+				}
+				if v == nil || b.scratch[v] || !declaredWithin(v, b.fd.Body) {
+					continue
+				}
+				if b.scratchRHS(r) {
+					b.scratch[v] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (b *bodyScan) scratchRHS(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SliceExpr:
+		return b.persistentSliceBase(e.X)
+	case *ast.CallExpr:
+		if calleeBuiltin(b.pkg.Info, e) == "append" && len(e.Args) > 0 {
+			return b.persistentSliceBase(e.Args[0])
+		}
+	}
+	return false
+}
+
+// persistentSliceBase reports whether a sliced expression reaches
+// storage that outlives the call: selector/deref/index bases (the
+// sanctioned scratch forms), params and receivers and package-level
+// vars, and already-proven scratch locals.
+func (b *bodyScan) persistentSliceBase(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return true
+	case *ast.SliceExpr:
+		return b.persistentSliceBase(e.X)
+	case *ast.Ident:
+		v, ok := b.pkg.Info.Uses[e].(*types.Var)
+		if !ok {
+			return false
+		}
+		if !declaredWithin(v, b.fd.Body) {
+			return true // param, receiver, or package-level storage
+		}
+		return b.scratch[v]
+	}
+	return false
+}
+
+// ensureLitBound records locals bound exactly once to a function
+// literal — calls through them resolve to the literal, whose body the
+// scan already covers.
+func (b *bodyScan) ensureLitBound() {
+	if b.litBound != nil {
+		return
+	}
+	b.litBound = map[*types.Var]*ast.FuncLit{}
+	assigns := map[*types.Var]int{}
+	info := b.pkg.Info
+	ast.Inspect(b.fd.Body, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, l := range a.Lhs {
+			id, ok := l.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			var v *types.Var
+			if a.Tok == token.DEFINE {
+				v, _ = info.Defs[id].(*types.Var)
+			} else {
+				v, _ = info.Uses[id].(*types.Var)
+			}
+			if v == nil || !b.isLocal(v) {
+				continue
+			}
+			assigns[v]++
+			if len(a.Lhs) == len(a.Rhs) {
+				if lit, ok := ast.Unparen(a.Rhs[i]).(*ast.FuncLit); ok {
+					b.litBound[v] = lit
+				}
+			}
+		}
+		return true
+	})
+	for v, n := range assigns {
+		if n != 1 {
+			delete(b.litBound, v)
+		}
+	}
+}

@@ -2,70 +2,24 @@ package analysis
 
 import (
 	"fmt"
-	"go/ast"
-	"go/importer"
-	"go/parser"
-	"go/token"
-	"go/types"
-	"os"
 	"path/filepath"
 	"regexp"
-	"sort"
 	"strings"
 )
 
-// LoadDir parses and type-checks one standalone directory as a single
-// package (imports resolve against the standard library only) — the
-// fixture loader behind the testdata golden tests. The //himap:noalloc
-// fact set is collected from the fixture package itself.
+// LoadDir parses and type-checks a standalone fixture tree as its own
+// little module: the directory base name stands in for the module path,
+// subdirectories become importable sub-packages (a fixture file in
+// testdata/src/ctxflow may import "ctxflow/sub"), and everything else
+// resolves against the standard library. This is the loader behind the
+// testdata golden tests — cross-package cases exercise the summary
+// layer exactly like the real module does.
 func LoadDir(dir string) (*Program, error) {
-	fset := token.NewFileSet()
-	entries, err := os.ReadDir(dir)
+	abs, err := filepath.Abs(dir)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrLoad, err)
 	}
-	var names []string
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-			names = append(names, e.Name())
-		}
-	}
-	sort.Strings(names)
-	var files []*ast.File
-	for _, name := range names {
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
-		if err != nil {
-			return nil, err
-		}
-		files = append(files, f)
-	}
-	if len(files) == 0 {
-		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
-	}
-	info := &types.Info{
-		Types:      map[ast.Expr]types.TypeAndValue{},
-		Defs:       map[*ast.Ident]types.Object{},
-		Uses:       map[*ast.Ident]types.Object{},
-		Selections: map[*ast.SelectorExpr]*types.Selection{},
-		Scopes:     map[ast.Node]*types.Scope{},
-	}
-	path := filepath.Base(dir)
-	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
-	tpkg, err := conf.Check(path, fset, files, info)
-	if err != nil {
-		return nil, fmt.Errorf("analysis: type-checking fixture %s: %w", dir, err)
-	}
-	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
-	prog := &Program{
-		Fset:    fset,
-		Module:  path,
-		Root:    dir,
-		Pkgs:    []*Package{pkg},
-		NoAlloc: map[*types.Func]bool{},
-		byPath:  map[string]*Package{path: pkg},
-	}
-	collectNoAllocFacts(pkg, prog.NoAlloc)
-	return prog, nil
+	return loadModule(filepath.Base(abs), abs)
 }
 
 // Expectation is one `// want "regexp"` annotation in a fixture file.
@@ -75,27 +29,29 @@ type Expectation struct {
 	Pattern *regexp.Regexp
 }
 
-var wantRE = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+var wantRE = regexp.MustCompile(`(?://|/\*) want "((?:[^"\\]|\\.)*)"`)
 
-// Expectations extracts every `// want "..."` comment of the program's
-// files. The pattern is a regexp matched against diagnostic messages
-// reported on the same line.
+// Expectations extracts every `// want "..."` (or `/* want "..." */`)
+// comment of the program's files. The pattern is a regexp matched
+// against diagnostic messages reported on the same line. One comment may
+// carry several wants — lines holding a //lint:ignore directive under
+// test embed the want inside the directive's reason text, and the
+// block-comment form marks lines where a trailing comment would change
+// what is being tested (a reasonless directive).
 func (p *Program) Expectations() ([]Expectation, error) {
 	var out []Expectation
 	for _, pkg := range p.Pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					m := wantRE.FindStringSubmatch(c.Text)
-					if m == nil {
-						continue
+					for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+						pat, err := regexp.Compile(strings.ReplaceAll(m[1], `\"`, `"`))
+						if err != nil {
+							return nil, fmt.Errorf("analysis: bad want pattern %q: %w", m[1], err)
+						}
+						pos := p.Fset.Position(c.Pos())
+						out = append(out, Expectation{File: pos.Filename, Line: pos.Line, Pattern: pat})
 					}
-					pat, err := regexp.Compile(strings.ReplaceAll(m[1], `\"`, `"`))
-					if err != nil {
-						return nil, fmt.Errorf("analysis: bad want pattern %q: %w", m[1], err)
-					}
-					pos := p.Fset.Position(c.Pos())
-					out = append(out, Expectation{File: pos.Filename, Line: pos.Line, Pattern: pat})
 				}
 			}
 		}
@@ -107,7 +63,8 @@ func (p *Program) Expectations() ([]Expectation, error) {
 // the diagnostics against the // want annotations: every want must match
 // a diagnostic on its line, and every diagnostic must be wanted. It
 // returns a list of mismatch descriptions (empty when the fixture is
-// green).
+// green). Driver-level "suppress" findings participate like any other
+// diagnostic, so suppression fixtures can assert them.
 func CheckFixture(prog *Program, a *Analyzer) ([]string, error) {
 	wants, err := prog.Expectations()
 	if err != nil {

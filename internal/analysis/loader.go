@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -13,6 +14,12 @@ import (
 	"strings"
 )
 
+// ErrLoad is the sentinel wrapped by every loader failure — missing
+// go.mod, unparsable source, type-check errors — so callers (the CLI's
+// exit-code 2 path, the fixture harness) can errors.Is their way to
+// "the program never loaded" as opposed to "the program has findings".
+var ErrLoad = errors.New("analysis: load failed")
+
 // Package is one parsed and type-checked module package.
 type Package struct {
 	Path  string // import path, e.g. "himap/internal/route"
@@ -23,7 +30,8 @@ type Package struct {
 }
 
 // Program is the fully loaded module: every package parsed from source
-// and type-checked, plus the module-wide //himap:noalloc fact set.
+// and type-checked, plus the module-wide //himap:noalloc fact set and
+// the lazily built interprocedural summaries.
 type Program struct {
 	Fset    *token.FileSet
 	Module  string // module path from go.mod
@@ -32,13 +40,14 @@ type Program struct {
 	NoAlloc map[*types.Func]bool
 
 	byPath map[string]*Package
+	sum    *Summaries
 }
 
 // FindModuleRoot walks up from dir to the directory containing go.mod.
 func FindModuleRoot(dir string) (string, error) {
 	abs, err := filepath.Abs(dir)
 	if err != nil {
-		return "", err
+		return "", fmt.Errorf("%w: %v", ErrLoad, err)
 	}
 	for {
 		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
@@ -46,7 +55,7 @@ func FindModuleRoot(dir string) (string, error) {
 		}
 		parent := filepath.Dir(abs)
 		if parent == abs {
-			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+			return "", fmt.Errorf("%w: no go.mod above %s", ErrLoad, dir)
 		}
 		abs = parent
 	}
@@ -55,7 +64,7 @@ func FindModuleRoot(dir string) (string, error) {
 func modulePath(root string) (string, error) {
 	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
 	if err != nil {
-		return "", err
+		return "", fmt.Errorf("%w: %v", ErrLoad, err)
 	}
 	for _, line := range strings.Split(string(data), "\n") {
 		line = strings.TrimSpace(line)
@@ -63,7 +72,7 @@ func modulePath(root string) (string, error) {
 			return strings.TrimSpace(rest), nil
 		}
 	}
-	return "", fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+	return "", fmt.Errorf("%w: no module directive in %s/go.mod", ErrLoad, root)
 }
 
 // loader resolves imports during type checking: module-internal paths
@@ -116,7 +125,7 @@ func (l *loader) load(path string) (*Package, error) {
 		return pkg, nil
 	}
 	if l.loading[path] {
-		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+		return nil, fmt.Errorf("%w: import cycle through %s", ErrLoad, path)
 	}
 	l.loading[path] = true
 	defer delete(l.loading, path)
@@ -124,7 +133,7 @@ func (l *loader) load(path string) (*Package, error) {
 	dir := l.dirFor(path)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrLoad, err)
 	}
 	var files []*ast.File
 	var names []string
@@ -139,12 +148,12 @@ func (l *loader) load(path string) (*Package, error) {
 	for _, name := range names {
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: %v", ErrLoad, err)
 		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+		return nil, fmt.Errorf("%w: no Go files in %s", ErrLoad, dir)
 	}
 
 	info := &types.Info{
@@ -157,7 +166,7 @@ func (l *loader) load(path string) (*Package, error) {
 	conf := types.Config{Importer: l}
 	tpkg, err := conf.Check(path, l.fset, files, info)
 	if err != nil {
-		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+		return nil, fmt.Errorf("%w: type-checking %s: %v", ErrLoad, path, err)
 	}
 	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
 	l.pkgs[path] = pkg
@@ -185,7 +194,7 @@ func packageDirs(root string) ([]string, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrLoad, err)
 	}
 	sort.Strings(dirs)
 	uniq := dirs[:0]
@@ -197,17 +206,11 @@ func packageDirs(root string) ([]string, error) {
 	return uniq, nil
 }
 
-// Load parses and type-checks every package of the module rooted at (or
-// above) dir and collects the //himap:noalloc annotation facts.
-func Load(dir string) (*Program, error) {
-	root, err := FindModuleRoot(dir)
-	if err != nil {
-		return nil, err
-	}
-	module, err := modulePath(root)
-	if err != nil {
-		return nil, err
-	}
+// loadModule parses and type-checks every package under root as module
+// `module` and assembles the Program. Shared by Load (the real module)
+// and LoadDir (fixture trees, where the directory base name stands in
+// for the module path).
+func loadModule(module, root string) (*Program, error) {
 	fset := token.NewFileSet()
 	l := newLoader(fset, module, root)
 	dirs, err := packageDirs(root)
@@ -224,7 +227,7 @@ func Load(dir string) (*Program, error) {
 	for _, d := range dirs {
 		rel, err := filepath.Rel(root, d)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: %v", ErrLoad, err)
 		}
 		path := module
 		if rel != "." {
@@ -242,6 +245,20 @@ func Load(dir string) (*Program, error) {
 		collectNoAllocFacts(pkg, prog.NoAlloc)
 	}
 	return prog, nil
+}
+
+// Load parses and type-checks every package of the module rooted at (or
+// above) dir and collects the //himap:noalloc annotation facts.
+func Load(dir string) (*Program, error) {
+	root, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	module, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	return loadModule(module, root)
 }
 
 // Lookup returns the loaded package with the given import path, if any.
@@ -266,13 +283,5 @@ func collectNoAllocFacts(pkg *Package, facts map[*types.Func]bool) {
 // hasNoAllocAnnotation reports whether a comment group contains the
 // //himap:noalloc directive (exact directive form, no leading space).
 func hasNoAllocAnnotation(doc *ast.CommentGroup) bool {
-	if doc == nil {
-		return false
-	}
-	for _, c := range doc.List {
-		if c.Text == "//himap:noalloc" || strings.HasPrefix(c.Text, "//himap:noalloc ") {
-			return true
-		}
-	}
-	return false
+	return hasDirective(doc, "//himap:noalloc")
 }

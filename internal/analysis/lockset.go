@@ -1,0 +1,470 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Lockset is the interprocedural may-happen-in-parallel companion to
+// the CI race job: it statically covers paths the tests never execute.
+//
+// Concurrency roots are goroutine spawn sites (go statements and the
+// internal/par fan-out helpers ForEach/Map) plus the serve handlers and
+// //himap:ctxroot entry points, which the HTTP server runs on
+// concurrent goroutines by construction. The concurrent function set is
+// the call-graph closure (static + devirtualized edges) of those roots.
+//
+// Inside every concurrent body the analyzer tracks a syntactic lockset
+// — X.Lock()/X.RLock() adds the mutex variable, X.Unlock()/X.RUnlock()
+// removes it, deferred unlocks keep it held, branches fork a copy — and
+// records every write to a shared field (struct field whose selector
+// base is not a body-local variable). A field written by concurrent
+// code under inconsistent locksets — at least one write holds a lock,
+// and the intersection across writes is empty — is reported at each
+// write site disjoint from the first locked one.
+//
+// Under-approximations (documented in DESIGN.md): lock/unlock calls
+// hidden behind helper functions are not modeled, writes through local
+// aliases of shared state are skipped, and inline (non-spawned)
+// function literals are not walked.
+var Lockset = &Analyzer{
+	Name: "lockset",
+	Doc:  "reports shared fields written under inconsistent lock sets in may-happen-in-parallel code",
+	Run:  runLockset,
+}
+
+func runLockset(p *Pass) {
+	sum := p.Sum
+	if sum == nil {
+		return
+	}
+	sum.buildLocksetTable()
+	for _, d := range sum.locksetFindings() {
+		if d.pkg.Types == p.Pkg {
+			p.Reportf(d.pos, "%s", d.msg)
+		}
+	}
+}
+
+type locksetFinding struct {
+	pos token.Pos
+	pkg *Package
+	msg string
+}
+
+// buildLocksetTable computes (once per program) the module-wide table
+// of shared-field writes in concurrent code.
+func (s *Summaries) buildLocksetTable() {
+	if s.locksetOnce {
+		return
+	}
+	s.locksetOnce = true
+	s.locksetTab = map[*types.Var][]writeSite{}
+
+	type litRoot struct {
+		pkg *Package
+		lit *ast.FuncLit
+		fn  string
+	}
+	var lits []litRoot
+	concurrent := map[*types.Func]bool{}
+	var queue []*types.Func
+	addFn := func(fn *types.Func) {
+		if fn != nil && !concurrent[fn] {
+			if _, ok := s.Funcs[fn]; ok {
+				concurrent[fn] = true
+				queue = append(queue, fn)
+			}
+		}
+	}
+
+	// Roots: handlers / ctxroot entry points, go statements, par fan-out.
+	for _, fn := range s.order {
+		sum := s.Funcs[fn]
+		if sum.CtxRoot {
+			addFn(fn)
+		}
+		if sum.Decl.Body == nil {
+			continue
+		}
+		info := sum.Pkg.Info
+		ast.Inspect(sum.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					lits = append(lits, litRoot{sum.Pkg, lit, sum.Fn.FullName()})
+				} else {
+					addFn(calleeFunc(info, n.Call))
+				}
+			case *ast.CallExpr:
+				callee := calleeFunc(info, n)
+				if callee == nil || !isParFanout(callee) {
+					return true
+				}
+				for _, arg := range n.Args {
+					tv, ok := info.Types[arg]
+					if !ok || tv.Type == nil {
+						continue
+					}
+					if _, isFunc := tv.Type.Underlying().(*types.Signature); !isFunc {
+						continue
+					}
+					if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+						lits = append(lits, litRoot{sum.Pkg, lit, sum.Fn.FullName()})
+					} else if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+						if fn, ok := info.Uses[id].(*types.Func); ok {
+							addFn(fn)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Closure over call edges.
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		sum := s.Funcs[fn]
+		for _, next := range sum.Callees {
+			addFn(next)
+		}
+		for _, next := range sum.Devirt {
+			addFn(next)
+		}
+	}
+	// Spawned literals also pull their static callees into the set.
+	for _, lr := range lits {
+		ast.Inspect(lr.lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				addFn(calleeFunc(lr.pkg.Info, call))
+			}
+			return true
+		})
+		for len(queue) > 0 {
+			fn := queue[0]
+			queue = queue[1:]
+			sum := s.Funcs[fn]
+			for _, next := range sum.Callees {
+				addFn(next)
+			}
+			for _, next := range sum.Devirt {
+				addFn(next)
+			}
+		}
+	}
+
+	// Walk every concurrent body recording shared-field writes.
+	for _, fn := range s.order {
+		if !concurrent[fn] {
+			continue
+		}
+		sum := s.Funcs[fn]
+		if sum.Decl.Body == nil {
+			continue
+		}
+		w := &locksetWalker{pkg: sum.Pkg, region: sum.Decl.Body, fnName: sum.Fn.FullName(), tab: s.locksetTab}
+		w.walkStmts(sum.Decl.Body.List, map[*types.Var]bool{})
+	}
+	for _, lr := range lits {
+		w := &locksetWalker{pkg: lr.pkg, region: lr.lit.Body, fnName: lr.fn, tab: s.locksetTab}
+		w.walkStmts(lr.lit.Body.List, map[*types.Var]bool{})
+	}
+}
+
+// locksetFindings renders the write table into findings: one per write
+// site holding no lock in common with the first locked write of the
+// same field, for fields whose global lockset intersection is empty.
+func (s *Summaries) locksetFindings() []locksetFinding {
+	var fields []*types.Var
+	for f := range s.locksetTab {
+		fields = append(fields, f)
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Pos() < fields[j].Pos() })
+	var out []locksetFinding
+	for _, f := range fields {
+		sites := s.locksetTab[f]
+		sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+		var ref *writeSite
+		for i := range sites {
+			if len(sites[i].locks) > 0 {
+				ref = &sites[i]
+				break
+			}
+		}
+		if ref == nil {
+			continue // never locked anywhere: consistent (vacuously)
+		}
+		common := map[*types.Var]bool{}
+		for l := range ref.locks {
+			common[l] = true
+		}
+		for _, site := range sites {
+			for l := range common {
+				if !site.locks[l] {
+					delete(common, l)
+				}
+			}
+		}
+		if len(common) > 0 {
+			continue // some lock is held at every write
+		}
+		refPos := s.prog.Fset.Position(ref.pos)
+		for _, site := range sites {
+			if intersects(site.locks, ref.locks) {
+				continue
+			}
+			out = append(out, locksetFinding{
+				pos: site.pos,
+				pkg: site.pkg,
+				msg: fieldWriteMsg(f, site, ref, refPos.String()),
+			})
+		}
+	}
+	return out
+}
+
+func fieldWriteMsg(f *types.Var, site writeSite, ref *writeSite, refPos string) string {
+	locks := lockNames(ref.locks)
+	return "field " + f.Name() + " written in " + site.fn + " without holding " + locks +
+		" (held at the concurrent write in " + ref.fn + ", " + refPos + ")"
+}
+
+func lockNames(locks map[*types.Var]bool) string {
+	var names []string
+	for l := range locks {
+		names = append(names, l.Name())
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+func intersects(a, b map[*types.Var]bool) bool {
+	for k := range a {
+		if b[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// isParFanout recognizes the internal/par worker-pool helpers.
+func isParFanout(fn *types.Func) bool {
+	path := funcPkgPath(fn)
+	if !strings.HasSuffix(path, "/par") && path != "par" {
+		return false
+	}
+	return fn.Name() == "ForEach" || fn.Name() == "Map"
+}
+
+// locksetWalker tracks the syntactic lockset through one body.
+type locksetWalker struct {
+	pkg    *Package
+	region ast.Node // the body block: selector bases declared inside it are local
+	fnName string
+	tab    map[*types.Var][]writeSite
+}
+
+func (w *locksetWalker) walkStmts(stmts []ast.Stmt, held map[*types.Var]bool) {
+	for _, st := range stmts {
+		w.walkStmt(st, held)
+	}
+}
+
+func (w *locksetWalker) walkStmt(st ast.Stmt, held map[*types.Var]bool) {
+	switch st := st.(type) {
+	case *ast.LabeledStmt:
+		w.walkStmt(st.Stmt, held)
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			w.applyLockCall(call, held)
+		}
+	case *ast.DeferStmt:
+		// Deferred unlocks release at return: the lock stays held for
+		// the rest of the body. Deferred locks are not modeled.
+	case *ast.AssignStmt:
+		for _, lhs := range st.Lhs {
+			w.recordWrite(lhs, held)
+		}
+	case *ast.IncDecStmt:
+		w.recordWrite(st.X, held)
+	case *ast.BlockStmt:
+		w.walkStmts(st.List, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		w.walkStmts(st.Body.List, copyLocks(held))
+		if st.Else != nil {
+			w.walkStmt(st.Else, copyLocks(held))
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		w.walkStmts(st.Body.List, copyLocks(held))
+	case *ast.RangeStmt:
+		if st.Tok == token.ASSIGN {
+			w.recordWrite(st.Key, held)
+			w.recordWrite(st.Value, held)
+		}
+		w.walkStmts(st.Body.List, copyLocks(held))
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		w.walkClauses(st.Body, held)
+	case *ast.TypeSwitchStmt:
+		w.walkClauses(st.Body, held)
+	case *ast.SelectStmt:
+		for _, cl := range st.Body.List {
+			if comm, ok := cl.(*ast.CommClause); ok {
+				w.walkStmts(comm.Body, copyLocks(held))
+			}
+		}
+	case *ast.GoStmt:
+		// Spawned bodies are separate roots; nothing to do inline.
+	}
+}
+
+func (w *locksetWalker) walkClauses(body *ast.BlockStmt, held map[*types.Var]bool) {
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CaseClause); ok {
+			w.walkStmts(cc.Body, copyLocks(held))
+		}
+	}
+}
+
+// applyLockCall updates the lockset for X.Lock/RLock/Unlock/RUnlock
+// calls on sync.Mutex / sync.RWMutex receivers.
+func (w *locksetWalker) applyLockCall(call *ast.CallExpr, held map[*types.Var]bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	var acquire bool
+	switch name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return
+	}
+	key := w.lockVarOf(sel.X)
+	if key == nil || !isSyncLockType(key.Type()) {
+		return
+	}
+	if acquire {
+		held[key] = true
+	} else {
+		delete(held, key)
+	}
+}
+
+func isSyncLockType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// lockVarOf resolves the mutex expression to its identity variable: the
+// selected field for s.mu, the variable itself for a bare ident.
+func (w *locksetWalker) lockVarOf(e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if selObj, ok := w.pkg.Info.Selections[e]; ok {
+			if v, ok := selObj.Obj().(*types.Var); ok {
+				return v
+			}
+		}
+		if v, ok := w.pkg.Info.Uses[e.Sel].(*types.Var); ok {
+			return v // package-qualified var
+		}
+	case *ast.Ident:
+		v, _ := w.pkg.Info.Uses[e].(*types.Var)
+		return v
+	case *ast.StarExpr:
+		return w.lockVarOf(e.X)
+	}
+	return nil
+}
+
+// recordWrite records a write to a shared struct field (selector whose
+// base is not local to the walked body), with the current lockset.
+func (w *locksetWalker) recordWrite(lhs ast.Expr, held map[*types.Var]bool) {
+	e := ast.Unparen(lhs)
+	// Writes to elements of a shared field (s.flight[k] = v) count as
+	// writes to the field.
+	if idx, ok := e.(*ast.IndexExpr); ok {
+		e = ast.Unparen(idx.X)
+	}
+	if star, ok := e.(*ast.StarExpr); ok {
+		e = ast.Unparen(star.X)
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selObj, ok := w.pkg.Info.Selections[sel]
+	if !ok || selObj.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := selObj.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	if w.localBase(sel.X) {
+		return // writes through body-local structs are not shared
+	}
+	w.tab[field] = append(w.tab[field], writeSite{
+		pos:   sel.Sel.Pos(),
+		pkg:   w.pkg,
+		fn:    w.fnName,
+		locks: copyLocks(held),
+	})
+}
+
+// localBase reports whether the selector chain bottoms out in a
+// variable declared inside the walked body.
+func (w *locksetWalker) localBase(e ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			v, ok := w.pkg.Info.Uses[x].(*types.Var)
+			return ok && declaredWithin(v, w.region)
+		default:
+			return false
+		}
+	}
+}
+
+func copyLocks(held map[*types.Var]bool) map[*types.Var]bool {
+	out := make(map[*types.Var]bool, len(held))
+	for k, v := range held {
+		if v {
+			out[k] = true
+		}
+	}
+	return out
+}

@@ -2,38 +2,31 @@ package analysis
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 )
 
-// NoAlloc enforces the router's hot-path memory discipline (PR 1): a
-// function annotated with
+// NoAlloc enforces the router's hot-path memory discipline: a function
+// annotated with
 //
 //	//himap:noalloc
 //
-// in its doc comment must be allocation-free in steady state. Inside an
-// annotated function the analyzer flags every construct that allocates
-// (or defeats static reasoning about allocation):
+// in its doc comment must be allocation-free in steady state. v2
+// replaces the v1 construct blacklist with the escape-based scanner in
+// escape.go — &composite and slice literals pass when they provably
+// stay on the stack, function literals pass unless they capture and
+// escape, and append passes into persistent scratch or locals derived
+// from it (buf := s.scratch[:0]). Map literals, make/new, string
+// concatenation, go/defer, and interface boxing remain unconditional.
 //
-//   - make and new calls;
-//   - composite literals that heap-allocate: &T{...}, and slice or map
-//     literals (plain struct value literals are stack values and pass);
-//   - append that grows a function-local slice — append into persistent
-//     scratch reached through a pointer, selector, or index expression
-//     (e.g. *h, s.heap) is allowed as amortized warm-up growth;
-//   - string concatenation (+ / += on strings);
-//   - function literals — closures capture by reference and allocate;
-//   - interface boxing: passing or converting a concrete value where an
-//     interface is expected, including variadic ...any calls;
-//   - conversions to string (they copy);
-//   - calls to functions not themselves marked //himap:noalloc — the
-//     annotation is a transitive contract, so the whole call graph of a
-//     hot path is visibly annotated and checked. Allocation-free builtins
-//     (len, cap, min, max, clear, copy, delete, real, imag, complex) are
-//     always allowed.
+// Calls resolve through the summary layer: a callee is acceptable when
+// it is annotated //himap:noalloc or when the module-wide AllocFree
+// fixpoint proves it allocation-free — the annotation is a contract,
+// not a spelling requirement, and transitivity falls out of the
+// summaries. Indirect and interface calls stay unverifiable (except
+// calls through a local bound once to a function literal).
 var NoAlloc = &Analyzer{
 	Name: "noalloc",
-	Doc:  "flags allocating constructs inside functions annotated //himap:noalloc",
+	Doc:  "flags allocating constructs inside functions annotated //himap:noalloc (escape-based, summary-transitive)",
 	Run:  runNoAlloc,
 }
 
@@ -45,6 +38,17 @@ var allocFreeBuiltins = map[string]bool{
 }
 
 func runNoAlloc(p *Pass) {
+	calleeOK := func(fn *types.Func) bool {
+		if p.NoAlloc[fn] {
+			return true
+		}
+		if p.Sum != nil {
+			if fs := p.Sum.Funcs[fn]; fs != nil && fs.AllocFree {
+				return true
+			}
+		}
+		return false
+	}
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -55,144 +59,8 @@ func runNoAlloc(p *Pass) {
 			if fn == nil || !p.NoAlloc[fn] {
 				continue
 			}
-			checkNoAllocBody(p, fd)
+			pkg := &Package{Path: p.Pkg.Path(), Files: p.Files, Types: p.Pkg, Info: p.Info}
+			newBodyScan(pkg, fd).run(calleeOK, p.Reportf)
 		}
 	}
-}
-
-func checkNoAllocBody(p *Pass, fd *ast.FuncDecl) {
-	name := fd.Name.Name
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			p.Reportf(n.Pos(), "closure in noalloc function %s: func literals capture by reference and allocate", name)
-			return false
-		case *ast.CompositeLit:
-			checkNoAllocComposite(p, name, n)
-		case *ast.UnaryExpr:
-			if n.Op == token.AND {
-				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
-					p.Reportf(n.Pos(), "&composite literal allocates in noalloc function %s", name)
-				}
-			}
-		case *ast.BinaryExpr:
-			if n.Op == token.ADD && isStringOperand(p.Info, n.X) {
-				p.Reportf(n.Pos(), "string concatenation allocates in noalloc function %s", name)
-			}
-		case *ast.AssignStmt:
-			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringOperand(p.Info, n.Lhs[0]) {
-				p.Reportf(n.Pos(), "string concatenation allocates in noalloc function %s", name)
-			}
-		case *ast.CallExpr:
-			checkNoAllocCall(p, name, fd, n)
-		case *ast.GoStmt:
-			p.Reportf(n.Pos(), "go statement in noalloc function %s allocates a goroutine", name)
-		case *ast.DeferStmt:
-			p.Reportf(n.Pos(), "defer in noalloc function %s allocates a deferred frame", name)
-		}
-		return true
-	})
-}
-
-func checkNoAllocComposite(p *Pass, name string, lit *ast.CompositeLit) {
-	tv, ok := p.Info.Types[lit]
-	if !ok {
-		return
-	}
-	switch tv.Type.Underlying().(type) {
-	case *types.Slice:
-		p.Reportf(lit.Pos(), "slice literal allocates in noalloc function %s", name)
-	case *types.Map:
-		p.Reportf(lit.Pos(), "map literal allocates in noalloc function %s", name)
-	}
-}
-
-func checkNoAllocCall(p *Pass, name string, fd *ast.FuncDecl, call *ast.CallExpr) {
-	// Type conversion?
-	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
-		if types.IsInterface(tv.Type) {
-			p.Reportf(call.Pos(), "conversion to interface boxes its operand in noalloc function %s", name)
-		} else if isStringType(tv.Type) && len(call.Args) == 1 && !isStringOperand(p.Info, call.Args[0]) {
-			p.Reportf(call.Pos(), "conversion to string copies in noalloc function %s", name)
-		}
-		return
-	}
-	// Builtin?
-	if b := calleeBuiltin(p.Info, call); b != "" {
-		switch {
-		case allocFreeBuiltins[b]:
-		case b == "append":
-			checkNoAllocAppend(p, name, fd, call)
-		default:
-			p.Reportf(call.Pos(), "builtin %s allocates in noalloc function %s", b, name)
-		}
-		return
-	}
-	// Static callee: must itself be annotated.
-	fn := calleeFunc(p.Info, call)
-	if fn == nil {
-		p.Reportf(call.Pos(), "indirect call in noalloc function %s cannot be verified allocation-free", name)
-		return
-	}
-	if !p.NoAlloc[fn] {
-		p.Reportf(call.Pos(), "%s calls %s, which is not marked //himap:noalloc", name, fn.FullName())
-		return
-	}
-	checkInterfaceBoxing(p, name, call)
-}
-
-// checkNoAllocAppend allows append into persistent scratch (reached via
-// a pointer deref, selector, or index expression) — growth there is the
-// documented amortized warm-up — and flags append that grows a slice
-// local to the function.
-func checkNoAllocAppend(p *Pass, name string, fd *ast.FuncDecl, call *ast.CallExpr) {
-	if len(call.Args) == 0 {
-		return
-	}
-	if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
-		obj := p.Info.Uses[id]
-		if obj != nil && declaredWithin(obj, fd.Body) {
-			p.Reportf(call.Pos(), "append grows function-local slice %s in noalloc function %s", id.Name, name)
-		}
-	}
-}
-
-// checkInterfaceBoxing flags arguments passed into interface-typed
-// parameters as concrete values.
-func checkInterfaceBoxing(p *Pass, name string, call *ast.CallExpr) {
-	tv, ok := p.Info.Types[call.Fun]
-	if !ok {
-		return
-	}
-	sig, ok := tv.Type.(*types.Signature)
-	if !ok {
-		return
-	}
-	params := sig.Params()
-	for i, arg := range call.Args {
-		var pt types.Type
-		switch {
-		case sig.Variadic() && i >= params.Len()-1:
-			if call.Ellipsis != token.NoPos && i == params.Len()-1 {
-				pt = params.At(params.Len() - 1).Type() // slice passed through, no boxing
-			} else {
-				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
-			}
-		case i < params.Len():
-			pt = params.At(i).Type()
-		}
-		if pt == nil || !types.IsInterface(pt) {
-			continue
-		}
-		at, ok := p.Info.Types[arg]
-		if !ok || at.IsNil() || types.IsInterface(at.Type) {
-			continue
-		}
-		p.Reportf(arg.Pos(), "argument boxes %s into interface %s in noalloc function %s", at.Type, pt, name)
-	}
-}
-
-func isStringOperand(info *types.Info, e ast.Expr) bool {
-	tv, ok := info.Types[e]
-	return ok && tv.Type != nil && isStringType(tv.Type)
 }

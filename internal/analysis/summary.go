@@ -1,0 +1,580 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the interprocedural layer under the v2 analyzers: a
+// module-wide call graph plus one flow-insensitive summary per declared
+// function (an SSA-lite over go/ast + go/types — no x/tools). Three
+// kinds of facts flow through it:
+//
+//   - call edges, with two devirtualization passes: interface method
+//     calls expand to every module method implementing the interface
+//     (class-hierarchy analysis), and calls through function values
+//     expand to every module function whose address is taken somewhere
+//     with a matching signature (rapid-type-style). Both over-
+//     approximate — an edge may never execute — which is the right
+//     direction for reachability-based checks.
+//   - PollsCtx: whether a function observes its context.Context
+//     parameter (ctx.Err(), ctx.Done(), or forwarding ctx to a callee
+//     that polls). Computed as a least fixpoint over ctx-forwarding
+//     edges; a devirtualized call polls only if every candidate does.
+//   - AllocFree: whether a function provably performs no heap
+//     allocation, computed as a greatest fixpoint (assume clean, strike
+//     out functions with an intrinsically allocating body or a call to
+//     a struck-out/external/indirect callee). It is what makes the
+//     //himap:noalloc contract semantic: an unannotated callee is
+//     acceptable when the summary proves it clean.
+//
+// Everything is built in deterministic order (packages sorted by path,
+// files by name, declarations by position; all derived slices sorted),
+// and Fingerprint() exposes that determinism to the driver tests.
+
+// FuncSummary is the per-function summary node of the module call graph.
+type FuncSummary struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+
+	// CtxParam is the function's context.Context parameter (nil if none).
+	CtxParam *types.Var
+
+	// Callees holds the static callees (direct calls to declared module
+	// functions), sorted and deduplicated.
+	Callees []*types.Func
+	// Devirt holds devirtualized candidates: implementations behind
+	// interface method calls and address-taken signature matches behind
+	// function-value calls. Sorted and deduplicated.
+	Devirt []*types.Func
+	// CtxForward holds the static callees that receive a
+	// context.Context argument at some call site in this function.
+	CtxForward []*types.Func
+	// CtxForwardDevirt holds, per devirtualized ctx-forwarding call
+	// site, the candidate set — PollsCtx requires all candidates of a
+	// site to poll.
+	CtxForwardDevirt [][]*types.Func
+
+	// PollsDirect reports a syntactic ctx.Err()/ctx.Done() call on any
+	// context.Context-typed operand inside the body.
+	PollsDirect bool
+	// PollsCtx is the fixpoint: PollsDirect, or ctx is forwarded to a
+	// callee that polls.
+	PollsCtx bool
+
+	// IntrinsicAlloc reports an allocating construct in the body itself
+	// (escape-refined; see escape.go), independent of callees.
+	IntrinsicAlloc bool
+	// AllocFree is the fixpoint: no intrinsic allocation and every call
+	// resolves to an alloc-free declared function or builtin.
+	AllocFree bool
+
+	// CtxRoot marks cancellation roots: a //himap:ctxroot directive or
+	// an http handler signature (w http.ResponseWriter, r *http.Request).
+	CtxRoot bool
+}
+
+// Summaries is the module-wide interprocedural state shared by the v2
+// analyzers through Pass.Sum.
+type Summaries struct {
+	prog  *Program
+	Funcs map[*types.Func]*FuncSummary
+	order []*types.Func // deterministic iteration order
+
+	methodsByName map[string][]*types.Func // CHA index: method name -> module methods
+	addrTakenIdx  map[string][]*types.Func // RTA index: signature key -> address-taken funcs
+
+	reachable map[*types.Func]bool // closure from ctx roots
+
+	locksetOnce bool
+	locksetTab  map[*types.Var][]writeSite // shared-field writes in concurrent code
+}
+
+// Summaries builds (once) and returns the program's interprocedural
+// summaries.
+func (p *Program) Summaries() *Summaries {
+	if p.sum == nil {
+		p.sum = BuildSummaries(p)
+	}
+	return p.sum
+}
+
+// BuildSummaries computes fresh summaries for the program. Exported so
+// the driver tests can rebuild and compare fingerprints across runs.
+func BuildSummaries(prog *Program) *Summaries {
+	s := &Summaries{
+		prog:  prog,
+		Funcs: map[*types.Func]*FuncSummary{},
+	}
+	// Pass 1: enumerate declared functions, collect directives, the
+	// method index for CHA, and the address-taken index for
+	// function-value devirtualization.
+	methodsByName := map[string][]*types.Func{}
+	addrTaken := map[string][]*types.Func{}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				sum := &FuncSummary{Fn: fn, Decl: fd, Pkg: pkg}
+				sum.CtxParam = ctxParamOf(fn)
+				sum.CtxRoot = hasDirective(fd.Doc, "//himap:ctxroot") || isHandlerSig(fn)
+				s.Funcs[fn] = sum
+				s.order = append(s.order, fn)
+				if fd.Recv != nil {
+					methodsByName[fn.Name()] = append(methodsByName[fn.Name()], fn)
+				}
+			}
+		}
+	}
+	sortFuncs(s.order)
+	for _, fns := range methodsByName {
+		sortFuncs(fns)
+	}
+	// Address-taken scan: any reference to a declared function outside
+	// call position makes it a devirtualization candidate for indirect
+	// calls of the same signature.
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			callPos := map[*ast.Ident]bool{}
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					switch fun := ast.Unparen(call.Fun).(type) {
+					case *ast.Ident:
+						callPos[fun] = true
+					case *ast.SelectorExpr:
+						callPos[fun.Sel] = true
+					}
+				}
+				return true
+			})
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || callPos[id] {
+					return true
+				}
+				fn, ok := pkg.Info.Uses[id].(*types.Func)
+				if !ok {
+					return true
+				}
+				if _, declared := s.Funcs[fn]; !declared {
+					return true
+				}
+				if key := sigKey(fn.Type().(*types.Signature)); key != "" {
+					addrTaken[key] = append(addrTaken[key], fn)
+				}
+				return true
+			})
+		}
+	}
+	for _, fns := range addrTaken {
+		sortFuncs(fns)
+	}
+	s.methodsByName = methodsByName
+	s.addrTakenIdx = addrTaken
+
+	// Pass 2: per-function body scan — call edges (static, CHA,
+	// signature-devirtualized), direct polls, intrinsic allocation.
+	for _, fn := range s.order {
+		s.scanBody(s.Funcs[fn], methodsByName, addrTaken)
+	}
+
+	// Pass 3: fixpoints.
+	s.fixpointPollsCtx()
+	s.fixpointAllocFree()
+	s.computeReachable()
+	return s
+}
+
+// scanBody fills the call-edge, poll, and intrinsic-allocation fields of
+// one summary from its declaration body.
+func (s *Summaries) scanBody(sum *FuncSummary, methodsByName map[string][]*types.Func, addrTaken map[string][]*types.Func) {
+	if sum.Decl.Body == nil {
+		return
+	}
+	info := sum.Pkg.Info
+	callees := map[*types.Func]bool{}
+	devirt := map[*types.Func]bool{}
+	ctxFwd := map[*types.Func]bool{}
+	ast.Inspect(sum.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			return true // conversion
+		}
+		if calleeBuiltin(info, call) != "" {
+			return true
+		}
+		forwards := forwardsContext(info, call)
+		if fn := calleeFunc(info, call); fn != nil {
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
+				// Interface method call: class-hierarchy devirtualization.
+				cands := chaCandidates(fn, methodsByName, s.Funcs)
+				for _, c := range cands {
+					devirt[c] = true
+				}
+				if forwards && len(cands) > 0 {
+					sum.CtxForwardDevirt = append(sum.CtxForwardDevirt, cands)
+				}
+				return true
+			}
+			if _, declared := s.Funcs[fn]; declared {
+				callees[fn] = true
+				if forwards {
+					ctxFwd[fn] = true
+				}
+			}
+			return true
+		}
+		// Indirect call through a function value: signature-based
+		// devirtualization against the address-taken index.
+		if tv, ok := info.Types[call.Fun]; ok {
+			if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+				cands := addrTaken[sigKey(sig)]
+				for _, c := range cands {
+					devirt[c] = true
+				}
+				if forwards && len(cands) > 0 {
+					sum.CtxForwardDevirt = append(sum.CtxForwardDevirt, cands)
+				}
+			}
+		}
+		return true
+	})
+	sum.Callees = sortedFuncSet(callees)
+	sum.Devirt = sortedFuncSet(devirt)
+	sum.CtxForward = sortedFuncSet(ctxFwd)
+	sum.PollsDirect = pollsAnywhere(info, sum.Decl.Body)
+	sum.IntrinsicAlloc = hasIntrinsicAlloc(sum.Pkg, sum.Decl, func(fn *types.Func) bool {
+		_, ok := s.Funcs[fn]
+		return ok
+	})
+}
+
+// chaCandidates returns the declared module methods that may stand
+// behind a call to interface method m.
+func chaCandidates(m *types.Func, methodsByName map[string][]*types.Func, declared map[*types.Func]*FuncSummary) []*types.Func {
+	recv := m.Type().(*types.Signature).Recv()
+	iface, ok := recv.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []*types.Func
+	for _, cand := range methodsByName[m.Name()] {
+		if _, ok := declared[cand]; !ok {
+			continue
+		}
+		crecv := cand.Type().(*types.Signature).Recv()
+		if crecv == nil {
+			continue
+		}
+		t := crecv.Type()
+		if types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface) {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// fixpointPollsCtx propagates ctx observation along ctx-forwarding
+// edges: a function polls if it polls directly, forwards ctx to a
+// polling static callee, or forwards ctx through a devirtualized call
+// whose every candidate polls.
+func (s *Summaries) fixpointPollsCtx() {
+	for _, fn := range s.order {
+		s.Funcs[fn].PollsCtx = s.Funcs[fn].PollsDirect
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range s.order {
+			sum := s.Funcs[fn]
+			if sum.PollsCtx {
+				continue
+			}
+			if s.forwardedPoll(sum) {
+				sum.PollsCtx = true
+				changed = true
+			}
+		}
+	}
+}
+
+func (s *Summaries) forwardedPoll(sum *FuncSummary) bool {
+	for _, callee := range sum.CtxForward {
+		if cs := s.Funcs[callee]; cs != nil && cs.PollsCtx {
+			return true
+		}
+	}
+	for _, cands := range sum.CtxForwardDevirt {
+		all := len(cands) > 0
+		for _, c := range cands {
+			if cs := s.Funcs[c]; cs == nil || !cs.PollsCtx {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+// fixpointAllocFree computes the greatest fixpoint of "provably
+// allocation-free": start from every function whose body has no
+// intrinsic allocation, then strike out functions calling a struck-out
+// callee until stable. Devirtualized and external calls were already
+// folded into IntrinsicAlloc by the body scan.
+func (s *Summaries) fixpointAllocFree() {
+	for _, fn := range s.order {
+		s.Funcs[fn].AllocFree = !s.Funcs[fn].IntrinsicAlloc
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range s.order {
+			sum := s.Funcs[fn]
+			if !sum.AllocFree {
+				continue
+			}
+			for _, callee := range sum.Callees {
+				if cs := s.Funcs[callee]; cs == nil || !cs.AllocFree {
+					sum.AllocFree = false
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// computeReachable closes the ctx-root set over all call edges (static
+// and devirtualized).
+func (s *Summaries) computeReachable() {
+	s.reachable = map[*types.Func]bool{}
+	var queue []*types.Func
+	for _, fn := range s.order {
+		if s.Funcs[fn].CtxRoot {
+			s.reachable[fn] = true
+			queue = append(queue, fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		sum := s.Funcs[fn]
+		for _, next := range append(append([]*types.Func(nil), sum.Callees...), sum.Devirt...) {
+			if !s.reachable[next] {
+				s.reachable[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+}
+
+// Reachable reports whether fn is reachable from a cancellation root
+// (//himap:ctxroot directive or http handler signature).
+func (s *Summaries) Reachable(fn *types.Func) bool { return s.reachable[fn] }
+
+// chaOf returns the module implementations that may stand behind a call
+// to interface method m.
+func (s *Summaries) chaOf(m *types.Func) []*types.Func {
+	return chaCandidates(m, s.methodsByName, s.Funcs)
+}
+
+// addrTakenOf returns the address-taken module functions matching the
+// signature of an indirect call site.
+func (s *Summaries) addrTakenOf(sig *types.Signature) []*types.Func {
+	return s.addrTakenIdx[sigKey(sig)]
+}
+
+// Fingerprint renders the whole summary table into a stable hash — two
+// builds of the same source must agree bit-for-bit, which the driver
+// determinism test asserts.
+func (s *Summaries) Fingerprint() string {
+	var b strings.Builder
+	for _, fn := range s.order {
+		sum := s.Funcs[fn]
+		fmt.Fprintf(&b, "%s|ctx=%v|root=%v|polls=%v/%v|alloc=%v/%v|reach=%v\n",
+			funcKey(fn), sum.CtxParam != nil, sum.CtxRoot,
+			sum.PollsDirect, sum.PollsCtx,
+			sum.IntrinsicAlloc, sum.AllocFree, s.reachable[fn])
+		for _, c := range sum.Callees {
+			fmt.Fprintf(&b, "  call %s\n", funcKey(c))
+		}
+		for _, c := range sum.Devirt {
+			fmt.Fprintf(&b, "  devirt %s\n", funcKey(c))
+		}
+		for _, c := range sum.CtxForward {
+			fmt.Fprintf(&b, "  ctxfwd %s\n", funcKey(c))
+		}
+	}
+	h := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(h[:])
+}
+
+// ctxParamOf returns the function's context.Context parameter, nil if
+// it has none.
+func ctxParamOf(fn *types.Func) *types.Var {
+	sig := fn.Type().(*types.Signature)
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return params.At(i)
+		}
+	}
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isHandlerSig reports the net/http handler shape
+// func(w http.ResponseWriter, r *http.Request) — requests enter the
+// module concurrently through these, so they are both cancellation
+// roots and may-happen-in-parallel roots.
+func isHandlerSig(fn *types.Func) bool {
+	sig := fn.Type().(*types.Signature)
+	params := sig.Params()
+	if params.Len() != 2 || sig.Results().Len() != 0 {
+		return false
+	}
+	return isPkgNamed(params.At(0).Type(), "net/http", "ResponseWriter") &&
+		isPtrToPkgNamed(params.At(1).Type(), "net/http", "Request")
+}
+
+func isPkgNamed(t types.Type, pkg, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkg
+}
+
+func isPtrToPkgNamed(t types.Type, pkg, name string) bool {
+	ptr, ok := t.(*types.Pointer)
+	return ok && isPkgNamed(ptr.Elem(), pkg, name)
+}
+
+// forwardsContext reports whether any argument of the call is a
+// context.Context value.
+func forwardsContext(info *types.Info, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if tv, ok := info.Types[arg]; ok && tv.Type != nil && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isCtxPollCall reports a ctx.Err() or ctx.Done() call on a
+// context.Context-typed receiver.
+func isCtxPollCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Err" && sel.Sel.Name != "Done") {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	return ok && tv.Type != nil && isContextType(tv.Type)
+}
+
+// pollsAnywhere reports a ctx poll anywhere in the node, including
+// nested function literals.
+func pollsAnywhere(info *types.Info, node ast.Node) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isCtxPollCall(info, call) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// hasDirective reports whether a doc comment group contains the exact
+// directive line (directive form: no leading space after //).
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == directive || strings.HasPrefix(c.Text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// sigKey renders a signature (receiver dropped) into a canonical string
+// for the address-taken index. Generic signatures are excluded.
+func sigKey(sig *types.Signature) string {
+	if sig.TypeParams().Len() > 0 || sig.RecvTypeParams().Len() > 0 {
+		return ""
+	}
+	plain := types.NewSignatureType(nil, nil, nil, sig.Params(), sig.Results(), sig.Variadic())
+	return types.TypeString(plain, func(p *types.Package) string { return p.Path() })
+}
+
+// funcKey is the stable identity of a function in fingerprints and sort
+// orders: package path, full name, and declaration offset.
+func funcKey(fn *types.Func) string {
+	return fmt.Sprintf("%s.%s@%d", funcPkgPath(fn), fn.FullName(), int(fn.Pos()))
+}
+
+func sortFuncs(fns []*types.Func) {
+	sort.Slice(fns, func(i, j int) bool { return funcKey(fns[i]) < funcKey(fns[j]) })
+}
+
+func sortedFuncSet(set map[*types.Func]bool) []*types.Func {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]*types.Func, 0, len(set))
+	for fn := range set {
+		out = append(out, fn)
+	}
+	sortFuncs(out)
+	// Deduplicate (defensive; the map already guarantees it).
+	uniq := out[:1]
+	for _, fn := range out[1:] {
+		if fn != uniq[len(uniq)-1] {
+			uniq = append(uniq, fn)
+		}
+	}
+	return uniq
+}
+
+// writeSite is one shared-field write inside may-happen-in-parallel
+// code, with the syntactic lockset held at the write.
+type writeSite struct {
+	pos   token.Pos
+	pkg   *Package
+	fn    string // enclosing function name, for the message
+	locks map[*types.Var]bool
+}

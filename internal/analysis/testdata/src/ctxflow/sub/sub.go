@@ -1,0 +1,28 @@
+// Package sub exercises cross-package summary facts for ctxflow: both
+// functions are reached from the parent package's root, and the poll
+// proof for Chain crosses the package boundary through done's summary.
+package sub
+
+import "context"
+
+// Chain polls through the package-local helper on its spine.
+func Chain(ctx context.Context, n int) int {
+	i := 0
+	for {
+		if done(ctx) || i > n {
+			return i
+		}
+		i++
+	}
+}
+
+func done(ctx context.Context) bool { return ctx.Err() != nil }
+
+// Spin is reached from the root and never polls.
+func Spin(ctx context.Context, n int) int {
+	total := 0
+	for r := 0; r < n; r++ { // want "unbounded loop in Spin"
+		total += r
+	}
+	return total
+}

@@ -1,0 +1,61 @@
+// Package lockset is the golden fixture for the interprocedural
+// lockset analyzer: fields written from more than one goroutine must be
+// written under a consistent lock set. Run's go statements define the
+// concurrent region; writes to body-local structs are exempt, fields
+// locked consistently everywhere are clean, and an accepted exception
+// needs a reasoned //lint:ignore lockset directive.
+package lockset
+
+import (
+	"sync"
+
+	"lockset/sub"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+	m  int
+}
+
+// Run spawns the workers; everything below runs concurrently.
+func Run(c *counter, sh *sub.Shared) {
+	go c.locked()
+	go c.unlocked()
+	go c.consistent()
+	go c.waived()
+	go c.localOnly()
+	go sh.Bump()
+	go sh.Race()
+}
+
+func (c *counter) locked() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) unlocked() {
+	c.n++ // want "field n written in \(\*lockset.counter\).unlocked without holding mu"
+}
+
+// consistent holds mu at every write to m (defer keeps it held), so m
+// never shows an inconsistent lock set.
+func (c *counter) consistent() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m++
+}
+
+func (c *counter) waived() {
+	//lint:ignore lockset stats counter is approximate by design
+	c.n++
+}
+
+// localOnly writes the same field of a body-local value: never shared,
+// never reported.
+func (c *counter) localOnly() {
+	var tmp counter
+	tmp.n++
+	_ = tmp
+}

@@ -1,0 +1,21 @@
+// Package sub exercises cross-package lockset facts: both methods are
+// spawned from the parent package, and the inconsistency on Hits is
+// reported at the unlocked write site in this package.
+package sub
+
+import "sync"
+
+type Shared struct {
+	Mu   sync.Mutex
+	Hits int
+}
+
+func (s *Shared) Bump() {
+	s.Mu.Lock()
+	s.Hits++
+	s.Mu.Unlock()
+}
+
+func (s *Shared) Race() {
+	s.Hits++ // want "field Hits written in \(\*lockset/sub.Shared\).Race without holding Mu"
+}

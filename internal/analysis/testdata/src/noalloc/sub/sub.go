@@ -1,0 +1,11 @@
+// Package sub exercises cross-package summary facts: neither function
+// carries a //himap:noalloc annotation, so acceptance or rejection of
+// callers in the parent fixture package rests entirely on the
+// interprocedural AllocFree summary.
+package sub
+
+// Scale is allocation-free by inspection; the summary proves it.
+func Scale(x, f int) int { return x * f }
+
+// Pad allocates; the summary strikes it and every annotated caller.
+func Pad(n int) []int { return make([]int, n) }

@@ -240,7 +240,7 @@ func CompileRequest(ctx context.Context, k *kernel.Kernel, cg arch.Fabric, block
 		opts.Tracer.Emit(placeSpan)
 		pl := outs[best].pl
 		routeStart := time.Now() //lint:ignore determinism wall-clock span timing only; does not influence mapping
-		cfg, err := route.RouteDFG(d, cg, ii, pl, opts.RouteRound)
+		cfg, err := route.RouteDFG(ctx, d, cg, ii, pl, opts.RouteRound)
 		routeSpan := diag.Span{Stage: "route", Attempt: ii, Wall: time.Since(routeStart)}
 		if err != nil {
 			se := diag.Classify(err, diag.ErrRouteCongested).Stamp("route", k.Name, cg.String(), ii)
@@ -348,6 +348,9 @@ func anneal(ctx context.Context, d *ir.DFG, cg arch.Fabric, ii, moves int, rng *
 		t := asap[id]
 		p := place{T: t, R: bestR, C: bestC}
 		for tries := 0; tries < 4*ii; tries++ {
+			if ctx.Err() != nil {
+				break // canceled: the caller aborts as soon as seeding returns
+			}
 			if occ[slotOf(n, p, ii)] == 0 {
 				break
 			}

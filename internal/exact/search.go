@@ -527,12 +527,12 @@ func (s *searcher) prefixHash(i int) uint64 {
 	return h
 }
 
-func (s *searcher) routeLeaf() (*arch.Config, error) {
+func (s *searcher) routeLeaf(ctx context.Context) (*arch.Config, error) {
 	pl := make([]route.Placement, len(s.d.Nodes))
 	for id := range pl {
 		pl[id] = route.Placement{T: s.at[id], R: s.ape[id] / s.cols, C: s.ape[id] % s.cols}
 	}
-	return route.RouteDFG(s.d, s.fab, s.ii, pl, s.opts.RouteRounds)
+	return route.RouteDFG(ctx, s.d, s.fab, s.ii, pl, s.opts.RouteRounds)
 }
 
 // run drives the conflict-directed backjumping search to one of the five
@@ -573,6 +573,7 @@ func (s *searcher) run(ctx context.Context, deadline time.Time) (searchStatus, *
 		// re-search; the chronological conflict set keeps CBJ sound.
 		if s.cand[i] == 0 && i > 0 {
 			if _, bad := s.nogood[s.prefixHash(i)]; bad {
+				//lint:ignore ctxflow conflict-set fill bounded by depth i <= node count; the descent loop polls every 256 steps
 				for dd := 0; dd < i; dd++ {
 					s.confl[i].set(dd)
 				}
@@ -580,6 +581,7 @@ func (s *searcher) run(ctx context.Context, deadline time.Time) (searchStatus, *
 			}
 		}
 		assigned := false
+		//lint:ignore ctxflow candidate scan bounded by domain = window*PEs; the descent loop polls every 256 steps
 		for s.cand[i] < domain {
 			idx := s.cand[i]
 			s.cand[i]++
@@ -598,7 +600,7 @@ func (s *searcher) run(ctx context.Context, deadline time.Time) (searchStatus, *
 		if assigned {
 			i++
 			if i == n {
-				cfg, err := s.routeLeaf()
+				cfg, err := s.routeLeaf(ctx)
 				if err == nil {
 					return statusRouted, cfg
 				}
@@ -626,6 +628,7 @@ func (s *searcher) run(ctx context.Context, deadline time.Time) (searchStatus, *
 				}
 				last := s.order[j]
 				s.at[last], s.ape[last] = -1, -1
+				//lint:ignore ctxflow conflict-set fill bounded by depth j < node count; the descent loop polls every 256 steps
 				for dd := 0; dd < j; dd++ {
 					s.confl[j].set(dd)
 				}
@@ -644,6 +647,7 @@ func (s *searcher) run(ctx context.Context, deadline time.Time) (searchStatus, *
 		}
 		j := s.confl[i].max()
 		s.confl[j].orWithout(s.confl[i], j)
+		//lint:ignore ctxflow backjump reset bounded by depth i <= node count; the descent loop polls every 256 steps
 		for k := j + 1; k <= i; k++ {
 			id := s.order[k]
 			s.at[id], s.ape[id] = -1, -1

@@ -362,7 +362,7 @@ func runRoute(c *CompileContext) error {
 		legacy:      c.Opts.routeLegacy,
 		costModel:   c.Opts.costModel,
 	}
-	plans, rstats, err := c.lay.routeCanonical(c.Opts.MaxRouteRounds)
+	plans, rstats, err := c.lay.routeCanonical(c.Ctx, c.Opts.MaxRouteRounds)
 	c.RStats = rstats
 	c.Count("rounds", int64(rstats.Rounds))
 	c.Count("nets", int64(rstats.CanonicalNets))

@@ -1,6 +1,7 @@
 package himap
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -277,8 +278,10 @@ type RouteStats struct {
 // routeCanonical performs Algorithm 1 lines 21-27: routes the minimal
 // DFG — one canonical net per (unique class, producer op) — under
 // negotiated congestion, returning the per-class net plans that the
-// replicate stage stamps onto every cluster.
-func (l *layout) routeCanonical(maxRounds int) ([][]canonNet, RouteStats, error) {
+// replicate stage stamps onto every cluster. Cancellation is polled
+// once per negotiation round: a canceled ctx aborts with an error
+// wrapping diag.ErrCanceled within one round's latency.
+func (l *layout) routeCanonical(ctx context.Context, maxRounds int) ([][]canonNet, RouteStats, error) {
 	g := mrrg.New(l.cg, l.iib)
 	ses := route.NewSession(g)
 	ses.Legacy = l.legacy
@@ -305,6 +308,9 @@ func (l *layout) routeCanonical(maxRounds int) ([][]canonNet, RouteStats, error)
 	var allNets []*route.Net
 	var roundErr error
 	for round := 0; round < maxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, fmt.Errorf("himap: %w: %v", diag.ErrCanceled, err)
+		}
 		stats.Rounds = round + 1
 		// Incremental re-route: decide — against the occupancy the failed
 		// round left behind, before it is reset — which classes can keep

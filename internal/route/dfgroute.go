@@ -1,6 +1,7 @@
 package route
 
 import (
+	"context"
 	"fmt"
 
 	"himap/internal/arch"
@@ -22,12 +23,14 @@ type Placement struct {
 // configuration. pl[i] is the slot of d.Nodes[i]: loads claim the PE's
 // memory read port, stores its write port, everything else the FU. rounds
 // bounds the PathFinder negotiated-congestion iterations; on unresolved
-// congestion the error wraps diag.ErrRouteCongested.
+// congestion the error wraps diag.ErrRouteCongested. Cancellation is
+// polled once per negotiation round: a canceled ctx fails the route
+// with an error wrapping diag.ErrCanceled within one round's latency.
 //
 // The routed net order (topological producer order, sinks in out-edge
 // order) and the emitted tags ("n<id>") are part of the deterministic
 // output contract: callers' mapping fingerprints depend on them.
-func RouteDFG(d *ir.DFG, cg arch.Fabric, ii int, pl []Placement, rounds int) (*arch.Config, error) {
+func RouteDFG(ctx context.Context, d *ir.DFG, cg arch.Fabric, ii int, pl []Placement, rounds int) (*arch.Config, error) {
 	g := mrrg.New(cg, ii)
 	placeNode := func(id int) mrrg.Node {
 		n := d.Nodes[id]
@@ -80,6 +83,9 @@ func RouteDFG(d *ir.DFG, cg arch.Fabric, ii int, pl []Placement, rounds int) (*a
 	}
 	ok := false
 	for round := 0; round < rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("route: %w: %v", diag.ErrCanceled, err)
+		}
 		for _, net := range nets {
 			ses.Release(net)
 		}

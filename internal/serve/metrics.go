@@ -133,7 +133,7 @@ type Snapshot struct {
 func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
 		SchemaVersion: SchemaVersion,
-		UptimeSeconds: time.Since(m.start).Seconds(), //lint:ignore determinism uptime bookkeeping only; never reaches a response body or mapping
+		UptimeSeconds: time.Since(m.start).Seconds(),
 		Requests:      m.requests.Load(),
 		Explores:      m.explores.Load(),
 		Compiles:      m.compiles.Load(),

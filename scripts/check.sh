@@ -13,7 +13,13 @@ if [ -n "$unformatted" ]; then
 fi
 go vet ./...
 go build ./...
-go run ./cmd/himaplint ./...
+# Analyzer suite under the debt ratchet: fails on findings not recorded
+# in the baseline AND on stale baseline entries or stale //lint:ignore
+# directives (dead suppressions are findings of the pseudo-analyzer
+# "suppress"), so fixed debt cannot linger as silent waivers.
+go run ./cmd/himaplint -baseline himaplint.baseline.json ./...
+# Self-host: the analyzer package must satisfy its own suite.
+go run ./cmd/himaplint ./internal/analysis
 go test -race ./...
 # himapd end-to-end smoke: ephemeral port, served-vs-direct byte diff,
 # cache hit, metrics, graceful SIGTERM shutdown.
