@@ -11,7 +11,7 @@ import (
 // render — the quickstart flow.
 func TestPublicAPIEndToEnd(t *testing.T) {
 	k := himap.KernelGEMM()
-	res, err := himap.Compile(k, himap.DefaultCGRA(4, 4), himap.Options{})
+	res, err := compile(k, himap.DefaultCGRA(4, 4), himap.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestPublicAPIKernelAccessors(t *testing.T) {
 
 func TestPublicAPIBaseline(t *testing.T) {
 	k := himap.KernelBICG()
-	res, err := himap.CompileBaseline(k, himap.DefaultCGRA(4, 4), []int{3, 3}, himap.BaselineOptions{Seed: 2})
+	res, err := compileBaseline(k, himap.DefaultCGRA(4, 4), []int{3, 3}, himap.BaselineOptions{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestPublicAPICustomKernelDSL(t *testing.T) {
 	if err := k.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	res, err := himap.Compile(k, himap.DefaultCGRA(4, 4), himap.Options{})
+	res, err := compile(k, himap.DefaultCGRA(4, 4), himap.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

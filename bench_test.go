@@ -302,7 +302,7 @@ func BenchmarkPublicAPI(b *testing.B) {
 	cg := himap.DefaultCGRA(4, 4)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := himap.Compile(k, cg, himap.Options{})
+		res, err := compile(k, cg, himap.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}

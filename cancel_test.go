@@ -94,7 +94,7 @@ func TestCompileRequestUnknownMapper(t *testing.T) {
 func TestLegacyWrappersDelegate(t *testing.T) {
 	cg := himap.DefaultCGRA(4, 4)
 
-	old, err := himap.Compile(himap.KernelGEMM(), cg, himap.Options{})
+	old, err := compile(himap.KernelGEMM(), cg, himap.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestLegacyWrappersDelegate(t *testing.T) {
 		t.Error("Compile and CompileRequest emit different configurations")
 	}
 
-	oldB, err := himap.CompileBaseline(himap.KernelMVT(), cg, []int{3, 3}, himap.BaselineOptions{Seed: 2})
+	oldB, err := compileBaseline(himap.KernelMVT(), cg, []int{3, 3}, himap.BaselineOptions{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

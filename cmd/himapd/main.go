@@ -1,11 +1,15 @@
 // Command himapd serves the HiMap compiler over HTTP/JSON: POST
 // /v1/compile (named or inline kernels, fabric config, per-request
-// deadlines), POST /v1/explore (one kernel ranked across a fabric
+// deadlines; Accept: text/event-stream selects the SSE stage-event
+// stream), POST /v1/compile-batch (many compiles, one deadline, shared
+// artifact memo), POST /v1/explore (one kernel ranked across a fabric
 // design space by MOPS/mW), GET /v1/kernels, GET /healthz, and GET
-// /metrics. Results are cached content-addressed (identical requests
-// return byte-identical bodies, coalesced onto one compile when
-// concurrent), and admission is bounded (overflow answers 429). See
-// DESIGN.md, "Compile service".
+// /metrics. Results are cached content-addressed in memory and —
+// with -store — on disk across restarts (identical requests return
+// byte-identical bodies, coalesced onto one compile when concurrent),
+// admission is bounded (overflow answers 429), and -peers shards cache
+// ownership across replicas by consistent hashing with single-hop
+// forwarding. See DESIGN.md, "Compile service" and "Serving at scale".
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -29,9 +34,13 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 2, "concurrently executing compiles")
 	maxQueue := flag.Int("max-queue", 16, "requests allowed to wait beyond -max-inflight (negative: none)")
 	cacheMB := flag.Int64("cache-mb", 64, "result cache budget in MiB (negative: disable)")
+	storeDir := flag.String("store", "", "disk result-store directory (empty: memory cache only)")
+	peers := flag.String("peers", "", "comma-separated base URLs of every cluster replica, this one included (empty: unsharded)")
+	self := flag.String("self", "", "this replica's base URL; required with -peers and must appear in the list")
 	timeout := flag.Duration("timeout", 2*time.Minute, "default per-request compile deadline")
 	maxExplore := flag.Int("max-explore", 16, "fabric candidates allowed per /v1/explore request")
 	maxExactCells := flag.Int("max-exact-cells", 128, "DFG cell budget accepted by the exact mapper per request")
+	maxBatch := flag.Int("max-batch", 64, "items allowed per /v1/compile-batch request")
 	flag.Parse()
 
 	cfg := serve.Config{
@@ -39,9 +48,19 @@ func main() {
 		MaxInFlight:       *maxInFlight,
 		MaxQueue:          *maxQueue,
 		CacheBytes:        *cacheMB << 20,
+		StoreDir:          *storeDir,
+		Self:              *self,
 		DefaultTimeout:    *timeout,
 		MaxExploreFabrics: *maxExplore,
 		MaxExactCells:     *maxExactCells,
+		MaxBatchItems:     *maxBatch,
+	}
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.Peers = append(cfg.Peers, p)
+			}
+		}
 	}
 	if err := run(cfg, *addr); err != nil {
 		fmt.Fprintf(os.Stderr, "himapd: %v\n", err)
@@ -50,11 +69,15 @@ func main() {
 }
 
 func run(cfg serve.Config, addr string) error {
+	core, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: serve.New(cfg).Handler()}
+	srv := &http.Server{Handler: core.Handler()}
 
 	// SIGINT/SIGTERM start a graceful shutdown: stop accepting, let
 	// running compiles finish (bounded), then exit 0.

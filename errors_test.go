@@ -27,7 +27,7 @@ func TestErrNoSubMapping(t *testing.T) {
 	k := himap.KernelBICG()
 	cg := himap.DefaultCGRA(1, 1)
 	cg.ConfigDepth = 2
-	_, err := himap.Compile(k, cg, freshOpts())
+	_, err := compile(k, cg, freshOpts())
 	if err == nil {
 		t.Fatal("expected failure on depth-2 1x1 CGRA")
 	}
@@ -49,7 +49,7 @@ func TestErrNoSubMapping(t *testing.T) {
 // TestErrBlockTooSmall: on a full-depth 1×1 CGRA sub-mappings exist, but
 // every derived block collapses below the kernel's minimum extent.
 func TestErrBlockTooSmall(t *testing.T) {
-	_, err := himap.Compile(himap.KernelBICG(), himap.DefaultCGRA(1, 1), freshOpts())
+	_, err := compile(himap.KernelBICG(), himap.DefaultCGRA(1, 1), freshOpts())
 	if err == nil {
 		t.Fatal("expected failure on 1x1 CGRA")
 	}
@@ -63,7 +63,7 @@ func TestErrBlockTooSmall(t *testing.T) {
 func TestErrBlockPinConflict(t *testing.T) {
 	opts := freshOpts()
 	opts.ForceScheme = &himap.Scheme{SpaceDims: []int{2, 3}, TimePerm: []int{0, 1}, Skew: []int{0, 0}}
-	_, err := himap.Compile(himap.KernelConv2D(), himap.DefaultCGRA(8, 8), opts)
+	_, err := compile(himap.KernelConv2D(), himap.DefaultCGRA(8, 8), opts)
 	if err == nil {
 		t.Fatal("expected pin conflict")
 	}
@@ -81,7 +81,7 @@ func TestErrBlockPinConflict(t *testing.T) {
 func TestErrSchemeInfeasible(t *testing.T) {
 	opts := freshOpts()
 	opts.ForceScheme = &himap.Scheme{SpaceDims: []int{0, 1}, Skew: []int{0, 1}}
-	_, err := himap.Compile(himap.KernelGEMM(), himap.DefaultCGRA(8, 8), opts)
+	_, err := compile(himap.KernelGEMM(), himap.DefaultCGRA(8, 8), opts)
 	if err == nil {
 		t.Fatal("expected infeasible scheme")
 	}
@@ -104,7 +104,7 @@ func TestErrRouteCongested(t *testing.T) {
 	opts.MaxRouteRounds = 1
 	opts.MaxSubMaps = 1
 	opts.MaxSchemes = 1
-	_, err := himap.Compile(himap.KernelFW(), himap.DefaultCGRA(8, 8), opts)
+	_, err := compile(himap.KernelFW(), himap.DefaultCGRA(8, 8), opts)
 	if err == nil {
 		t.Skip("FW routed in one round; congestion construction no longer applies")
 	}
@@ -129,7 +129,7 @@ func TestCompileErrorDeterministic(t *testing.T) {
 	bad := &himap.Scheme{SpaceDims: []int{0, 1}, Skew: []int{0, 1}}
 	run := func(workers int) error {
 		opts := himap.Options{Workers: workers, Memo: himap.NewMemo(), ForceScheme: bad}
-		_, err := himap.Compile(himap.KernelGEMM(), himap.DefaultCGRA(8, 8), opts)
+		_, err := compile(himap.KernelGEMM(), himap.DefaultCGRA(8, 8), opts)
 		return err
 	}
 	e1, e4 := run(1), run(4)
@@ -168,7 +168,7 @@ func TestKernelPinBelowMinimumRejected(t *testing.T) {
 	if err := k.Validate(); !errors.Is(err, himap.ErrBlockPinConflict) {
 		t.Fatalf("Kernel.Validate: want ErrBlockPinConflict, got %v", err)
 	}
-	_, err := himap.Compile(&k, himap.DefaultCGRA(8, 8), freshOpts())
+	_, err := compile(&k, himap.DefaultCGRA(8, 8), freshOpts())
 	if !errors.Is(err, himap.ErrBlockPinConflict) {
 		t.Fatalf("Compile: want ErrBlockPinConflict, got %v", err)
 	}
@@ -214,7 +214,7 @@ func TestErrConfigInvalidFromParsers(t *testing.T) {
 // are typed too — a non-positive block count is a caller bug surfaced as
 // ErrConfigInvalid, not a panic or an anonymous error.
 func TestErrConfigInvalidFromValidate(t *testing.T) {
-	res, err := himap.Compile(himap.KernelGEMM(), himap.DefaultCGRA(4, 4), freshOpts())
+	res, err := compile(himap.KernelGEMM(), himap.DefaultCGRA(4, 4), freshOpts())
 	if err != nil {
 		t.Fatalf("compile: %v", err)
 	}
@@ -231,7 +231,7 @@ func TestBaselineTypedErrors(t *testing.T) {
 	cg := himap.DefaultCGRA(4, 4)
 	block := []int{2, 2, 2}
 
-	_, err := himap.CompileBaseline(k, cg, block, himap.BaselineOptions{MaxNodes: 1})
+	_, err := compileBaseline(k, cg, block, himap.BaselineOptions{MaxNodes: 1})
 	var tooLarge himap.BaselineTooLargeError
 	if !errors.As(err, &tooLarge) {
 		t.Fatalf("want BaselineTooLargeError, got %v", err)
@@ -240,7 +240,7 @@ func TestBaselineTypedErrors(t *testing.T) {
 		t.Errorf("wall not carried: %+v", tooLarge)
 	}
 
-	_, err = himap.CompileBaseline(k, cg, block, himap.BaselineOptions{TimeBudget: time.Nanosecond})
+	_, err = compileBaseline(k, cg, block, himap.BaselineOptions{TimeBudget: time.Nanosecond})
 	var timeout himap.BaselineTimeoutError
 	if !errors.As(err, &timeout) {
 		t.Fatalf("want BaselineTimeoutError, got %v", err)
@@ -255,7 +255,7 @@ func TestBaselineTypedErrors(t *testing.T) {
 func TestCompileErrorUnwrapExposesStages(t *testing.T) {
 	opts := freshOpts()
 	opts.ForceScheme = &himap.Scheme{SpaceDims: []int{0, 1}, Skew: []int{0, 1}}
-	_, err := himap.Compile(himap.KernelGEMM(), himap.DefaultCGRA(8, 8), opts)
+	_, err := compile(himap.KernelGEMM(), himap.DefaultCGRA(8, 8), opts)
 	var ce *himap.CompileError
 	if !errors.As(err, &ce) {
 		t.Fatalf("want *CompileError, got %v", err)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,7 +20,8 @@ func main() {
 
 	fmt.Println("== BiCG on an 8x1 linear CGRA (the paper's §II example) ==")
 
-	res, err := himap.Compile(k, cgra, himap.Options{})
+	res, err := himap.CompileRequest(context.Background(),
+		himap.Request{Kernel: k, Fabric: himap.Fabric{CGRA: cgra}})
 	if err != nil {
 		log.Fatalf("himap: %v", err)
 	}
@@ -33,10 +35,14 @@ func main() {
 
 	// The conventional mapper sees the same unrolled block DFG but must
 	// solve the flat placement-and-routing problem.
-	bres, err := himap.CompileBaseline(k, cgra, []int{4, 4}, himap.BaselineOptions{Seed: 3})
+	cres, err := himap.CompileRequest(context.Background(), himap.Request{
+		Kernel: k, Fabric: himap.Fabric{CGRA: cgra}, Mapper: himap.MapperConventional,
+		Block: []int{4, 4}, Baseline: himap.BaselineOptions{Seed: 3},
+	})
 	if err != nil {
 		log.Fatalf("baseline: %v", err)
 	}
+	bres := cres.Conventional
 	fmt.Println("\nConventional:", bres.Summary())
 	fmt.Printf("  block initiation interval II_B = %d cycles\n", bres.II)
 	if err := himap.ValidateConfig(bres.Config, k, bres.Block, 3, 7); err != nil {

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -59,7 +60,8 @@ func main() {
 	if err := k.Validate(); err != nil {
 		log.Fatalf("spec: %v", err)
 	}
-	res, err := himap.Compile(k, himap.DefaultCGRA(4, 4), himap.Options{})
+	res, err := himap.CompileRequest(context.Background(),
+		himap.Request{Kernel: k, Fabric: himap.Fabric{CGRA: himap.DefaultCGRA(4, 4)}})
 	if err != nil {
 		log.Fatalf("compile: %v", err)
 	}
@@ -71,7 +73,8 @@ func main() {
 
 	fmt.Println("\n== built-in CONV2D extension kernel ==")
 	conv := himap.KernelConv2D()
-	cres, err := himap.Compile(conv, himap.DefaultCGRA(4, 4), himap.Options{})
+	cres, err := himap.CompileRequest(context.Background(),
+		himap.Request{Kernel: conv, Fabric: himap.Fabric{CGRA: himap.DefaultCGRA(4, 4)}})
 	if err != nil {
 		log.Fatalf("conv2d compile: %v", err)
 	}

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,7 +14,8 @@ func main() {
 	k := himap.KernelGEMM()
 	cgra := himap.DefaultCGRA(4, 4)
 
-	res, err := himap.Compile(k, cgra, himap.Options{})
+	res, err := himap.CompileRequest(context.Background(),
+		himap.Request{Kernel: k, Fabric: himap.Fabric{CGRA: cgra}})
 	if err != nil {
 		log.Fatalf("compile: %v", err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +23,8 @@ func main() {
 		"kernel", "CGRA", "block", "U", "MOPS", "power mW", "MOPS/mW", "compile")
 	for _, k := range kernels {
 		for _, size := range sizes {
-			res, err := himap.Compile(k, himap.DefaultCGRA(size, size), himap.Options{})
+			res, err := himap.CompileRequest(context.Background(),
+				himap.Request{Kernel: k, Fabric: himap.Fabric{CGRA: himap.DefaultCGRA(size, size)}})
 			if err != nil {
 				log.Fatalf("%s %dx%d: %v", k.Name, size, size, err)
 			}

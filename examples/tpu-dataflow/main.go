@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,7 +18,8 @@ import (
 
 func main() {
 	k := himap.KernelGEMM()
-	res, err := himap.Compile(k, himap.DefaultCGRA(4, 4), himap.Options{})
+	res, err := himap.CompileRequest(context.Background(),
+		himap.Request{Kernel: k, Fabric: himap.Fabric{CGRA: himap.DefaultCGRA(4, 4)}})
 	if err != nil {
 		log.Fatal(err)
 	}

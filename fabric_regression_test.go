@@ -57,7 +57,7 @@ func TestDefaultFabricBitIdentical(t *testing.T) {
 	for _, k := range himap.EvaluationKernels() {
 		k := k
 		t.Run(k.Name, func(t *testing.T) {
-			r, err := himap.Compile(k, himap.DefaultCGRA(8, 8), himap.Options{})
+			r, err := compile(k, himap.DefaultCGRA(8, 8), himap.Options{})
 			if err != nil {
 				t.Fatalf("Compile(%s): %v", k.Name, err)
 			}

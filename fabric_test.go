@@ -20,7 +20,7 @@ func TestCompileFabricTorus(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := himap.CompileFabric(k, fab, himap.Options{})
+			res, err := compileFabric(k, fab, himap.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -41,7 +41,7 @@ func TestCompileFabricBoundaryMemTorus(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := himap.CompileFabric(k, fab, himap.Options{})
+	res, err := compileFabric(k, fab, himap.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestMemPortInfeasibleTyped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = himap.CompileFabric(k, fab, himap.Options{})
+	_, err = compileFabric(k, fab, himap.Options{})
 	if err == nil {
 		t.Skip("ATAX unexpectedly mapped on mesh/boundary; no infeasible case to check")
 	}

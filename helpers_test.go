@@ -1,0 +1,37 @@
+package himap_test
+
+import (
+	"context"
+
+	"himap"
+)
+
+// The legacy Compile/CompileFabric/CompileBaseline wrappers were removed
+// from the public API; these test-local shims route the historical call
+// shapes through the unified CompileRequest entry point so the long-lived
+// regression suites read unchanged.
+
+func compile(k *himap.Kernel, cg himap.CGRA, opts himap.Options) (*himap.Result, error) {
+	return himap.CompileRequest(context.Background(),
+		himap.Request{Kernel: k, Fabric: himap.Fabric{CGRA: cg}, Options: opts})
+}
+
+func compileFabric(k *himap.Kernel, fab himap.Fabric, opts himap.Options) (*himap.Result, error) {
+	return himap.CompileRequest(context.Background(),
+		himap.Request{Kernel: k, Fabric: fab, Options: opts})
+}
+
+func compileBaseline(k *himap.Kernel, cg himap.CGRA, block []int, opts himap.BaselineOptions) (*himap.BaselineResult, error) {
+	return compileBaselineFabric(k, himap.Fabric{CGRA: cg}, block, opts)
+}
+
+func compileBaselineFabric(k *himap.Kernel, fab himap.Fabric, block []int, opts himap.BaselineOptions) (*himap.BaselineResult, error) {
+	res, err := himap.CompileRequest(context.Background(), himap.Request{
+		Kernel: k, Fabric: fab, Mapper: himap.MapperConventional,
+		Block: block, Baseline: opts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Conventional, nil
+}

@@ -10,7 +10,10 @@
 // Quick start:
 //
 //	k := himap.KernelGEMM()
-//	res, err := himap.Compile(k, himap.DefaultCGRA(8, 8), himap.Options{})
+//	res, err := himap.CompileRequest(ctx, himap.Request{
+//		Kernel: k,
+//		Fabric: himap.Fabric{CGRA: himap.DefaultCGRA(8, 8)},
+//	})
 //	if err != nil { ... }
 //	fmt.Println(res.Summary())                      // mapping statistics
 //	err = himap.Validate(res, 3, 42)                // cycle-accurate check
@@ -274,68 +277,6 @@ func NewMemo() *Memo { return core.NewMemo() }
 // array size: per PE an ALU, a 4-register file (2R/2W), a crossbar, a
 // 32-entry configuration memory, and a 64-word data memory, at 510 MHz.
 func DefaultCGRA(rows, cols int) CGRA { return arch.Default(rows, cols) }
-
-// Compile maps the kernel onto the CGRA with the HiMap hierarchical
-// algorithm (Algorithm 1 of the paper).
-//
-// Deprecated: Use CompileRequest with a Request — it adds context
-// cancellation and fabric targets:
-//
-//	CompileRequest(ctx, Request{Kernel: k, Fabric: Fabric{CGRA: cg}, Options: opts})
-func Compile(k *Kernel, cg CGRA, opts Options) (*Result, error) {
-	return CompileRequest(context.Background(), Request{Kernel: k, Fabric: Fabric{CGRA: cg}, Options: opts})
-}
-
-// CompileFabric is Compile for an arbitrary fabric (torus links,
-// boundary-column memory PEs, diagonal interconnect).
-//
-// Deprecated: Use CompileRequest:
-//
-//	CompileRequest(ctx, Request{Kernel: k, Fabric: fab, Options: opts})
-func CompileFabric(k *Kernel, fab Fabric, opts Options) (*Result, error) {
-	return CompileRequest(context.Background(), Request{Kernel: k, Fabric: fab, Options: opts})
-}
-
-// CompileBaseline maps one unrolled block with the conventional flat
-// DFG → MRRG mapper (the paper's "BHC" stand-in).
-//
-// Deprecated: Use CompileRequest with MapperConventional; the returned
-// Result carries the *BaselineResult in its Conventional field:
-//
-//	res, err := CompileRequest(ctx, Request{
-//		Kernel: k, Fabric: Fabric{CGRA: cg}, Mapper: MapperConventional,
-//		Block: block, Baseline: opts,
-//	})
-//	// res.Conventional is the *BaselineResult
-func CompileBaseline(k *Kernel, cg CGRA, block []int, opts BaselineOptions) (*BaselineResult, error) {
-	res, err := CompileRequest(context.Background(), Request{
-		Kernel: k, Fabric: Fabric{CGRA: cg}, Mapper: MapperConventional,
-		Block: block, Baseline: opts,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return res.Conventional, nil
-}
-
-// CompileBaselineFabric is CompileBaseline for an arbitrary fabric.
-//
-// Deprecated: Use CompileRequest with MapperConventional:
-//
-//	CompileRequest(ctx, Request{
-//		Kernel: k, Fabric: fab, Mapper: MapperConventional,
-//		Block: block, Baseline: opts,
-//	})
-func CompileBaselineFabric(k *Kernel, fab Fabric, block []int, opts BaselineOptions) (*BaselineResult, error) {
-	res, err := CompileRequest(context.Background(), Request{
-		Kernel: k, Fabric: fab, Mapper: MapperConventional,
-		Block: block, Baseline: opts,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return res.Conventional, nil
-}
 
 // Validate executes nblocks pipelined block instances of the mapping on
 // the cycle-accurate simulator and compares every block's outputs against

@@ -151,7 +151,12 @@ func DefaultScope() Scope {
 		// nondeterminism there (map-order response fields, wall-clock values
 		// in cached bodies) would break the byte-identity contract between
 		// served and direct compiles — it is compile-path for this purpose.
-		Determinism.Name:   append(append([]string(nil), compilePath...), "himap/internal/serve"),
+		// internal/store persists those bodies across restarts and
+		// cmd/himapload replays a seeded workload against them; both carry
+		// the same replay contract, so they join the determinism scope
+		// (wall-clock latency measurement sites are annotated).
+		Determinism.Name: append(append([]string(nil), compilePath...),
+			"himap/internal/serve", "himap/internal/store", "himap/cmd/himapload"),
 		ErrDiscipline.Name: append(append([]string(nil), compilePath...), "himap/internal/arch", "himap/internal/sim", "himap/internal/analysis"),
 		NoAlloc.Name:       nil,
 		LockCheck.Name:     nil,

@@ -168,6 +168,12 @@ var classes = []error{
 	ErrProvedInfeasible, ErrCanceled,
 }
 
+// Classes returns every sentinel failure class in taxonomy order — the
+// complete enumeration a consumer mapping the taxonomy (the serve wire
+// error_code enum, failure-mode aggregation) must cover. The returned
+// slice is a copy.
+func Classes() []error { return append([]error(nil), classes...) }
+
 // Classify coerces an arbitrary stage failure into a StageError: an error
 // that already is one passes through; an error wrapping a sentinel (e.g.
 // a kernel-validation failure carrying ErrBlockPinConflict) is classed by
@@ -242,6 +248,21 @@ func (m multiTracer) Emit(s Span) {
 	for _, t := range m {
 		t.Emit(s)
 	}
+}
+
+// SerialTracer wraps fn so spans are delivered one at a time, in a
+// single total order: speculative attempts emit from parallel worker
+// goroutines, and a consumer that streams spans out (the himapd SSE
+// stage-event stream) needs each span rendered whole before the next
+// begins. The order is the lock-acquisition order — deterministic for
+// sequential pipelines, best-effort under Workers > 1.
+func SerialTracer(fn func(Span)) Tracer {
+	var mu sync.Mutex
+	return TracerFunc(func(s Span) {
+		mu.Lock()
+		defer mu.Unlock()
+		fn(s)
+	})
 }
 
 // nopTracer discards every span.

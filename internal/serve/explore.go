@@ -111,13 +111,14 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	wire, err := DecodeExploreRequest(r.Body)
 	if err != nil {
 		s.metrics.badRequests.Add(1)
-		writeError(w, err)
+		writeError(w, SchemaVersion, err)
 		return
 	}
+	v := EffectiveVersion(wire.SchemaVersion)
 	specs, err := s.exploreCandidates(wire)
 	if err != nil {
 		s.metrics.badRequests.Add(1)
-		writeError(w, err)
+		writeError(w, v, err)
 		return
 	}
 	// Validate the kernel once up front through a probe compile request;
@@ -130,7 +131,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	}
 	if _, err := BuildRequest(probe, s.cfg); err != nil {
 		s.metrics.badRequests.Add(1)
-		writeError(w, err)
+		writeError(w, v, err)
 		return
 	}
 
@@ -143,15 +144,26 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		entries[i] = s.exploreEntry(ctx, wire, fs)
 	}
 	rankExplore(entries)
+	if v < 2 {
+		// Entries are cached version-independently; render the v1 shape
+		// (no error_code) at response time.
+		for i := range entries {
+			if entries[i].Error != nil {
+				e := *entries[i].Error
+				e.ErrorCode = ""
+				entries[i].Error = &e
+			}
+		}
+	}
 
 	resp := ExploreResponse{
-		SchemaVersion: SchemaVersion,
+		SchemaVersion: v,
 		Kernel:        probeKernelName(wire),
 		Entries:       entries,
 	}
 	body, err := json.Marshal(resp)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, v, err)
 		return
 	}
 	writeBody(w, http.StatusOK, append(body, '\n'), "")

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"himap/internal/diag"
+	"himap/internal/store"
 )
 
 // stageBucketsMS are the upper bounds (milliseconds, inclusive) of the
@@ -57,6 +58,13 @@ type Metrics struct {
 	rejected    atomic.Int64 // 429 admission rejections
 	failures    atomic.Int64 // compiles that returned an error
 	badRequests atomic.Int64 // 4xx request rejections (not admission)
+
+	forwarded        atomic.Int64 // requests relayed to their shard owner
+	forwardFallbacks atomic.Int64 // forwards that degraded to local compute
+	forwardedServed  atomic.Int64 // requests served on behalf of a peer
+	batches          atomic.Int64 // POST /v1/compile-batch envelopes accepted
+	batchItems       atomic.Int64 // batch items processed
+	streams          atomic.Int64 // SSE stage-event streams started
 
 	inFlight atomic.Int64 // compiles currently executing
 	queued   atomic.Int64 // requests admitted but waiting for a worker slot
@@ -118,11 +126,22 @@ type Snapshot struct {
 	Failures    int64 `json:"failures"`
 	BadRequests int64 `json:"bad_requests"`
 
+	Forwarded        int64 `json:"forwarded"`
+	ForwardFallbacks int64 `json:"forward_fallbacks"`
+	ForwardedServed  int64 `json:"forwarded_served"`
+	Batches          int64 `json:"batches"`
+	BatchItems       int64 `json:"batch_items"`
+	Streams          int64 `json:"streams"`
+
 	InFlight int64 `json:"in_flight"`
 	Queued   int64 `json:"queued"`
 
 	CacheEntries int   `json:"cache_entries"`
 	CacheBytes   int64 `json:"cache_bytes"`
+
+	// Store is the disk store's counter snapshot; nil when the server
+	// runs without one.
+	Store *store.Stats `json:"store,omitempty"`
 
 	BucketBoundsMS []int64                  `json:"bucket_bounds_ms"`
 	Stages         map[string]StageSnapshot `json:"stages,omitempty"`
@@ -143,8 +162,16 @@ func (m *Metrics) Snapshot() Snapshot {
 		Rejected:      m.rejected.Load(),
 		Failures:      m.failures.Load(),
 		BadRequests:   m.badRequests.Load(),
-		InFlight:      m.inFlight.Load(),
-		Queued:        m.queued.Load(),
+
+		Forwarded:        m.forwarded.Load(),
+		ForwardFallbacks: m.forwardFallbacks.Load(),
+		ForwardedServed:  m.forwardedServed.Load(),
+		Batches:          m.batches.Load(),
+		BatchItems:       m.batchItems.Load(),
+		Streams:          m.streams.Load(),
+
+		InFlight: m.inFlight.Load(),
+		Queued:   m.queued.Load(),
 
 		BucketBoundsMS: stageBucketsMS,
 		Stages:         map[string]StageSnapshot{},
@@ -180,10 +207,25 @@ func (s Snapshot) WriteText(w io.Writer) {
 		fmt.Sprintf("himapd_rejected_total %d", s.Rejected),
 		fmt.Sprintf("himapd_failures_total %d", s.Failures),
 		fmt.Sprintf("himapd_bad_requests_total %d", s.BadRequests),
+		fmt.Sprintf("himapd_forwarded_total %d", s.Forwarded),
+		fmt.Sprintf("himapd_forward_fallbacks_total %d", s.ForwardFallbacks),
+		fmt.Sprintf("himapd_forwarded_served_total %d", s.ForwardedServed),
+		fmt.Sprintf("himapd_batches_total %d", s.Batches),
+		fmt.Sprintf("himapd_batch_items_total %d", s.BatchItems),
+		fmt.Sprintf("himapd_streams_total %d", s.Streams),
 		fmt.Sprintf("himapd_in_flight %d", s.InFlight),
 		fmt.Sprintf("himapd_queued %d", s.Queued),
 		fmt.Sprintf("himapd_cache_entries %d", s.CacheEntries),
 		fmt.Sprintf("himapd_cache_bytes %d", s.CacheBytes),
+	}
+	if s.Store != nil {
+		lines = append(lines,
+			fmt.Sprintf("himapd_store_entries %d", s.Store.Entries),
+			fmt.Sprintf("himapd_store_bytes %d", s.Store.Bytes),
+			fmt.Sprintf("himapd_store_hits_total %d", s.Store.Hits),
+			fmt.Sprintf("himapd_store_misses_total %d", s.Store.Misses),
+			fmt.Sprintf("himapd_store_corrupt_total %d", s.Store.Corrupt),
+			fmt.Sprintf("himapd_store_puts_total %d", s.Store.Puts))
 	}
 	for name, h := range s.Stages {
 		lines = append(lines,

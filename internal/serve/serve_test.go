@@ -20,7 +20,7 @@ import (
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s := MustNew(cfg)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -242,7 +242,7 @@ func TestStrictDecodeAndValidation(t *testing.T) {
 		{"fabric too large", kernelRequest("GEMM", 4, 4096), 400, "bad_request"},
 		{"bad mapper", `{"kernel":"GEMM","fabric":{"rows":4,"cols":4},"options":{"mapper":"magic"}}`, 400, "bad_request"},
 		{"block on himap", `{"kernel":"GEMM","fabric":{"rows":4,"cols":4},"options":{"block":[4,4,4]}}`, 400, "bad_request"},
-		{"future schema", `{"schema_version":2,"kernel":"GEMM","fabric":{"rows":4,"cols":4}}`, 400, "bad_request"},
+		{"future schema", `{"schema_version":3,"kernel":"GEMM","fabric":{"rows":4,"cols":4}}`, 400, "bad_request"},
 	}
 	for _, tc := range cases {
 		resp, b := postCompile(t, ts.URL, tc.body)
@@ -405,6 +405,10 @@ func TestCacheKeyIgnoresTimeout(t *testing.T) {
 	b.SchemaVersion = SchemaVersion
 	if CacheKey(&a) != CacheKey(&b) {
 		t.Error("explicit schema_version changed the cache key")
+	}
+	b.SchemaVersion = 1
+	if CacheKey(&a) == CacheKey(&b) {
+		t.Error("a version-1 pin must own its own key space (v1 bodies differ from v2)")
 	}
 	b.SchemaVersion = 0
 	b.Fabric.Rows = 8

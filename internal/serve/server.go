@@ -15,6 +15,7 @@ import (
 	"himap"
 	"himap/internal/diag"
 	"himap/internal/kernel"
+	"himap/internal/store"
 )
 
 // Config tunes one Server.
@@ -30,9 +31,24 @@ type Config struct {
 	// 429). Negative means no waiting at all (reject when every worker is
 	// busy); 0 means the default of 16.
 	MaxQueue int
-	// CacheBytes is the result cache's byte budget. 0 means the default
-	// 64 MiB; negative disables caching.
+	// CacheBytes is the in-memory result cache's byte budget. 0 means
+	// the default 64 MiB; negative disables the memory cache.
 	CacheBytes int64
+	// StoreDir roots the disk-backed content-addressed result store
+	// beneath the memory cache. Entries are hash-verified on read and
+	// evicted when corrupt, and survive restarts with byte-identical
+	// replay. Empty disables the disk store.
+	StoreDir string
+	// Peers lists the base URLs of every replica in the cluster
+	// (http://host:port, no trailing slash), this server included; Self
+	// names this replica's entry. Cache keys are owned by exactly one
+	// peer (consistent hashing); /v1/compile requests whose key another
+	// peer owns are forwarded once, with local fallback when the owner
+	// is unreachable. Empty Peers disables sharding.
+	Peers []string
+	// Self is this replica's own base URL; required when Peers is set
+	// and must appear in Peers.
+	Self string
 	// DefaultTimeout bounds compiles whose request carries no
 	// timeout_ms. Default 2 minutes.
 	DefaultTimeout time.Duration
@@ -50,6 +66,9 @@ type Config struct {
 	// accepts over the wire (branch-and-bound is exponential; this guard
 	// keeps one request from monopolizing a worker slot). Default 128.
 	MaxExactCells int
+	// MaxBatchItems bounds the item count of one /v1/compile-batch
+	// request. Default 64.
+	MaxBatchItems int
 }
 
 func (c Config) withDefaults() Config {
@@ -83,14 +102,20 @@ func (c Config) withDefaults() Config {
 	if c.MaxExactCells <= 0 {
 		c.MaxExactCells = 128
 	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 64
+	}
 	return c
 }
 
-// Server is the himapd service core: decode → cache → coalesce → admit →
-// compile → respond, every layer observable through Metrics.
+// Server is the himapd service core: decode → shard → cache → coalesce
+// → admit → compile → respond, every layer observable through Metrics.
 type Server struct {
 	cfg     Config
 	cache   *cache
+	disk    *store.Store // nil when Config.StoreDir is empty
+	ring    *ring        // nil when Config.Peers is empty
+	client  *http.Client // peer-forwarding transport
 	metrics *Metrics
 	sem     chan struct{}
 	pending atomic.Int64 // admitted requests, waiting or running
@@ -111,17 +136,45 @@ type flightCall struct {
 	body   []byte
 }
 
-// New returns a Server with the production compile function.
-func New(cfg Config) *Server {
+// New returns a Server with the production compile function. It fails
+// when the disk store cannot be opened or the shard configuration is
+// inconsistent (Self missing from Peers).
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		cache:   newCache(cfg.CacheBytes),
 		metrics: NewMetrics(),
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 		flight:  map[string]*flightCall{},
+		client:  &http.Client{},
 		compile: himap.CompileRequest,
 	}
+	if cfg.StoreDir != "" {
+		disk, err := store.Open(cfg.StoreDir)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		s.disk = disk
+	}
+	if len(cfg.Peers) > 0 {
+		r, err := newRing(cfg.Peers, cfg.Self)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		s.ring = r
+	}
+	return s, nil
+}
+
+// MustNew is New for configurations that cannot fail (no store, no
+// peers) — the constructor tests and tools use.
+func MustNew(cfg Config) *Server {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // SetCompileFunc replaces the compile execution seam (tests only).
@@ -133,10 +186,15 @@ func (s *Server) SetCompileFunc(fn func(context.Context, himap.Request) (*himap.
 // shutdown logging; tests assert on counters).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
+// Store exposes the disk store (nil when disabled) for tests and the
+// metrics endpoint.
+func (s *Server) Store() *store.Store { return s.disk }
+
 // Handler returns the service's HTTP routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	mux.HandleFunc("POST /v1/compile-batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/explore", s.handleExplore)
 	mux.HandleFunc("GET /v1/kernels", s.handleKernels)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -272,26 +330,92 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 	}
 }
 
+// cacheGet consults the two cache levels in order: the in-memory LRU,
+// then the disk store (hash-verified; a hit is promoted into memory).
+// The returned status string is the X-Himap-Cache value ("hit" or
+// "store").
+func (s *Server) cacheGet(key string) ([]byte, string, bool) {
+	if body, ok := s.cache.get(key); ok {
+		return body, "hit", true
+	}
+	if s.disk != nil {
+		if body, ok := s.disk.Get(key); ok {
+			s.cache.put(key, body)
+			return body, "store", true
+		}
+	}
+	return nil, "", false
+}
+
+// cachePut stores a success body at both cache levels. Disk write
+// failure is tolerated (the memory cache still serves; a restart just
+// recompiles).
+func (s *Server) cachePut(key string, body []byte) {
+	s.cache.put(key, body)
+	if s.disk != nil {
+		s.disk.Put(key, body)
+	}
+}
+
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add(1)
 	wire, err := DecodeRequest(r.Body)
 	if err != nil {
 		s.metrics.badRequests.Add(1)
-		writeError(w, err)
+		writeError(w, SchemaVersion, err)
+		return
+	}
+	v := EffectiveVersion(wire.SchemaVersion)
+	streaming := wantsStream(r)
+	if streaming && v < 2 {
+		s.metrics.badRequests.Add(1)
+		writeError(w, v, fmt.Errorf("%w: the stage-event stream requires schema_version >= 2", ErrBadRequest))
 		return
 	}
 	hreq, err := BuildRequest(wire, s.cfg)
 	if err != nil {
 		s.metrics.badRequests.Add(1)
-		writeError(w, err)
+		writeError(w, v, err)
+		return
+	}
+	key := CacheKey(wire)
+
+	if streaming {
+		s.streamCompile(w, r, wire, hreq, key, v)
 		return
 	}
 
-	key := CacheKey(wire)
-	if body, ok := s.cache.get(key); ok {
+	// Shard ownership: a request whose key another replica owns is
+	// forwarded exactly once (forwarded requests are pinned local by the
+	// X-Himap-Forwarded header). A hot key already in the local memory
+	// cache is served directly — forwarding would only re-fetch bytes we
+	// hold. When the owner is unreachable the request degrades to local
+	// compute; it never fails on account of a peer.
+	if s.ring != nil && !s.ring.ownsLocally(key, r) {
+		if body, status, ok := s.cacheGet(key); ok {
+			s.metrics.cacheHits.Add(1)
+			writeBody(w, http.StatusOK, body, status)
+			return
+		}
+		if s.forward(w, r, wire, key) {
+			return
+		}
+	}
+	if r.Header.Get(forwardedHeader) != "" {
+		s.metrics.forwardedServed.Add(1)
+	}
+
+	status, body, cacheStatus := s.respond(r.Context(), wire, hreq, key, v)
+	writeBody(w, status, body, cacheStatus)
+}
+
+// respond resolves one compile request locally: cache levels, then
+// singleflight coalescing, then an admitted, deadline-bounded compile.
+// It returns the HTTP status, body bytes, and X-Himap-Cache value.
+func (s *Server) respond(ctx context.Context, wire *CompileRequestWire, hreq himap.Request, key string, v int) (int, []byte, string) {
+	if body, status, ok := s.cacheGet(key); ok {
 		s.metrics.cacheHits.Add(1)
-		writeBody(w, http.StatusOK, body, "hit")
-		return
+		return http.StatusOK, body, status
 	}
 
 	// Coalesce identical concurrent requests onto one compile: the first
@@ -303,31 +427,31 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.metrics.coalesced.Add(1)
 		select {
 		case <-c.done:
-			writeBody(w, c.status, c.body, "coalesced")
-		case <-r.Context().Done():
-			writeError(w, diag.Fail(diag.ErrCanceled, r.Context().Err()))
+			return c.status, c.body, "coalesced"
+		case <-ctx.Done():
+			status, body := renderError(v, diag.Fail(diag.ErrCanceled, ctx.Err()))
+			return status, body, ""
 		}
-		return
 	}
 	c := &flightCall{done: make(chan struct{})}
 	s.flight[key] = c
 	s.flightMu.Unlock()
 	s.metrics.cacheMisses.Add(1)
 
-	c.status, c.body = s.execute(r.Context(), wire, hreq)
+	c.status, c.body = s.execute(ctx, wire, hreq, v)
 	if c.status == http.StatusOK {
-		s.cache.put(key, c.body)
+		s.cachePut(key, c.body)
 	}
 	s.flightMu.Lock()
 	delete(s.flight, key)
 	s.flightMu.Unlock()
 	close(c.done)
-	writeBody(w, c.status, c.body, "miss")
+	return c.status, c.body, "miss"
 }
 
 // execute runs one admitted, deadline-bounded compile and renders its
-// response bytes (success or error body).
-func (s *Server) execute(ctx context.Context, wire *CompileRequestWire, hreq himap.Request) (int, []byte) {
+// response bytes (success or error body) in the given wire version.
+func (s *Server) execute(ctx context.Context, wire *CompileRequestWire, hreq himap.Request, v int) (int, []byte) {
 	ctx, cancel := context.WithTimeout(ctx, s.timeout(wire.Options))
 	defer cancel()
 
@@ -336,7 +460,7 @@ func (s *Server) execute(ctx context.Context, wire *CompileRequestWire, hreq him
 		if errors.Is(err, ErrOverloaded) {
 			s.metrics.rejected.Add(1)
 		}
-		return renderError(err)
+		return renderError(v, err)
 	}
 	defer release()
 
@@ -348,20 +472,28 @@ func (s *Server) execute(ctx context.Context, wire *CompileRequestWire, hreq him
 	res, err := s.compile(ctx, hreq)
 	if err != nil {
 		s.metrics.failures.Add(1)
-		return renderError(err)
+		return renderError(v, err)
 	}
-	body, err := EncodeResponse(res)
+	body, err := EncodeResponseVersion(res, v)
 	if err != nil {
 		s.metrics.failures.Add(1)
-		return renderError(err)
+		return renderError(v, err)
 	}
 	return http.StatusOK, body
 }
 
-// EncodeResponse renders a compile result into the canonical response
-// bytes. Exported so the smoke harness can render a direct
-// himap.CompileRequest result and byte-compare it with the served body.
+// EncodeResponse renders a compile result into the canonical
+// current-version response bytes. Exported so the smoke harness can
+// render a direct himap.CompileRequest result and byte-compare it with
+// the served body.
 func EncodeResponse(res *himap.Result) ([]byte, error) {
+	return EncodeResponseVersion(res, SchemaVersion)
+}
+
+// EncodeResponseVersion renders a compile result in the requested wire
+// version: the current shape, or the version-1 shape with the v2-only
+// fields (mapper, optimality) omitted.
+func EncodeResponseVersion(res *himap.Result, v int) ([]byte, error) {
 	var cfgJSON bytes.Buffer
 	if err := res.Config.WriteJSON(&cfgJSON); err != nil {
 		return nil, fmt.Errorf("encode config: %w", err)
@@ -371,7 +503,7 @@ func EncodeResponse(res *himap.Result) ([]byte, error) {
 		return nil, fmt.Errorf("encode bitstream: %w", err)
 	}
 	resp := CompileResponse{
-		SchemaVersion: SchemaVersion,
+		SchemaVersion: v,
 		Kernel:        res.Kernel.Name,
 		Fabric:        res.Fabric.String(),
 		Mapper:        res.Backend,
@@ -403,6 +535,12 @@ func EncodeResponse(res *himap.Result) ([]byte, error) {
 			Horizon:       res.Optimality.Horizon,
 		}
 	}
+	if v < 2 {
+		// The v1 contract predates the backend registry and the exact
+		// mapper: no mapper, no optimality.
+		resp.Mapper = ""
+		resp.Optimality = nil
+	}
 	body, err := json.Marshal(resp)
 	if err != nil {
 		return nil, fmt.Errorf("encode response: %w", err)
@@ -410,50 +548,57 @@ func EncodeResponse(res *himap.Result) ([]byte, error) {
 	return append(body, '\n'), nil
 }
 
-// renderError maps a failure to its HTTP status and body bytes.
-func renderError(err error) (int, []byte) {
+// renderError maps a failure to its HTTP status and body bytes in the
+// given wire version (v1 bodies omit error_code).
+func renderError(v int, err error) (int, []byte) {
 	status, eb := classifyError(err)
-	body, merr := json.Marshal(ErrorResponse{SchemaVersion: SchemaVersion, Error: eb})
+	if v < 2 {
+		eb.ErrorCode = ""
+	}
+	body, merr := json.Marshal(ErrorResponse{SchemaVersion: v, Error: eb})
 	if merr != nil {
-		return http.StatusInternalServerError, []byte(`{"schema_version":1,"error":{"code":"internal","message":"error encoding failed"}}` + "\n")
+		return http.StatusInternalServerError, []byte(fmt.Sprintf(`{"schema_version":%d,"error":{"code":"internal","message":"error encoding failed"}}`+"\n", v))
 	}
 	return status, append(body, '\n')
 }
 
-// classifyError maps the service's failure taxonomy to wire codes.
+// classifyError maps the service's failure taxonomy to wire codes: the
+// coarse HTTP-dispatch Code plus the stable v2 ErrorCode enum
+// (WireErrorCode).
 func classifyError(err error) (int, ErrorBody) {
 	msg := err.Error()
+	code := WireErrorCode(err)
 	switch {
 	case errors.Is(err, ErrOverloaded):
-		return http.StatusTooManyRequests, ErrorBody{Code: "overloaded", Message: msg}
+		return http.StatusTooManyRequests, ErrorBody{Code: "overloaded", ErrorCode: code, Message: msg}
 	case errors.Is(err, ErrUnknownKernel):
-		return http.StatusNotFound, ErrorBody{Code: "unknown_kernel", Message: msg}
+		return http.StatusNotFound, ErrorBody{Code: "unknown_kernel", ErrorCode: code, Message: msg}
 	case errors.Is(err, ErrBadRequest):
-		return http.StatusBadRequest, ErrorBody{Code: "bad_request", Message: msg}
+		return http.StatusBadRequest, ErrorBody{Code: "bad_request", ErrorCode: code, Message: msg}
 	case errors.Is(err, diag.ErrCanceled),
 		errors.Is(err, context.DeadlineExceeded),
 		errors.Is(err, context.Canceled):
-		return http.StatusGatewayTimeout, ErrorBody{Code: "deadline", Message: msg, Class: diag.ErrCanceled.Error()}
+		return http.StatusGatewayTimeout, ErrorBody{Code: "deadline", ErrorCode: code, Message: msg, Class: diag.ErrCanceled.Error()}
 	case errors.Is(err, diag.ErrInvalidRequest):
 		// A malformed himap.Request (nil kernel) that slipped past wire
 		// validation is a caller bug, not a mapping infeasibility.
-		return http.StatusBadRequest, ErrorBody{Code: "bad_request", Message: msg, Class: diag.ErrInvalidRequest.Error()}
+		return http.StatusBadRequest, ErrorBody{Code: "bad_request", ErrorCode: code, Message: msg, Class: diag.ErrInvalidRequest.Error()}
 	}
 	var se *diag.StageError
 	if errors.As(err, &se) {
-		return http.StatusUnprocessableEntity, ErrorBody{Code: "infeasible", Message: msg, Class: se.Class.Error()}
+		return http.StatusUnprocessableEntity, ErrorBody{Code: "infeasible", ErrorCode: code, Message: msg, Class: se.Class.Error()}
 	}
 	var tooLarge himap.BaselineTooLargeError
 	var timedOut himap.BaselineTimeoutError
 	var exactTooLarge himap.ExactTooLargeError
 	if errors.As(err, &tooLarge) || errors.As(err, &timedOut) || errors.As(err, &exactTooLarge) {
-		return http.StatusUnprocessableEntity, ErrorBody{Code: "infeasible", Message: msg}
+		return http.StatusUnprocessableEntity, ErrorBody{Code: "infeasible", ErrorCode: code, Message: msg}
 	}
-	return http.StatusInternalServerError, ErrorBody{Code: "internal", Message: msg}
+	return http.StatusInternalServerError, ErrorBody{Code: "internal", ErrorCode: code, Message: msg}
 }
 
-func writeError(w http.ResponseWriter, err error) {
-	status, body := renderError(err)
+func writeError(w http.ResponseWriter, v int, err error) {
+	status, body := renderError(v, err)
 	writeBody(w, status, body, "")
 }
 
@@ -475,7 +620,7 @@ func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
 	}
 	body, err := json.Marshal(resp)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, SchemaVersion, err)
 		return
 	}
 	writeBody(w, http.StatusOK, append(body, '\n'), "")
@@ -490,6 +635,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.metrics.Snapshot()
 	snap.CacheEntries, snap.CacheBytes = s.cache.stats()
+	if s.disk != nil {
+		st := s.disk.Stats()
+		snap.Store = &st
+	}
 	format := r.URL.Query().Get("format")
 	if format == "json" || strings.Contains(r.Header.Get("Accept"), "application/json") {
 		w.Header().Set("Content-Type", "application/json")

@@ -1,15 +1,27 @@
 // Package serve is the himapd compilation service: an HTTP/JSON layer
-// over the unified himap.CompileRequest API with a content-addressed
-// result cache (LRU by byte budget, singleflight-coalesced), a bounded
+// over the unified himap.CompileRequest API with a two-level
+// content-addressed result cache (in-memory LRU over an optional
+// disk-backed, integrity-checked store), singleflight coalescing,
+// consistent-hash peer sharding with request forwarding, a bounded
 // admission queue, and an atomic-counter metrics registry. The wire
 // contract is versioned (SchemaVersion) and strict: requests with
 // unknown fields are rejected, responses always carry schema_version,
 // and a served compile is byte-identical to a direct CompileRequest of
 // the same request — cache and coalescing status travel in the
 // X-Himap-Cache response header, never in the body.
+//
+// Version 2 of the contract makes the post-v1 growth first-class:
+// the mapper identity and optimality certificate in compile responses,
+// the machine-readable error_code enum mirroring the diag failure
+// taxonomy, the batch endpoint (POST /v1/compile-batch), and the SSE
+// stage-event stream (Accept: text/event-stream on /v1/compile).
+// Requests pinned to schema_version 1 keep working and are answered in
+// the v1 shape — the v2-only fields are omitted — while versions the
+// server does not speak are rejected up front.
 package serve
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -19,14 +31,41 @@ import (
 	"io"
 
 	"himap"
+	"himap/internal/diag"
 	"himap/internal/ir"
 	"himap/internal/kernel"
 )
 
-// SchemaVersion is the wire-contract version stamped on every response
-// body (success and error alike). Clients reject versions they do not
-// know; the server bumps it only on incompatible changes.
-const SchemaVersion = 1
+// SchemaVersion is the current wire-contract version, stamped on every
+// response body (success and error alike) unless the request pinned an
+// older supported version. The server bumps it only on incompatible
+// changes; clients reject versions they do not know.
+const SchemaVersion = 2
+
+// MinSchemaVersion is the oldest wire version the server still accepts
+// and answers in kind. A version-1 request receives a version-1 body:
+// no mapper, no optimality, no error_code.
+const MinSchemaVersion = 1
+
+// EffectiveVersion resolves a request's schema_version field: omitted
+// (0) means the current version; a supported pin is honored; anything
+// else is rejected by the decoders before this is called.
+func EffectiveVersion(requested int) int {
+	if requested == 0 {
+		return SchemaVersion
+	}
+	return requested
+}
+
+// checkVersion validates a request's schema_version against the
+// supported window.
+func checkVersion(requested int) error {
+	if requested != 0 && (requested < MinSchemaVersion || requested > SchemaVersion) {
+		return fmt.Errorf("%w: unsupported schema_version %d (server speaks %d..%d)",
+			ErrBadRequest, requested, MinSchemaVersion, SchemaVersion)
+	}
+	return nil
+}
 
 // Typed request-rejection sentinels. Handlers wrap them with %w, and the
 // HTTP layer maps each to its status code (400, 404, 429).
@@ -39,6 +78,62 @@ var (
 	// ErrOverloaded: the admission queue is full; retry later.
 	ErrOverloaded = errors.New("server overloaded")
 )
+
+// diagErrorCodes maps every diag sentinel failure class 1:1 to its
+// stable wire error_code (schema v2). The table test in wire_test
+// asserts the mapping is total and injective over diag.Classes(), so a
+// new sentinel cannot ship unmapped.
+var diagErrorCodes = map[error]string{
+	diag.ErrNoSubMapping:        "no_sub_mapping",
+	diag.ErrSchemeInfeasible:    "scheme_infeasible",
+	diag.ErrRouteCongested:      "route_congested",
+	diag.ErrBlockPinConflict:    "block_pin_conflict",
+	diag.ErrBlockTooSmall:       "block_too_small",
+	diag.ErrPlacementInfeasible: "placement_infeasible",
+	diag.ErrReplicaConflict:     "replica_conflict",
+	diag.ErrConfigInvalid:       "config_invalid",
+	diag.ErrMemPortInfeasible:   "mem_port_infeasible",
+	diag.ErrBandwidthInfeasible: "bandwidth_infeasible",
+	diag.ErrInvalidRequest:      "invalid_request",
+	diag.ErrExactTimeout:        "exact_timeout",
+	diag.ErrProvedInfeasible:    "proved_infeasible",
+	diag.ErrCanceled:            "canceled",
+}
+
+// Serve-level error codes (conditions that never reach a compile).
+const (
+	CodeBadRequest    = "bad_request"
+	CodeUnknownKernel = "unknown_kernel"
+	CodeOverloaded    = "overloaded"
+	CodeInternal      = "internal"
+)
+
+// WireErrorCode renders any service failure into its stable v2
+// error_code: serve-level sentinels map to their own codes, compile
+// failures to the diag class that caused them (checked in taxonomy
+// order, so the classification is deterministic even for errors
+// wrapping several sentinels), and anything unrecognized to
+// CodeInternal.
+func WireErrorCode(err error) string {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return CodeOverloaded
+	case errors.Is(err, ErrUnknownKernel):
+		return CodeUnknownKernel
+	case errors.Is(err, ErrBadRequest):
+		return CodeBadRequest
+	}
+	for _, class := range diag.Classes() {
+		if errors.Is(err, class) {
+			return diagErrorCodes[class]
+		}
+	}
+	// Context errors below a compile that did not wrap ErrCanceled.
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return diagErrorCodes[diag.ErrCanceled]
+	}
+	return CodeInternal
+}
 
 // CompileRequestWire is the POST /v1/compile request body. Exactly one
 // of Kernel (a registry name, GET /v1/kernels) and Spec (an inline
@@ -198,12 +293,14 @@ type ExploreEntry struct {
 // the canonical binary configuration-memory image (BitstreamBytes),
 // base64-coded by encoding/json. The body carries no wall-clock or
 // cache-status fields, so a cached response is byte-identical to the
-// compile that produced it.
+// compile that produced it. Mapper and Optimality are schema-v2 fields:
+// a version-1 request receives the body without them (both are tagged
+// omitempty and cleared by the v1 renderer).
 type CompileResponse struct {
 	SchemaVersion int             `json:"schema_version"`
 	Kernel        string          `json:"kernel"`
 	Fabric        string          `json:"fabric"`
-	Mapper        string          `json:"mapper"`
+	Mapper        string          `json:"mapper,omitempty"`
 	Block         []int           `json:"block"`
 	II            int             `json:"ii"`
 	UniqueIters   int             `json:"unique_iters,omitempty"`
@@ -233,14 +330,86 @@ type ErrorResponse struct {
 	Error         ErrorBody `json:"error"`
 }
 
-// ErrorBody carries the machine-readable rejection: Code is the stable
-// dispatch key (bad_request, unknown_kernel, overloaded, deadline,
-// infeasible, internal), Class the diag failure-class rendering when the
-// compile itself failed.
+// ErrorBody carries the machine-readable rejection: Code is the coarse
+// HTTP-dispatch key (bad_request, unknown_kernel, overloaded, deadline,
+// infeasible, internal), ErrorCode the stable schema-v2 enum mapped 1:1
+// from the diag failure taxonomy (route_congested, bandwidth_infeasible,
+// proved_infeasible, canceled, ...; serve-level rejections reuse their
+// Code), and Class the diag failure-class rendering when the compile
+// itself failed. Version-1 bodies omit ErrorCode.
 type ErrorBody struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-	Class   string `json:"class,omitempty"`
+	Code      string `json:"code"`
+	ErrorCode string `json:"error_code,omitempty"`
+	Message   string `json:"message"`
+	Class     string `json:"class,omitempty"`
+}
+
+// BatchRequestWire is the POST /v1/compile-batch request body (schema
+// v2 only): a list of compile requests answered per-item under one
+// deadline, with shared artifacts (IDFG, sub-mapping lists, unrolled
+// DFG/ISDG) deduplicated across the batch through one Memo. Items must
+// not pin their own schema_version — the batch envelope's version is
+// the contract for every item.
+type BatchRequestWire struct {
+	SchemaVersion int                  `json:"schema_version,omitempty"`
+	Items         []CompileRequestWire `json:"items"`
+	Options       BatchOptionsSpec     `json:"options"`
+}
+
+// BatchOptionsSpec tunes the batch. TimeoutMS bounds the whole batch
+// (all items together), not each item.
+type BatchOptionsSpec struct {
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// BatchResponse is the POST /v1/compile-batch success body. The batch
+// itself answers 200 whenever the envelope was valid; per-item outcomes
+// (success or typed error) live in Items, index-aligned with the
+// request. Aggregate cache accounting travels in the
+// X-Himap-Batch-Cache response header, never in the body.
+type BatchResponse struct {
+	SchemaVersion int               `json:"schema_version"`
+	Items         []BatchItemResult `json:"items"`
+}
+
+// BatchItemResult is one batch item's outcome. Status is the HTTP
+// status the item would have answered standalone; Result is the exact
+// /v1/compile success object (the standalone body minus its trailing
+// newline), so batch and single-compile responses stay byte-comparable.
+type BatchItemResult struct {
+	OK     bool            `json:"ok"`
+	Status int             `json:"status"`
+	Error  *ErrorBody      `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// SSE event names of the /v1/compile stream (schema v2 only; selected
+// with Accept: text/event-stream). A stream is zero or more stage
+// events followed by exactly one terminal event: result on success,
+// error on failure. See DESIGN.md, "Serving at scale", for the full
+// event grammar.
+const (
+	// StreamEventStage carries a StageEventWire datum — one executed
+	// pipeline stage, in tracer emission order.
+	StreamEventStage = "stage"
+	// StreamEventResult carries the CompileResponse object (identical to
+	// the non-streaming body minus the trailing newline).
+	StreamEventResult = "result"
+	// StreamEventError carries the ErrorResponse object the request
+	// would have answered without streaming.
+	StreamEventError = "error"
+)
+
+// StageEventWire is the "stage" stream event datum: one diag tracer
+// span rendered to the wire. Counters marshal with sorted keys
+// (encoding/json map ordering), so a span renders deterministically.
+type StageEventWire struct {
+	Stage    string           `json:"stage"`
+	Attempt  int              `json:"attempt,omitempty"`
+	Wave     int              `json:"wave,omitempty"`
+	WallUS   int64            `json:"wall_us"`
+	Err      string           `json:"err,omitempty"`
+	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
 // KernelsResponse is the GET /v1/kernels body.
@@ -260,7 +429,9 @@ type KernelInfo struct {
 
 // DecodeRequest strictly decodes a compile request: unknown fields and
 // trailing garbage are ErrBadRequest, keeping the wire contract honest
-// about what the server actually interprets.
+// about what the server actually interprets. Supported older schema
+// versions (MinSchemaVersion..SchemaVersion) are accepted; the caller
+// answers in the pinned shape.
 func DecodeRequest(r io.Reader) (*CompileRequestWire, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
@@ -271,9 +442,8 @@ func DecodeRequest(r io.Reader) (*CompileRequestWire, error) {
 	if dec.More() {
 		return nil, fmt.Errorf("%w: trailing data after request object", ErrBadRequest)
 	}
-	if req.SchemaVersion != 0 && req.SchemaVersion != SchemaVersion {
-		return nil, fmt.Errorf("%w: unsupported schema_version %d (server speaks %d)",
-			ErrBadRequest, req.SchemaVersion, SchemaVersion)
+	if err := checkVersion(req.SchemaVersion); err != nil {
+		return nil, err
 	}
 	return &req, nil
 }
@@ -290,23 +460,56 @@ func DecodeExploreRequest(r io.Reader) (*ExploreRequestWire, error) {
 	if dec.More() {
 		return nil, fmt.Errorf("%w: trailing data after request object", ErrBadRequest)
 	}
-	if req.SchemaVersion != 0 && req.SchemaVersion != SchemaVersion {
-		return nil, fmt.Errorf("%w: unsupported schema_version %d (server speaks %d)",
-			ErrBadRequest, req.SchemaVersion, SchemaVersion)
+	if err := checkVersion(req.SchemaVersion); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// DecodeBatchRequest strictly decodes a batch request. The batch
+// endpoint is schema-v2 only: a version-1 pin is rejected (v1 never had
+// batches), and items must not pin their own schema_version.
+func DecodeBatchRequest(r io.Reader) (*BatchRequestWire, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var req BatchRequestWire
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("%w: trailing data after request object", ErrBadRequest)
+	}
+	if err := checkVersion(req.SchemaVersion); err != nil {
+		return nil, err
+	}
+	if v := EffectiveVersion(req.SchemaVersion); v < 2 {
+		return nil, fmt.Errorf("%w: compile-batch requires schema_version >= 2 (got %d)", ErrBadRequest, v)
+	}
+	if len(req.Items) == 0 {
+		return nil, fmt.Errorf("%w: batch has no items", ErrBadRequest)
+	}
+	for i := range req.Items {
+		if req.Items[i].SchemaVersion != 0 {
+			return nil, fmt.Errorf("%w: items[%d] pins schema_version %d; the batch envelope's version governs every item",
+				ErrBadRequest, i, req.Items[i].SchemaVersion)
+		}
 	}
 	return &req, nil
 }
 
 // CacheKey is the content address of a request: the SHA-256 of its
-// canonical JSON with TimeoutMS and SchemaVersion zeroed (the timeout
-// bounds the compile, it cannot change the mapping; an explicit
-// schema_version equal to the server's is the same request as an
-// omitted one). Two requests with equal keys receive byte-identical
-// responses.
+// canonical JSON with TimeoutMS zeroed (the timeout bounds the compile,
+// it cannot change the mapping) and SchemaVersion normalized to the
+// request's effective wire version — response bytes depend on the
+// version they were rendered for, so each supported version owns its
+// own key space, and an explicit pin of the current version shares keys
+// with an omitted one. Two requests with equal keys receive
+// byte-identical responses. The key also drives shard ownership: every
+// replica of a cluster computes the same key for the same request.
 func CacheKey(req *CompileRequestWire) string {
 	norm := *req
 	norm.Options.TimeoutMS = 0
-	norm.SchemaVersion = 0
+	norm.SchemaVersion = EffectiveVersion(req.SchemaVersion)
 	b, err := json.Marshal(&norm)
 	if err != nil {
 		// Marshal of this struct cannot fail (no channels/funcs/cycles);

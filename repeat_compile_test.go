@@ -24,7 +24,7 @@ func TestRepeatCompileDeterminism(t *testing.T) {
 		t.Run(k.Name, func(t *testing.T) {
 			cg := himap.DefaultCGRA(8, 8)
 			compile := func() (*himap.Result, []byte, *himap.Bitstream) {
-				r, err := himap.Compile(k, cg, himap.Options{Workers: 4, Memo: himap.NewMemo()})
+				r, err := compile(k, cg, himap.Options{Workers: 4, Memo: himap.NewMemo()})
 				if err != nil {
 					t.Fatal(err)
 				}

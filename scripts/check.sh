@@ -21,9 +21,14 @@ go run ./cmd/himaplint -baseline himaplint.baseline.json ./...
 # Self-host: the analyzer package must satisfy its own suite.
 go run ./cmd/himaplint ./internal/analysis
 go test -race ./...
-# himapd end-to-end smoke: ephemeral port, served-vs-direct byte diff,
-# cache hit, metrics, graceful SIGTERM shutdown.
+# himapd end-to-end smoke: ephemeral port, served-vs-direct byte diff
+# at wire v1 and v2, cache hit, metrics, graceful SIGTERM shutdown.
 go run ./scripts/himapd_smoke
+# Serving soak smoke: a short seeded load run against a self-hosted
+# 2-replica sharded cluster must finish with zero 5xx responses and a
+# nonzero cache hit count (-require-hits); the report goes to a temp
+# file, not the committed BENCH_serve.json.
+go run ./cmd/himapload -cluster 2 -duration 3s -concurrency 4 -require-hits -out "$(mktemp)"
 # Exact-backend smoke: a tiny instance must close with a proved-minimal
 # certificate within a short budget.
 exact_out=$(go run ./cmd/himap -mapper exact -kernel MVT -rows 4 -cols 4 -block 2 -exact-budget 30s)

@@ -25,7 +25,13 @@ import (
 	"himap/internal/serve"
 )
 
-const compileBody = `{"schema_version":1,"kernel":"MVT","fabric":{"rows":4,"cols":4},"options":{}}`
+// The same request pinned to wire schema v1 and at the current version:
+// each owns its own cache key space and must byte-match its own direct
+// in-process rendering (the v1 body omits the v2-only fields).
+const (
+	compileBodyV1 = `{"schema_version":1,"kernel":"MVT","fabric":{"rows":4,"cols":4},"options":{}}`
+	compileBodyV2 = `{"kernel":"MVT","fabric":{"rows":4,"cols":4},"options":{}}`
+)
 
 func main() {
 	if err := run(); err != nil {
@@ -91,28 +97,32 @@ func run() error {
 		return err
 	}
 
-	// Serve MVT over HTTP and byte-compare with the direct API.
-	status, hdr, served, err := post(base+"/v1/compile", compileBody)
+	// Serve MVT pinned to wire v1 and byte-compare with the direct API
+	// rendered at v1.
+	status, hdr, served, err := post(base+"/v1/compile", compileBodyV1)
 	if err != nil {
 		return err
 	}
 	if status != http.StatusOK {
-		return fmt.Errorf("compile status %d: %s", status, served)
+		return fmt.Errorf("v1 compile status %d: %s", status, served)
 	}
 	if hdr != "miss" {
 		return fmt.Errorf("first compile X-Himap-Cache = %q, want miss", hdr)
 	}
-	direct, err := directBytes()
+	direct, err := directBytes(compileBodyV1, 1)
 	if err != nil {
 		return err
 	}
 	if !bytes.Equal(served, direct) {
-		return fmt.Errorf("served body (%d bytes) differs from direct CompileRequest (%d bytes)",
+		return fmt.Errorf("served v1 body (%d bytes) differs from direct CompileRequest (%d bytes)",
 			len(served), len(direct))
+	}
+	if bytes.Contains(served, []byte(`"mapper"`)) {
+		return fmt.Errorf("v1 body carries the v2 mapper field: %s", served)
 	}
 
 	// The identical request must come back from the cache, byte-identical.
-	status, hdr, cached, err := post(base+"/v1/compile", compileBody)
+	status, hdr, cached, err := post(base+"/v1/compile", compileBodyV1)
 	if err != nil {
 		return err
 	}
@@ -123,11 +133,32 @@ func run() error {
 		return fmt.Errorf("cached body differs from compiled body")
 	}
 
+	// The same request at the current version is a separate cache entry
+	// with the v2 shape, again byte-identical to the direct rendering.
+	status, hdr, servedV2, err := post(base+"/v1/compile", compileBodyV2)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK || hdr != "miss" {
+		return fmt.Errorf("v2 compile: status %d cache %q, want 200 miss (own key space)", status, hdr)
+	}
+	directV2, err := directBytes(compileBodyV2, serve.SchemaVersion)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(servedV2, directV2) {
+		return fmt.Errorf("served v2 body (%d bytes) differs from direct CompileRequest (%d bytes)",
+			len(servedV2), len(directV2))
+	}
+	if !bytes.Contains(servedV2, []byte(`"mapper"`)) {
+		return fmt.Errorf("v2 body lost the mapper field: %s", servedV2)
+	}
+
 	metrics, err := get(base + "/metrics")
 	if err != nil {
 		return err
 	}
-	for _, want := range []string{"himapd_compiles_total 1", "himapd_cache_hits_total 1", "himapd_requests_total 2"} {
+	for _, want := range []string{"himapd_compiles_total 2", "himapd_cache_hits_total 1", "himapd_requests_total 3"} {
 		if !strings.Contains(metrics, want) {
 			return fmt.Errorf("metrics missing %q:\n%s", want, metrics)
 		}
@@ -165,9 +196,10 @@ func run() error {
 }
 
 // directBytes compiles the smoke request in-process through the same
-// wire conversion the server uses and renders the canonical bytes.
-func directBytes() ([]byte, error) {
-	wire, err := serve.DecodeRequest(strings.NewReader(compileBody))
+// wire conversion the server uses and renders the canonical bytes at
+// the given wire version.
+func directBytes(body string, version int) ([]byte, error) {
+	wire, err := serve.DecodeRequest(strings.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +211,7 @@ func directBytes() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return serve.EncodeResponse(res)
+	return serve.EncodeResponseVersion(res, version)
 }
 
 func waitHealthy(base string, budget time.Duration) error {

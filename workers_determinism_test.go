@@ -24,7 +24,7 @@ func TestWorkersDeterminism(t *testing.T) {
 			cg := himap.DefaultCGRA(8, 8)
 
 			// Reference: sequential, cold memo.
-			r1, err := himap.Compile(k, cg, himap.Options{Workers: 1, Memo: himap.NewMemo()})
+			r1, err := compile(k, cg, himap.Options{Workers: 1, Memo: himap.NewMemo()})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -35,7 +35,7 @@ func TestWorkersDeterminism(t *testing.T) {
 			}
 
 			check := func(label string, opts himap.Options) {
-				r, err := himap.Compile(k, cg, opts)
+				r, err := compile(k, cg, opts)
 				if err != nil {
 					t.Fatalf("%s: %v", label, err)
 				}
@@ -77,7 +77,7 @@ func TestWorkersDeterminism(t *testing.T) {
 			// shared memo warmed by a first compile, so the IDFG,
 			// sub-mapping list, and ISDG all come from the cache.
 			warm := himap.NewMemo()
-			if _, err := himap.Compile(k, cg, himap.Options{Workers: 1, Memo: warm}); err != nil {
+			if _, err := compile(k, cg, himap.Options{Workers: 1, Memo: warm}); err != nil {
 				t.Fatal(err)
 			}
 			check("Workers=1 memoized", himap.Options{Workers: 1, Memo: warm})
@@ -107,11 +107,11 @@ func TestBaselineChainsReproducible(t *testing.T) {
 	}
 	cg := himap.DefaultCGRA(4, 4)
 	opts := himap.BaselineOptions{Seed: 7, Workers: 2}
-	ra, err := himap.CompileBaseline(k, cg, k.UniformBlock(4), opts)
+	ra, err := compileBaseline(k, cg, k.UniformBlock(4), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := himap.CompileBaseline(k, cg, k.UniformBlock(4), opts)
+	rb, err := compileBaseline(k, cg, k.UniformBlock(4), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,14 +147,14 @@ func TestWorkersDeterminismFabrics(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			r1, err := himap.CompileFabric(k, tc.fab, himap.Options{Workers: 1, Memo: himap.NewMemo()})
+			r1, err := compileFabric(k, tc.fab, himap.Options{Workers: 1, Memo: himap.NewMemo()})
 			if err != nil {
 				t.Fatal(err)
 			}
 			j1 := configJSON(t, r1)
 
 			check := func(label string, opts himap.Options) {
-				r, err := himap.CompileFabric(k, tc.fab, opts)
+				r, err := compileFabric(k, tc.fab, opts)
 				if err != nil {
 					t.Fatalf("%s: %v", label, err)
 				}
@@ -165,7 +165,7 @@ func TestWorkersDeterminismFabrics(t *testing.T) {
 			check("Workers=4 cold", himap.Options{Workers: 4, Memo: himap.NewMemo()})
 
 			warm := himap.NewMemo()
-			if _, err := himap.CompileFabric(k, tc.fab, himap.Options{Workers: 1, Memo: warm}); err != nil {
+			if _, err := compileFabric(k, tc.fab, himap.Options{Workers: 1, Memo: warm}); err != nil {
 				t.Fatal(err)
 			}
 			check("Workers=1 memoized", himap.Options{Workers: 1, Memo: warm})
